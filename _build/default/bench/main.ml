@@ -1,0 +1,422 @@
+(* Benchmark harness.
+
+   Part 1 — reproduction: regenerates every numeric claim of the paper
+   (the experiment ids EXP-* of DESIGN.md), printing paper-expected vs
+   measured values; every value is an exact rational so "OK" means
+   equality, not tolerance. The process exits non-zero if any
+   reproduction row fails.
+
+   Part 2 — timing: one bechamel Test per core algorithm (arithmetic,
+   compilation, belief computation, theorem checking, model checking,
+   fixpoints), with OLS estimates printed as ns/run. Skip with
+   --no-timing.
+
+   Run with: dune exec bench/main.exe *)
+
+open Pak
+module FS = Systems.Firing_squad
+module F1 = Systems.Figure_one
+module TG = Systems.Threshold_gap
+module CA = Systems.Coordinated_attack
+module MX = Systems.Mutex
+module JD = Systems.Judge
+module MS = Systems.Monderer_samet
+module CS = Systems.Consensus
+module IP = Systems.Interactive_proof
+
+let failures = ref 0
+
+let row_q ~exp_id ~label ~paper measured =
+  let ok = Q.equal (Q.of_string paper) measured in
+  if not ok then incr failures;
+  Printf.printf "  %-8s %-46s paper=%-12s measured=%-12s %s\n" exp_id label paper
+    (Q.to_string measured)
+    (if ok then "OK" else "MISMATCH")
+
+let row_bool ~exp_id ~label expected actual =
+  let ok = expected = actual in
+  if not ok then incr failures;
+  Printf.printf "  %-8s %-46s expect=%-12b measured=%-12b %s\n" exp_id label expected actual
+    (if ok then "OK" else "MISMATCH")
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+(* ------------------------------------------------------------------ *)
+(* EXP-E1: Example 1                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exp_e1 () =
+  section "EXP-E1: Example 1 (relaxed firing squad, FS protocol)";
+  let a = FS.analyze FS.Original in
+  row_q ~exp_id:"EXP-E1" ~label:"µ(ϕ_both@fire_A | fire_A)" ~paper:"99/100"
+    a.FS.mu_both_given_fire_a;
+  row_bool ~exp_id:"EXP-E1" ~label:"Spec µ ≥ 0.95 satisfied" true a.FS.spec_satisfied;
+  row_q ~exp_id:"EXP-E1" ~label:"β_A(fire_B) on 'Yes'" ~paper:"1"
+    (Option.get a.FS.belief_heard_yes);
+  row_q ~exp_id:"EXP-E1" ~label:"β_A(fire_B) on nothing" ~paper:"99/100"
+    (Option.get a.FS.belief_heard_nothing);
+  row_q ~exp_id:"EXP-E1" ~label:"β_A(fire_B) on 'No'" ~paper:"0"
+    (Option.get a.FS.belief_heard_no);
+  row_q ~exp_id:"EXP-E1" ~label:"violation measure 0.1·0.1·0.9" ~paper:"9/1000"
+    (Q.one_minus a.FS.threshold_met_measure);
+  row_q ~exp_id:"EXP-E1" ~label:"µ(threshold met | fire_A)" ~paper:"991/1000"
+    a.FS.threshold_met_measure;
+  row_q ~exp_id:"EXP-E1" ~label:"E(β@fire_A | fire_A) = µ (Thm 6.2)" ~paper:"99/100"
+    a.FS.expected_belief
+
+(* ------------------------------------------------------------------ *)
+(* EXP-F1: Figure 1 counterexamples                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exp_f1 () =
+  section "EXP-F1: Figure 1 (mixed action counterexamples, Sections 4 and 6)";
+  let a = F1.analyze () in
+  row_q ~exp_id:"EXP-F1" ~label:"β_i(ψ)@α for ψ = ¬does(α)" ~paper:"1/2"
+    a.F1.belief_psi_at_alpha;
+  row_q ~exp_id:"EXP-F1" ~label:"µ(ψ@α | α)" ~paper:"0" a.F1.mu_psi;
+  row_bool ~exp_id:"EXP-F1" ~label:"ψ local-state independent of α" false a.F1.psi_independent;
+  row_q ~exp_id:"EXP-F1" ~label:"µ(ϕ@α | α) for ϕ = does(α)" ~paper:"1" a.F1.mu_phi;
+  row_q ~exp_id:"EXP-F1" ~label:"E(β_i(ϕ)@α | α)" ~paper:"1/2" a.F1.expected_belief_phi;
+  row_bool ~exp_id:"EXP-F1" ~label:"Theorem 6.2 only vacuously respected" true
+    a.F1.theorem62_vacuous
+
+(* ------------------------------------------------------------------ *)
+(* EXP-F2: Figure 2 / Theorem 5.2                                      *)
+(* ------------------------------------------------------------------ *)
+
+let exp_f2 () =
+  section "EXP-F2: Figure 2 / Theorem 5.2 (T-hat construction grid)";
+  List.iter
+    (fun (p, eps) ->
+      let a = TG.analyze ~p:(Q.of_string p) ~eps:(Q.of_string eps) in
+      let tag = Printf.sprintf "p=%s ε=%s" p eps in
+      row_q ~exp_id:"EXP-F2" ~label:(tag ^ ": µ(ϕ@α|α) = p") ~paper:p a.TG.mu;
+      row_q ~exp_id:"EXP-F2" ~label:(tag ^ ": µ(β ≥ p | α) = ε") ~paper:eps
+        a.TG.threshold_met_measure;
+      row_q ~exp_id:"EXP-F2"
+        ~label:(tag ^ ": pooled belief = (p−ε)/(1−ε)")
+        ~paper:(Q.to_string
+                  (Q.div
+                     (Q.sub (Q.of_string p) (Q.of_string eps))
+                     (Q.one_minus (Q.of_string eps))))
+        a.TG.pooled_belief)
+    [ ("3/4", "1/4"); ("9/10", "1/10"); ("19/20", "1/100"); ("1/2", "1/1000") ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem checkers on random protocol-generated systems               *)
+(* ------------------------------------------------------------------ *)
+
+let random_sweep ~exp_id ~label ~count check =
+  let ok = ref 0 and total = ref 0 in
+  for seed = 1 to count do
+    let tree = Gen.tree seed in
+    match Gen.pick_proper_action tree ~seed with
+    | None -> ()
+    | Some (agent, act) ->
+      incr total;
+      if check tree seed agent act then incr ok
+  done;
+  let pass = !ok = !total && !total > 0 in
+  if not pass then incr failures;
+  Printf.printf "  %-8s %-46s %d/%d systems %s\n" exp_id label !ok !total
+    (if pass then "OK" else "MISMATCH")
+
+let exp_theorems_random () =
+  section "EXP-T42/L43/L51/T62/T71/KOP: theorem checkers on random protocol systems";
+  random_sweep ~exp_id:"EXP-L43" ~label:"Lemma 4.3(b): past-based => independent" ~count:400
+    (fun tree seed agent act ->
+      let _ = tree in
+      let fact = Gen.past_based_fact tree ~seed in
+      (Theorems.lemma43 fact ~agent ~act).Theorems.independent);
+  random_sweep ~exp_id:"EXP-T62" ~label:"Theorem 6.2 exact identity (past-based)" ~count:400
+    (fun tree seed agent act ->
+      let fact = Gen.past_based_fact tree ~seed in
+      let r = Theorems.expectation_identity fact ~agent ~act in
+      r.Theorems.independent && r.Theorems.identity)
+    ;
+  random_sweep ~exp_id:"EXP-T62" ~label:"Theorem 6.2 respected (transient facts)" ~count:400
+    (fun tree seed agent act ->
+      let fact = Gen.transient_fact tree ~seed in
+      (Theorems.expectation_identity fact ~agent ~act).Theorems.respected);
+  random_sweep ~exp_id:"EXP-T42" ~label:"Theorem 4.2 at p = min belief" ~count:400
+    (fun tree seed agent act ->
+      let fact = Gen.past_based_fact tree ~seed in
+      match Belief.min_at_action fact ~agent ~act with
+      | None -> false
+      | Some p -> (Theorems.sufficiency fact ~agent ~act ~p).Theorems.respected);
+  random_sweep ~exp_id:"EXP-L51" ~label:"Lemma 5.1 witness at p = µ" ~count:400
+    (fun tree seed agent act ->
+      let fact = Gen.past_based_fact tree ~seed in
+      let p = Constr.mu_given_action fact ~agent ~act in
+      (Theorems.necessity_exists fact ~agent ~act ~p).Theorems.respected);
+  random_sweep ~exp_id:"EXP-T71" ~label:"Theorem 7.1 grid (5 (ε,δ) pairs)" ~count:200
+    (fun tree seed agent act ->
+      let fact = Gen.past_based_fact tree ~seed in
+      List.for_all
+        (fun (e, d) ->
+          (Theorems.pak fact ~agent ~act ~eps:(Q.of_ints 1 e) ~delta:(Q.of_ints 1 d))
+            .Theorems.respected)
+        [ (2, 2); (2, 5); (5, 2); (10, 10); (3, 7) ]);
+  random_sweep ~exp_id:"EXP-KOP" ~label:"Lemma F.1 (KoP limit)" ~count:400
+    (fun tree seed agent act ->
+      let fact = Gen.past_based_fact tree ~seed in
+      (Theorems.kop fact ~agent ~act).Theorems.respected)
+
+(* ------------------------------------------------------------------ *)
+(* PAK on the example systems                                          *)
+(* ------------------------------------------------------------------ *)
+
+let exp_t71_systems () =
+  section "EXP-T71: PAK corollary on the example systems";
+  let t = FS.tree FS.Original in
+  let r =
+    Theorems.pak_corollary (FS.phi_both t) ~agent:FS.alice ~act:FS.fire ~eps:(Q.of_ints 1 10)
+  in
+  row_bool ~exp_id:"EXP-T71" ~label:"FS: µ=0.99 >= 1-eps² => µ(β>=0.9|α) >= 0.9" true
+    (r.Theorems.premise && r.Theorems.conclusion);
+  row_q ~exp_id:"EXP-T71" ~label:"FS: µ(β >= 0.9 | fire_A)" ~paper:"991/1000"
+    r.Theorems.strong_belief_measure;
+  let t = CA.tree ~rounds:2 () in
+  let r =
+    Theorems.pak_corollary (CA.phi_both t) ~agent:CA.general_a ~act:CA.attack
+      ~eps:(Q.of_ints 1 10)
+  in
+  row_bool ~exp_id:"EXP-T71" ~label:"CA k=2: PAK premise and conclusion" true
+    (r.Theorems.premise && r.Theorems.conclusion);
+  let t = JD.tree ~rounds:3 ~convict_at:3 () in
+  let r =
+    Theorems.pak_corollary (JD.guilty_fact t) ~agent:JD.judge ~act:JD.convict
+      ~eps:(Q.of_ints 1 25)
+  in
+  row_bool ~exp_id:"EXP-T71" ~label:"Judge m=3: PAK premise and conclusion" true
+    (r.Theorems.premise && r.Theorems.conclusion)
+
+(* ------------------------------------------------------------------ *)
+(* KoP on a reliable system                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_kop_reliable () =
+  section "EXP-KOP: Lemma F.1 on reliable systems (threshold 1)";
+  let t = MX.tree ~err:Q.zero () in
+  let r = Theorems.kop (MX.phi_alone t ~agent:0) ~agent:0 ~act:MX.enter in
+  row_q ~exp_id:"EXP-KOP" ~label:"mutex err=0: µ(alone@enter|enter)" ~paper:"1" r.Theorems.mu;
+  row_q ~exp_id:"EXP-KOP" ~label:"mutex err=0: µ(β = 1 | enter)" ~paper:"1"
+    r.Theorems.certain_measure
+
+(* ------------------------------------------------------------------ *)
+(* EXP-S8: the Section 8 improvement                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exp_s8 () =
+  section "EXP-S8: Section 8 (Alice skips on 'No')";
+  let a = FS.analyze FS.Improved in
+  row_q ~exp_id:"EXP-S8" ~label:"µ(ϕ_both@fire_A | fire_A) improved" ~paper:"990/991"
+    a.FS.mu_both_given_fire_a;
+  row_bool ~exp_id:"EXP-S8" ~label:"strictly better than 0.99" true
+    (Q.gt a.FS.mu_both_given_fire_a (Q.of_ints 99 100))
+
+(* ------------------------------------------------------------------ *)
+(* EXP-MS: Monderer–Samet (Section 6.1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let exp_ms () =
+  section "EXP-MS: Monderer–Samet flat-system identity (Section 6.1)";
+  let ok = ref 0 in
+  let count = 500 in
+  for seed = 1 to count do
+    let t = MS.random_flat ~n_agents:2 ~n_states:6 ~label_alphabet:3 ~seed in
+    let fact = Gen.past_based_fact t ~seed in
+    if (MS.check fact ~agent:0).MS.identity then incr ok
+  done;
+  let pass = !ok = count in
+  if not pass then incr failures;
+  Printf.printf "  %-8s %-46s %d/%d systems %s\n" "EXP-MS"
+    "E[posterior] = prior on random flat systems" !ok count
+    (if pass then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms on the remaining systems                               *)
+(* ------------------------------------------------------------------ *)
+
+let exp_aux_systems () =
+  section "AUX: closed forms on the motivating systems";
+  let a = CA.analyze ~rounds:3 () in
+  row_q ~exp_id:"AUX-CA" ~label:"attack k=3: µ(both|A) = 1 - 0.1³" ~paper:"999/1000"
+    a.CA.mu_both_given_attack_a;
+  let m = MX.analyze () in
+  row_q ~exp_id:"AUX-MX" ~label:"mutex: µ(alone@enter|enter)" ~paper:"299/301"
+    m.MX.mu_alone_given_enter;
+  let j = JD.analyze ~rounds:3 ~convict_at:2 () in
+  row_q ~exp_id:"AUX-JD" ~label:"judge n=3,m=2: µ(guilty|convict)" ~paper:"243/250"
+    j.JD.mu_guilty_given_convict;
+  let c = CS.analyze ~rounds:2 () in
+  row_q ~exp_id:"AUX-CS" ~label:"consensus k=2: µ(agree|decide₁)" ~paper:"199/200"
+    (List.assoc 1 c.CS.mu_agree_given_decide);
+  (* Section 7's closing remark: with thresholds exponentially close to
+     1 (soundness amplification), beliefs at action time are
+     exponentially close to 1 as well. *)
+  List.iter
+    (fun (rounds, expected) ->
+      let a = IP.analyze ~rounds () in
+      row_q ~exp_id:"AUX-IP"
+        ~label:(Printf.sprintf "interactive proof k=%d: µ(true|accept)" rounds)
+        ~paper:expected a.IP.mu_true_given_accept;
+      row_q ~exp_id:"AUX-IP"
+        ~label:(Printf.sprintf "  verifier belief at accept (k=%d)" rounds)
+        ~paper:expected a.IP.belief_at_accept)
+    [ (2, "4/5"); (6, "64/65"); (10, "1024/1025") ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling series — the shape of each core algorithm's cost            *)
+(* ------------------------------------------------------------------ *)
+
+let time_ms f =
+  let start = Sys.time () in
+  let result = f () in
+  (result, (Sys.time () -. start) *. 1000.)
+
+let scaling_series () =
+  section "Scaling series (coarse wall-clock, machine-dependent; shapes are the point)";
+  Printf.printf "  coordinated attack vs rounds:\n";
+  Printf.printf "  %-4s %-8s %-8s %-12s %-14s %-14s\n" "k" "nodes" "runs" "compile ms"
+    "thm62 ms" "µ(both|A)";
+  List.iter
+    (fun rounds ->
+      let t, compile_ms = time_ms (fun () -> CA.tree ~rounds ()) in
+      let r, check_ms =
+        time_ms (fun () ->
+            Theorems.expectation_identity (CA.phi_both t) ~agent:CA.general_a ~act:CA.attack)
+      in
+      Printf.printf "  %-4d %-8d %-8d %-12.2f %-14.2f %-14s\n" rounds (Tree.n_nodes t)
+        (Tree.n_runs t) compile_ms check_ms (Q.to_decimal_string r.Theorems.mu))
+    [ 1; 2; 3; 4; 5 ];
+  Printf.printf "\n  random protocol systems vs depth (seed 5):\n";
+  Printf.printf "  %-6s %-8s %-8s %-12s %-14s %-14s\n" "depth" "nodes" "runs" "gen ms"
+    "belief ms" "independ. ms";
+  List.iter
+    (fun depth ->
+      let params = { Gen.default_params with depth } in
+      let t, gen_ms = time_ms (fun () -> Gen.tree ~params 5) in
+      match Gen.pick_proper_action t ~seed:5 with
+      | None -> ()
+      | Some (agent, act) ->
+        let fact = Gen.past_based_fact t ~seed:5 in
+        let _, belief_ms = time_ms (fun () -> Belief.expected_at_action fact ~agent ~act) in
+        let _, indep_ms = time_ms (fun () -> Independence.holds fact ~agent ~act) in
+        Printf.printf "  %-6d %-8d %-8d %-12.2f %-14.2f %-14.2f\n" depth (Tree.n_nodes t)
+          (Tree.n_runs t) gen_ms belief_ms indep_ms)
+    [ 2; 3; 4; 5 ];
+  Printf.printf "\n  judge system vs evidence rounds:\n";
+  Printf.printf "  %-6s %-8s %-12s %-16s\n" "n" "runs" "analyze ms" "µ(guilty|convict)";
+  List.iter
+    (fun rounds ->
+      let a, ms =
+        time_ms (fun () -> JD.analyze ~rounds ~convict_at:((rounds / 2) + 1) ())
+      in
+      Printf.printf "  %-6d %-8d %-12.2f %-16s\n" rounds (1 lsl (rounds + 1)) ms
+        (Q.to_decimal_string a.JD.mu_guilty_given_convict))
+    [ 2; 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: timing benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let timing_tests () =
+  let open Bechamel in
+  let fs_tree = FS.tree FS.Original in
+  let fs_both = FS.phi_both fs_tree in
+  let big_gen = { Gen.default_params with depth = 4 } in
+  let gen_tree_40 = Gen.tree 42 in
+  let gen_fact = Gen.past_based_fact gen_tree_40 ~seed:42 in
+  let gen_action =
+    match Gen.pick_proper_action gen_tree_40 ~seed:42 with
+    | Some a -> a
+    | None -> (0, "a0_0")
+  in
+  let valuation atom g =
+    atom = "go" && String.length (Gstate.local g 0) >= 3 && (Gstate.local g 0).[2] = '1'
+  in
+  let formula = Parser.parse "K[0] go & B[0]>=9/10 F does[1](fire)" in
+  let cb_formula = Parser.parse "CB[0,1]>=3/4 go" in
+  let q_a = Q.of_ints 355 113 and q_b = Q.of_ints 987654321 123456789 in
+  [ Test.make ~name:"q_mul_normalize" (Staged.stage (fun () -> Q.mul q_a q_b));
+    Test.make ~name:"q_pow20" (Staged.stage (fun () -> Q.pow q_b 20));
+    Test.make ~name:"compile_fs" (Staged.stage (fun () -> FS.tree FS.Original));
+    Test.make ~name:"compile_attack_k3" (Staged.stage (fun () -> CA.tree ~rounds:3 ()));
+    Test.make ~name:"compile_judge_n5"
+      (Staged.stage (fun () -> JD.tree ~rounds:5 ~convict_at:3 ()));
+    Test.make ~name:"gen_random_tree_d4" (Staged.stage (fun () -> Gen.tree ~params:big_gen 7));
+    Test.make ~name:"belief_expectation_fs"
+      (Staged.stage (fun () -> Belief.expected_at_action fs_both ~agent:FS.alice ~act:FS.fire));
+    Test.make ~name:"independence_check_fs"
+      (Staged.stage (fun () -> Independence.holds fs_both ~agent:FS.alice ~act:FS.fire));
+    Test.make ~name:"theorem62_check_fs"
+      (Staged.stage (fun () ->
+           Theorems.expectation_identity fs_both ~agent:FS.alice ~act:FS.fire));
+    Test.make ~name:"theorem62_check_random"
+      (Staged.stage (fun () ->
+           let agent, act = gen_action in
+           Theorems.expectation_identity gen_fact ~agent ~act));
+    Test.make ~name:"parse_formula"
+      (Staged.stage (fun () -> Parser.parse "K[0] go & B[0]>=9/10 F does[1](fire)"));
+    Test.make ~name:"modelcheck_kb_fs"
+      (Staged.stage (fun () -> Semantics.eval fs_tree ~valuation formula));
+    Test.make ~name:"common_belief_fixpoint_fs"
+      (Staged.stage (fun () -> Semantics.eval fs_tree ~valuation cb_formula));
+    Test.make ~name:"policy_frontier_fs"
+      (Staged.stage (fun () -> Policy.frontier fs_both ~agent:FS.alice ~act:FS.fire));
+    Test.make ~name:"simulate_1k_runs_fs"
+      (Staged.stage (fun () -> Simulate.sample_runs fs_tree ~samples:1000 ~seed:1));
+    Test.make ~name:"kripke_extract_fs" (Staged.stage (fun () -> Kripke.of_tree fs_tree));
+    Test.make ~name:"tree_io_roundtrip_fs"
+      (Staged.stage (fun () -> Tree_io.of_string (Tree_io.to_string fs_tree)));
+    Test.make ~name:"aumann_check_fs"
+      (Staged.stage (fun () -> Aumann.check fs_both ~group:[ 0; 1 ]));
+    Test.make ~name:"simplify_formula"
+      (Staged.stage (fun () -> Simplify.simplify formula));
+    Test.make ~name:"appendix_derivation_fs"
+      (Staged.stage (fun () -> Appendix.theorem62 fs_both ~agent:FS.alice ~act:FS.fire));
+    Test.make ~name:"reference_engine_fs"
+      (Staged.stage (fun () ->
+           Reference.expected_beta_at_alpha fs_both ~agent:FS.alice ~act:FS.fire))
+  ]
+
+let run_timings () =
+  let open Bechamel in
+  Printf.printf "\n== Timing benchmarks (bechamel, OLS ns/run) ==\n%!";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let tests = Test.make_grouped ~name:"pak" (timing_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  Printf.printf "  %-38s %14s %10s\n" "benchmark" "ns/run" "r²";
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square result with Some r -> r | None -> nan in
+      Printf.printf "  %-38s %14.1f %10.4f\n" name estimate r2)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf "Probably Approximately Knowing — reproduction harness\n";
+  Printf.printf "(all probabilities exact rationals; OK = exact equality)\n";
+  exp_e1 ();
+  exp_f1 ();
+  exp_f2 ();
+  exp_theorems_random ();
+  exp_t71_systems ();
+  exp_kop_reliable ();
+  exp_s8 ();
+  exp_ms ();
+  exp_aux_systems ();
+  scaling_series ();
+  Printf.printf "\n== Reproduction summary: %s ==\n"
+    (if !failures = 0 then "ALL CLAIMS REPRODUCED EXACTLY"
+     else Printf.sprintf "%d MISMATCHES" !failures);
+  let skip_timing = Array.mem "--no-timing" Sys.argv in
+  if not skip_timing then run_timings ();
+  exit (if !failures = 0 then 0 else 1)

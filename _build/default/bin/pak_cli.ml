@@ -1,0 +1,438 @@
+(* pak — command-line front end.
+
+   Subcommands:
+     list                      enumerate built-in systems
+     analyze  <system>         run the full constraint analysis of a system
+     eval     <system> <phi>   model-check a formula on a system
+     theorems <system>         run every theorem checker on the system's
+                               canonical (fact, action) pair
+     dot      <system>         emit the pps as graphviz
+     random   <seed>           generate a random pps and verify the paper's
+                               theorems on it
+
+   Systems take parameters via --loss, --p, --eps, --rounds, ... where
+   meaningful; probabilities parse as rationals ("1/10") or decimals
+   ("0.1"). *)
+
+open Pak
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Built-in systems registry                                           *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  tree : Tree.t;
+  fact : Fact.t;          (* the canonical condition ϕ *)
+  agent : int;
+  act : string;
+  threshold : Q.t;        (* the canonical constraint threshold *)
+  description : string;
+  valuation : Semantics.valuation;
+}
+
+let q_conv =
+  let parse s =
+    match Q.of_string s with
+    | v when Q.is_probability v -> Ok v
+    | _ -> Error (`Msg (Printf.sprintf "%S is not a probability" s))
+    | exception _ -> Error (`Msg (Printf.sprintf "cannot parse %S as a rational" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (Q.to_string v))
+
+type params = {
+  loss : Q.t;
+  p_go : Q.t;
+  p : Q.t;
+  eps : Q.t;
+  rounds : int;
+  convict_at : int;
+  err : Q.t;
+}
+
+let default_valuation atom g =
+  (* generic atoms: "a0_<label>" tests agent 0's label, etc. *)
+  let prefix i = Printf.sprintf "a%d_" i in
+  let rec check i =
+    if i > 9 then false
+    else
+      let p = prefix i in
+      if String.length atom > String.length p && String.sub atom 0 (String.length p) = p
+      then i < Gstate.n_agents g
+           && Gstate.local g i = String.sub atom (String.length p) (String.length atom - String.length p)
+      else check (i + 1)
+  in
+  check 0
+
+let systems : (string * (params -> instance)) list =
+  [ ( "firing-squad",
+      fun prm ->
+        let t = Systems.Firing_squad.tree ~loss:prm.loss ~p_go:prm.p_go Systems.Firing_squad.Original in
+        { tree = t;
+          fact = Systems.Firing_squad.phi_both t;
+          agent = Systems.Firing_squad.alice;
+          act = Systems.Firing_squad.fire;
+          threshold = Q.of_ints 19 20;
+          description = "Example 1: relaxed firing squad (original FS protocol)";
+          valuation = default_valuation
+        } );
+    ( "firing-squad-improved",
+      fun prm ->
+        let t = Systems.Firing_squad.tree ~loss:prm.loss ~p_go:prm.p_go Systems.Firing_squad.Improved in
+        { tree = t;
+          fact = Systems.Firing_squad.phi_both t;
+          agent = Systems.Firing_squad.alice;
+          act = Systems.Firing_squad.fire;
+          threshold = Q.of_ints 19 20;
+          description = "Section 8: FS where Alice refrains from firing on 'No'";
+          valuation = default_valuation
+        } );
+    ( "figure-one",
+      fun prm ->
+        let t = Systems.Figure_one.tree ~p_alpha:prm.p () in
+        { tree = t;
+          fact = Systems.Figure_one.psi t;
+          agent = Systems.Figure_one.agent;
+          act = Systems.Figure_one.alpha;
+          threshold = Q.half;
+          description = "Figure 1: one-agent mixed-action counterexample";
+          valuation = default_valuation
+        } );
+    ( "threshold-gap",
+      fun prm ->
+        let t = Systems.Threshold_gap.tree ~p:prm.p ~eps:prm.eps in
+        { tree = t;
+          fact = Systems.Threshold_gap.phi t;
+          agent = Systems.Threshold_gap.i;
+          act = Systems.Threshold_gap.alpha;
+          threshold = prm.p;
+          description = "Figure 2 / Theorem 5.2: the T-hat(p, eps) construction";
+          valuation = default_valuation
+        } );
+    ( "coordinated-attack",
+      fun prm ->
+        let t = Systems.Coordinated_attack.tree ~loss:prm.loss ~p_go:prm.p_go ~rounds:prm.rounds () in
+        { tree = t;
+          fact = Systems.Coordinated_attack.phi_both t;
+          agent = Systems.Coordinated_attack.general_a;
+          act = Systems.Coordinated_attack.attack;
+          threshold = Q.of_ints 19 20;
+          description = "k-round coordinated attack over a lossy channel";
+          valuation = default_valuation
+        } );
+    ( "mutex",
+      fun prm ->
+        let t = Systems.Mutex.tree ~p_req:prm.p ~err:prm.err () in
+        { tree = t;
+          fact = Systems.Mutex.phi_alone t ~agent:0;
+          agent = 0;
+          act = Systems.Mutex.enter;
+          threshold = Q.of_ints 19 20;
+          description = "relaxed mutual exclusion with a noisy arbiter";
+          valuation = default_valuation
+        } );
+    ( "judge",
+      fun prm ->
+        let t = Systems.Judge.tree ~rounds:prm.rounds ~convict_at:prm.convict_at () in
+        { tree = t;
+          fact = Systems.Judge.guilty_fact t;
+          agent = Systems.Judge.judge;
+          act = Systems.Judge.convict;
+          threshold = Q.of_ints 99 100;
+          description = "conviction under noisy evidence (beyond reasonable doubt)";
+          valuation = default_valuation
+        } );
+    ( "consensus",
+      fun prm ->
+        let t = Systems.Consensus.tree ~loss:prm.loss ~rounds:prm.rounds () in
+        { tree = t;
+          fact = Systems.Consensus.agreement t;
+          agent = 0;
+          act = Systems.Consensus.decide_act 1;
+          threshold = Q.of_ints 19 20;
+          description = "bounded randomized agreement over a lossy channel";
+          valuation = default_valuation
+        } );
+    ( "aloha",
+      fun prm ->
+        let t = Systems.Aloha.tree ~p_tx:prm.p ~n:2 ~slots:prm.rounds () in
+        { tree = t;
+          fact = Systems.Aloha.phi_free t ~agent:0 ~slot:0;
+          agent = 0;
+          act = Systems.Aloha.tx ~slot:0;
+          threshold = Q.half;
+          description = "slotted ALOHA random access (2 agents)";
+          valuation = default_valuation
+        } );
+    ( "interactive-proof",
+      fun prm ->
+        let t = Systems.Interactive_proof.tree ~p_true:prm.p ~rounds:prm.rounds () in
+        { tree = t;
+          fact = Systems.Interactive_proof.true_fact t;
+          agent = Systems.Interactive_proof.verifier;
+          act = Systems.Interactive_proof.accept;
+          threshold = Q.of_ints 3 4;
+          description = "soundness amplification as a probabilistic constraint";
+          valuation = default_valuation
+        } )
+  ]
+
+let find_system name prm =
+  match List.assoc_opt name systems with
+  | Some f -> Ok (f prm)
+  | None ->
+    Error
+      (Printf.sprintf "unknown system %S; try: %s" name
+         (String.concat ", " (List.map fst systems)))
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let loss_t =
+  Arg.(value & opt q_conv (Q.of_ints 1 10) & info [ "loss" ] ~doc:"Message loss probability.")
+and p_go_t =
+  Arg.(value & opt q_conv Q.half & info [ "p-go" ] ~doc:"Probability that go = 1.")
+and p_t = Arg.(value & opt q_conv Q.half & info [ "p" ] ~doc:"Main probability parameter.")
+and eps_t =
+  Arg.(value & opt q_conv (Q.of_ints 1 10) & info [ "eps" ] ~doc:"Epsilon parameter.")
+and rounds_t = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Number of rounds.")
+and convict_at_t = Arg.(value & opt int 2 & info [ "convict-at" ] ~doc:"Conviction bar.")
+and err_t =
+  Arg.(value & opt q_conv (Q.of_ints 1 100) & info [ "err" ] ~doc:"Arbiter error probability.")
+
+let params_t =
+  let mk loss p_go p eps rounds convict_at err = { loss; p_go; p; eps; rounds; convict_at; err } in
+  Term.(const mk $ loss_t $ p_go_t $ p_t $ eps_t $ rounds_t $ convict_at_t $ err_t)
+
+let system_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SYSTEM" ~doc:"Built-in system name.")
+
+let handle f = match f () with Ok () -> 0 | Error msg -> prerr_endline ("pak: " ^ msg); 1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, f) ->
+        let prm =
+          { loss = Q.of_ints 1 10; p_go = Q.half; p = Q.half; eps = Q.of_ints 1 10;
+            rounds = 2; convict_at = 2; err = Q.of_ints 1 100 }
+        in
+        let inst = f prm in
+        Printf.printf "%-24s %-60s (%d runs at defaults)\n" name inst.description
+          (Tree.n_runs inst.tree))
+      systems;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in systems") Term.(const run $ const ())
+
+let analyze_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            Printf.printf "%s — %s\n" name inst.description;
+            Printf.printf "pps: %d nodes, %d runs, %d points\n\n" (Tree.n_nodes inst.tree)
+              (Tree.n_runs inst.tree) (Tree.n_points inst.tree);
+            let a =
+              analyze_constraint ~fact:inst.fact ~agent:inst.agent ~act:inst.act
+                ~threshold:inst.threshold
+            in
+            Format.printf "%a@." pp_constraint_analysis a)
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a system's canonical probabilistic constraint")
+    Term.(const run $ system_arg $ params_t)
+
+let theorems_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            let fact = inst.fact and agent = inst.agent and act = inst.act in
+            Format.printf "%a@.%a@.%a@.%a@.%a@.%a@."
+              Theorems.pp_expectation (Theorems.expectation_identity fact ~agent ~act)
+              Theorems.pp_sufficiency (Theorems.sufficiency fact ~agent ~act ~p:inst.threshold)
+              Theorems.pp_lemma43 (Theorems.lemma43 fact ~agent ~act)
+              Theorems.pp_necessity (Theorems.necessity_exists fact ~agent ~act ~p:inst.threshold)
+              Theorems.pp_pak (Theorems.pak_corollary fact ~agent ~act ~eps:prm.eps)
+              Theorems.pp_kop (Theorems.kop fact ~agent ~act))
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "theorems" ~doc:"Run every theorem checker on a system")
+    Term.(const run $ system_arg $ params_t)
+
+let eval_cmd =
+  let formula_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA" ~doc:"Formula text.")
+  in
+  let run name text prm =
+    handle (fun () ->
+        Result.bind (find_system name prm) (fun inst ->
+            match Parser.parse text with
+            | exception Parser.Parse_error msg -> Error ("parse error " ^ msg)
+            | f ->
+              let fact = Semantics.eval inst.tree ~valuation:inst.valuation f in
+              let sat_points =
+                Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
+                    if Fact.holds fact ~run ~time then acc + 1 else acc)
+              in
+              Printf.printf "formula : %s\n" (Formula.to_string f);
+              Printf.printf "valid   : %b\n" (Semantics.valid inst.tree ~valuation:inst.valuation f);
+              Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
+              Printf.printf "P(time-0): %s\n"
+                (Q.to_string (Semantics.probability inst.tree ~valuation:inst.valuation f));
+              Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Model-check a formula on a system"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Atoms of the form a0_LABEL hold when agent 0's local label is LABEL \
+               (similarly a1_..., up to a9_...)."
+         ])
+    Term.(const run $ system_arg $ formula_arg $ params_t)
+
+let dot_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map (fun inst -> print_string (Tree.to_dot inst.tree)) (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a system's pps as graphviz")
+    Term.(const run $ system_arg $ params_t)
+
+let dump_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map (fun inst -> print_string (Tree_io.to_string inst.tree)) (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Serialize a system's pps as an s-expression document")
+    Term.(const run $ system_arg $ params_t)
+
+let simulate_cmd =
+  let samples_t =
+    Arg.(value & opt int 10_000 & info [ "samples" ] ~doc:"Number of sampled runs.")
+  in
+  let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sampling seed.") in
+  let run name samples seed prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            let tree = inst.tree in
+            let given = Action.runs_performing tree ~agent:inst.agent ~act:inst.act in
+            let event = Fact.at_action inst.fact ~agent:inst.agent ~act:inst.act in
+            let exact = Tree.cond tree event ~given in
+            Printf.printf "exact      µ(ϕ@α | α) = %s (%s)\n" (Q.to_string exact)
+              (Q.to_decimal_string exact);
+            (match Simulate.estimate_cond tree ~event ~given ~samples ~seed with
+             | Some est ->
+               Printf.printf "simulated  µ(ϕ@α | α) = %s (%s) from %d samples\n"
+                 (Q.to_string est) (Q.to_decimal_string est) samples;
+               Printf.printf "binomial standard error ≈ %.5f\n"
+                 (Simulate.standard_error ~p:exact ~samples)
+             | None -> print_endline "no sample performed the action"))
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo estimate of a system's constraint vs the exact value")
+    Term.(const run $ system_arg $ samples_t $ seed_t $ params_t)
+
+let axioms_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            let base = Formula.Atom "a0_x" in
+            List.iter
+              (fun agent ->
+                Printf.printf "agent %d:\n" agent;
+                List.iter
+                  (fun r -> Format.printf "  %a@." Axioms.pp_report r)
+                  (Axioms.all inst.tree ~valuation:inst.valuation ~agent ~base))
+              (List.init (Tree.n_agents inst.tree) Fun.id))
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "axioms" ~doc:"Check the S5/KD45/graded-coherence axioms on a system")
+    Term.(const run $ system_arg $ params_t)
+
+let frontier_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            Printf.printf
+              "belief-threshold policy frontier for (agent %d, %s) — Section 8:\n"
+              inst.agent inst.act;
+            Printf.printf "%-14s %-22s %-16s\n" "threshold" "µ(ϕ@α | α)" "µ(still acts)";
+            List.iter
+              (fun (thr, mu, mass) ->
+                Printf.printf "%-14s %-22s %-16s\n" (Q.to_string thr)
+                  (Q.to_decimal_string mu) (Q.to_string mass))
+              (Policy.frontier inst.fact ~agent:inst.agent ~act:inst.act);
+            Printf.printf "best achievable: %s\n"
+              (Q.to_decimal_string (Policy.best inst.fact ~agent:inst.agent ~act:inst.act)))
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "frontier" ~doc:"Belief-threshold policy-improvement frontier (Section 8)")
+    Term.(const run $ system_arg $ params_t)
+
+let appendix_cmd =
+  let run name prm =
+    handle (fun () ->
+        Result.map
+          (fun inst ->
+            Format.printf "%a@." Appendix.pp_thm62
+              (Appendix.theorem62 inst.fact ~agent:inst.agent ~act:inst.act);
+            Printf.printf "\nLemma B.1 rows:\n";
+            List.iter
+              (fun row ->
+                Format.printf "  %a: µ(ϕ@α|α@ℓ) = %s, µ(ϕ@ℓ|ℓ) = %s, equal = %b@."
+                  Tree.pp_lkey row.Appendix.lstate
+                  (Q.to_string row.Appendix.lhs)
+                  (Q.to_string row.Appendix.rhs) row.Appendix.equal)
+              (Appendix.lemma_b1 inst.fact ~agent:inst.agent ~act:inst.act))
+          (find_system name prm))
+  in
+  Cmd.v
+    (Cmd.info "appendix" ~doc:"Evaluate the paper's Appendix D proof chain on a system")
+    Term.(const run $ system_arg $ params_t)
+
+let random_cmd =
+  let seed_arg = Arg.(value & pos 0 int 1 & info [] ~docv:"SEED" ~doc:"Generator seed.") in
+  let run seed =
+    let tree = Gen.tree seed in
+    Printf.printf "random pps (seed %d): %d nodes, %d runs, %d points\n" seed
+      (Tree.n_nodes tree) (Tree.n_runs tree) (Tree.n_points tree);
+    (match Gen.pick_proper_action tree ~seed with
+     | None -> print_endline "no proper action found"
+     | Some (agent, act) ->
+       let fact = Gen.past_based_fact tree ~seed in
+       Printf.printf "checking (agent %d, action %s) against a random past-based fact\n" agent act;
+       let r = Theorems.expectation_identity fact ~agent ~act in
+       Format.printf "%a@." Theorems.pp_expectation r;
+       let pak = Theorems.pak_corollary fact ~agent ~act ~eps:(Q.of_ints 1 10) in
+       Format.printf "%a@." Theorems.pp_pak pak);
+    0
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Generate a random pps and verify the main theorems on it")
+    Term.(const run $ seed_arg)
+
+let () =
+  let doc = "Probably Approximately Knowing: probabilistic beliefs at action time" in
+  let info = Cmd.info "pak" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; dot_cmd; dump_cmd;
+            simulate_cmd; axioms_cmd; frontier_cmd; appendix_cmd; random_cmd ]))

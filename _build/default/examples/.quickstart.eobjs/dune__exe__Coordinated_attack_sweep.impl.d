@@ -1,0 +1,1 @@
+examples/coordinated_attack_sweep.ml: List Pak Printf Q Systems

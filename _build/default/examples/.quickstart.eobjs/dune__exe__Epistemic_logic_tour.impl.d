@@ -1,0 +1,1 @@
+examples/epistemic_logic_tour.ml: Fact Formula Gstate Pak Parser Printf Q Semantics String Systems Tree

@@ -1,0 +1,1 @@
+examples/epistemic_logic_tour.mli:

@@ -1,0 +1,1 @@
+examples/firing_squad_analysis.ml: List Pak Printf Q Systems Theorems

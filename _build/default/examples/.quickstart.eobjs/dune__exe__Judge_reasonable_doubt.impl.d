@@ -1,0 +1,1 @@
+examples/judge_reasonable_doubt.ml: List Pak Printf Q String Systems Theorems

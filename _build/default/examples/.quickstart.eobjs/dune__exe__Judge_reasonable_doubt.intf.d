@@ -1,0 +1,1 @@
+examples/judge_reasonable_doubt.mli:

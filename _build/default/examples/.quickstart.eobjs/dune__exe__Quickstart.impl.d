@@ -1,0 +1,1 @@
+examples/quickstart.ml: Belief Bitset Fact Format Formula Gstate List Pak Parser Printf Q Semantics Tree

@@ -1,0 +1,1 @@
+examples/tooling_tour.ml: Action Aumann Belief Fact Kripke List Pak Policy Printf Q Simulate Systems Tree Tree_io

@@ -1,0 +1,63 @@
+(* Beyond a reasonable doubt: the judge system.
+
+   A defendant is guilty with prior 1/2; the judge sees n noisy
+   evidence signals (accuracy 0.9) and convicts iff at least m are
+   incriminating. The paper's probabilistic constraint reads: a
+   convicted defendant should be guilty with probability at least p.
+   This example shows the conviction-bar tradeoff, the judge's exact
+   posteriors when convicting, and the PAK corollary at work.
+
+   Run with: dune exec examples/judge_reasonable_doubt.exe *)
+
+open Pak
+module J = Systems.Judge
+
+let dec q = Q.to_decimal_string q
+
+let () =
+  let rounds = 4 in
+  Printf.printf "Judge with %d evidence signals, accuracy 0.9, prior guilt 0.5\n\n" rounds;
+  Printf.printf "%-4s %-22s %-30s\n" "m" "µ(guilty | convict)" "posterior at each inc-count";
+  List.iter
+    (fun convict_at ->
+      let a = J.analyze ~rounds ~convict_at () in
+      let posteriors =
+        a.J.posterior_by_count
+        |> List.map (fun (c, b) -> Printf.sprintf "inc=%d:%s" c (dec b))
+        |> String.concat "  "
+      in
+      Printf.printf "%-4d %-22s %-30s\n" convict_at (dec a.J.mu_guilty_given_convict) posteriors)
+    [ 1; 2; 3; 4 ];
+
+  (* Theorem 6.2 on each configuration: the expected posterior when
+     convicting equals the conditional guilt probability. *)
+  Printf.printf "\nTheorem 6.2 check (E[β@convict | convict] = µ): %b\n"
+    (List.for_all
+       (fun m ->
+         let a = J.analyze ~rounds ~convict_at:m () in
+         Q.equal a.J.mu_guilty_given_convict a.J.expected_belief)
+       [ 1; 2; 3; 4 ]);
+
+  (* PAK: convicting on unanimous evidence gives µ = 6561/6562. With
+     ε = 1/81, µ ≥ 1 − ε² and so µ(β ≥ 1−ε | convict) ≥ 1−ε. *)
+  let t = J.tree ~rounds ~convict_at:rounds () in
+  let eps = Q.of_ints 1 81 in
+  let r = Theorems.pak_corollary (J.guilty_fact t) ~agent:J.judge ~act:J.convict ~eps in
+  Printf.printf "\nPAK at m = %d with ε = 1/81:\n" rounds;
+  Printf.printf "  µ(guilty | convict)   = %s\n" (dec r.Theorems.mu);
+  Printf.printf "  premise µ ≥ 1 − ε²    = %b\n" r.Theorems.premise;
+  Printf.printf "  µ(β ≥ 1−ε | convict)  = %s ≥ %s: %b\n"
+    (dec r.Theorems.strong_belief_measure)
+    (dec (Q.one_minus eps))
+    r.Theorems.conclusion;
+
+  (* The "balance of probabilities" civil standard (p = 1/2) versus
+     "beyond reasonable doubt": which conviction bars satisfy which? *)
+  Printf.printf "\nStandards satisfied per conviction bar m (rounds = %d):\n" rounds;
+  Printf.printf "%-4s %-24s %-24s\n" "m" "balance (µ ≥ 0.5)" "reasonable doubt (µ ≥ 0.99)";
+  List.iter
+    (fun m ->
+      let a = J.analyze ~rounds ~convict_at:m () in
+      let mu = a.J.mu_guilty_given_convict in
+      Printf.printf "%-4d %-24b %-24b\n" m (Q.geq mu Q.half) (Q.geq mu (Q.of_ints 99 100)))
+    [ 1; 2; 3; 4 ]

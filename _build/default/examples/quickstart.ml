@@ -1,0 +1,72 @@
+(* Quickstart: build a tiny purely probabilistic system by hand,
+   compute an agent's beliefs, state a probabilistic constraint, and
+   run the paper's theorem checkers on it.
+
+   The system: a sensor (agent 1) observes weather that is "storm"
+   with probability 1/3 and reports it to a controller (agent 0); the
+   report is garbled with probability 1/4 (the controller then reads
+   "unknown"). At time 1 the controller launches iff the report did
+   not read "storm". The probabilistic constraint: when launching, the
+   weather should be clear with probability at least 2/3.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Pak
+
+let () =
+  (* 1. Build the pps: an initial distribution plus two rounds. *)
+  let b = Tree.Builder.create ~n_agents:2 in
+  let third = Q.of_ints 1 3 in
+  let storm = Tree.Builder.add_initial b ~prob:third (Gstate.of_labels "w" [ "c0"; "storm" ]) in
+  let clear =
+    Tree.Builder.add_initial b ~prob:(Q.one_minus third)
+      (Gstate.of_labels "w" [ "c0"; "clear" ])
+  in
+  let ok = Q.of_ints 3 4 in
+  let report parent ~weather =
+    let mk ~prob ~env ~read =
+      Tree.Builder.add_child b ~parent ~prob ~acts:[| env; "wait"; "report" |]
+        (Gstate.of_labels "w" [ "read_" ^ read; weather ])
+    in
+    (mk ~prob:ok ~env:"ok" ~read:weather, mk ~prob:(Q.one_minus ok) ~env:"garble" ~read:"unknown")
+  in
+  let s_ok, s_garbled = report storm ~weather:"storm" in
+  let c_ok, c_garbled = report clear ~weather:"clear" in
+  (* At time 1 the controller launches unless it read "storm". *)
+  List.iter
+    (fun (node, weather, launches) ->
+      let act = if launches then "launch" else "hold" in
+      ignore
+        (Tree.Builder.add_child b ~parent:node ~prob:Q.one ~acts:[| "tick"; act; "wait" |]
+           (Gstate.of_labels "w" [ "done"; weather ])))
+    [ (s_ok, "storm", false);
+      (s_garbled, "storm", true);
+      (c_ok, "clear", true);
+      (c_garbled, "clear", true)
+    ];
+  let tree = Tree.Builder.finalize b in
+  Printf.printf "Built a pps with %d nodes, %d runs, %d points.\n" (Tree.n_nodes tree)
+    (Tree.n_runs tree) (Tree.n_points tree);
+
+  (* 2. Facts and beliefs. *)
+  let clear_fact = Fact.of_state_pred tree (fun g -> Gstate.local g 1 = "clear") in
+  List.iter
+    (fun label ->
+      let key = Tree.lkey_make ~agent:0 ~time:1 ~label in
+      if not (Bitset.is_empty (Tree.lstate_runs tree key)) then
+        Printf.printf "controller belief in 'clear' at %-13s = %s\n" label
+          (Q.to_decimal_string (Belief.degree_at_lstate clear_fact key)))
+    [ "read_storm"; "read_clear"; "read_unknown" ];
+
+  (* 3. The probabilistic constraint µ(clear@launch | launch) >= 2/3,
+     and everything the paper proves about it. *)
+  let analysis =
+    analyze_constraint ~fact:clear_fact ~agent:0 ~act:"launch" ~threshold:(Q.of_ints 2 3)
+  in
+  Format.printf "%a@." pp_constraint_analysis analysis;
+
+  (* 4. The same question asked in the logic layer. *)
+  let valuation atom g = atom = "clear" && Gstate.local g 1 = "clear" in
+  let formula = Parser.parse "does[0](launch) -> B[0]>=2/3 clear" in
+  Printf.printf "\"%s\" valid: %b\n" (Formula.to_string formula)
+    (Semantics.valid tree ~valuation formula)

@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Format List Option Pak_rational Q

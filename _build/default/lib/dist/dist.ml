@@ -1,0 +1,105 @@
+open Pak_rational
+
+(* Invariant: weights strictly positive, summing to exactly one, no
+   structurally-equal duplicate values. Order of entries is the order
+   of first appearance at construction, which keeps compiled pps trees
+   deterministic. *)
+type 'a t = ('a * Q.t) list
+
+let merge_duplicates entries =
+  (* Quadratic, but supports here are small (action sets, coin vectors). *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (v, w) :: rest ->
+      (match List.assoc_opt v acc with
+       | Some _ ->
+         let acc = List.map (fun (v', w') -> if v' = v then (v', Q.add w' w) else (v', w')) acc in
+         go acc rest
+       | None -> go ((v, w) :: acc) rest)
+  in
+  go [] entries
+
+let of_weights entries =
+  List.iter
+    (fun (_, w) -> if Q.sign w < 0 then invalid_arg "Dist: negative weight")
+    entries;
+  let entries = List.filter (fun (_, w) -> not (Q.is_zero w)) entries in
+  if entries = [] then invalid_arg "Dist: empty support";
+  let entries = merge_duplicates entries in
+  let total = Q.sum (List.map snd entries) in
+  if Q.equal total Q.one then entries
+  else List.map (fun (v, w) -> (v, Q.div w total)) entries
+
+let of_list entries =
+  List.iter
+    (fun (_, w) -> if Q.sign w < 0 then invalid_arg "Dist: negative weight")
+    entries;
+  let entries = List.filter (fun (_, w) -> not (Q.is_zero w)) entries in
+  if entries = [] then invalid_arg "Dist: empty support";
+  let entries = merge_duplicates entries in
+  let total = Q.sum (List.map snd entries) in
+  if not (Q.equal total Q.one) then
+    invalid_arg
+      (Format.asprintf "Dist.of_list: weights sum to %a, not 1" Q.pp total);
+  entries
+
+let return v = [ (v, Q.one) ]
+
+let uniform vs =
+  if vs = [] then invalid_arg "Dist.uniform: empty list";
+  let w = Q.inv (Q.of_int (List.length vs)) in
+  of_weights (List.map (fun v -> (v, w)) vs)
+
+let bernoulli p =
+  if not (Q.is_probability p) then invalid_arg "Dist.bernoulli: not a probability";
+  if Q.equal p Q.one then return true
+  else if Q.is_zero p then return false
+  else [ (true, p); (false, Q.one_minus p) ]
+
+let coin p ~yes ~no =
+  if not (Q.is_probability p) then invalid_arg "Dist.coin: not a probability";
+  if Q.equal p Q.one then return yes
+  else if Q.is_zero p then return no
+  else [ (yes, p); (no, Q.one_minus p) ]
+
+let support t = List.map fst t
+let to_list t = t
+let size t = List.length t
+let is_deterministic t = List.length t = 1
+let total_mass t = Q.sum (List.map snd t)
+
+let prob t v = match List.assoc_opt v t with Some w -> w | None -> Q.zero
+let prob_pred t pred = Q.sum (List.filter_map (fun (v, w) -> if pred v then Some w else None) t)
+
+let map f t = merge_duplicates (List.map (fun (v, w) -> (f v, w)) t)
+
+let bind t f =
+  merge_duplicates
+    (List.concat_map (fun (v, w) -> List.map (fun (u, w') -> (u, Q.mul w w')) (f v)) t)
+
+let product a b = bind a (fun x -> map (fun y -> (x, y)) b)
+
+let product_list dists =
+  List.fold_right (fun d acc -> bind d (fun x -> map (fun xs -> x :: xs) acc)) dists (return [])
+
+let condition t pred =
+  let kept = List.filter (fun (v, _) -> pred v) t in
+  if kept = [] then invalid_arg "Dist.condition: zero-probability event";
+  let total = Q.sum (List.map snd kept) in
+  List.map (fun (v, w) -> (v, Q.div w total)) kept
+
+let expectation t f = Q.sum (List.map (fun (v, w) -> Q.mul w (f v)) t)
+
+let filter_map f t =
+  let kept = List.filter_map (fun (v, w) -> Option.map (fun u -> (u, w)) (f v)) t in
+  if kept = [] then invalid_arg "Dist.filter_map: empty result";
+  of_weights kept
+
+let pp pp_v fmt t =
+  Format.fprintf fmt "@[<hov 1>{";
+  List.iteri
+    (fun i (v, w) ->
+      if i > 0 then Format.fprintf fmt ";@ ";
+      Format.fprintf fmt "%a: %a" pp_v v Q.pp w)
+    t;
+  Format.fprintf fmt "}@]"

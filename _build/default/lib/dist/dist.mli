@@ -1,0 +1,104 @@
+(** Finite probability distributions with exact rational weights.
+
+    A value of type ['a t] is a finite probability distribution over
+    values of type ['a]: a list of (value, weight) pairs whose weights
+    are strictly positive rationals summing to one, with no duplicate
+    values (duplicates are merged at construction).
+
+    This is the type of the probabilistic protocols of the paper
+    (Section 2.2): a protocol for agent [i] is a function
+    [P_i : L_i -> ∆(Act_i)], i.e. local state to distribution over
+    actions. It is also how the environment's coin flips (message loss
+    patterns, initial-state choices) are described before compilation
+    into a pps tree.
+
+    Merging of duplicate values uses polymorphic structural equality;
+    use {!map} with an injective function or distinct value types if
+    your values are not structurally comparable. *)
+
+open Pak_rational
+
+type 'a t
+
+(** {1 Construction} *)
+
+val return : 'a -> 'a t
+(** The point mass (Dirac distribution). *)
+
+val of_list : ('a * Q.t) list -> 'a t
+(** Build a distribution from weighted values. Weights must be
+    non-negative; zero-weight entries are dropped; duplicate values are
+    merged by summing weights; the result is normalized to total mass 1
+    only if the total is already 1.
+    @raise Invalid_argument if a weight is negative, if the list is
+    empty after dropping zero weights, or if the weights do not sum
+    to 1. Use {!of_weights} for unnormalized input. *)
+
+val of_weights : ('a * Q.t) list -> 'a t
+(** Like {!of_list} but rescales arbitrary non-negative weights so they
+    sum to one.
+    @raise Invalid_argument if all weights are zero or any is negative. *)
+
+val uniform : 'a list -> 'a t
+(** Uniform distribution over a non-empty list (duplicates merged).
+    @raise Invalid_argument on the empty list. *)
+
+val bernoulli : Q.t -> bool t
+(** [bernoulli p] is [true] with probability [p].
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val coin : Q.t -> yes:'a -> no:'a -> 'a t
+(** [coin p ~yes ~no] is [yes] with probability [p], else [no]. *)
+
+(** {1 Observation} *)
+
+val support : 'a t -> 'a list
+(** Values with strictly positive probability. *)
+
+val to_list : 'a t -> ('a * Q.t) list
+(** The (value, probability) pairs; probabilities sum to one exactly. *)
+
+val prob : 'a t -> 'a -> Q.t
+(** Probability of one value (zero if outside the support). *)
+
+val prob_pred : 'a t -> ('a -> bool) -> Q.t
+(** Probability mass of a predicate (an event). *)
+
+val size : 'a t -> int
+val is_deterministic : 'a t -> bool
+(** True when the support is a single value — the paper's
+    "non-mixed action step". *)
+
+val total_mass : 'a t -> Q.t
+(** Always [Q.one]; exported for tests. *)
+
+(** {1 Transformation} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Push-forward distribution (merges values colliding under [f]). *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+(** Monadic sequencing: sample [a], then sample from [f a]. *)
+
+val product : 'a t -> 'b t -> ('a * 'b) t
+(** Independent product. *)
+
+val product_list : 'a t list -> 'a list t
+(** Independent product of a list of distributions; the distribution of
+    the list of outcomes (size is the product of supports — use with
+    care). [product_list [] = return []]. *)
+
+val condition : 'a t -> ('a -> bool) -> 'a t
+(** Conditional distribution given a positive-probability event.
+    @raise Invalid_argument if the event has probability zero. *)
+
+val expectation : 'a t -> ('a -> Q.t) -> Q.t
+(** Expected value of a rational-valued random variable. *)
+
+val filter_map : ('a -> 'b option) -> 'a t -> 'b t
+(** Map and condition on the result being [Some _] in one step.
+    @raise Invalid_argument if nothing survives. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/logic/axioms.ml: Format Formula List Pak_rational Q Semantics

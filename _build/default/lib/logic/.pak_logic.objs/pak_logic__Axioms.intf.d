@@ -1,0 +1,1 @@
+lib/logic/axioms.mli: Format Formula Pak_pps Semantics

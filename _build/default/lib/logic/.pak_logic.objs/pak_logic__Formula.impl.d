@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Buffer Format List Pak_rational Printf Q Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Formula List Pak_rational Printf Q String

@@ -1,0 +1,1 @@
+lib/logic/semantics.ml: Belief Bitset Fact Formula Gstate Hashtbl List Pak_pps Pak_rational Printf Q Tree

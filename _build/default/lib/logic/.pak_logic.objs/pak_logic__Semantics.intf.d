@@ -1,0 +1,1 @@
+lib/logic/semantics.mli: Fact Formula Gstate Pak_pps Pak_rational Tree

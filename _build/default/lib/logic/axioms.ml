@@ -1,0 +1,73 @@
+open Pak_rational
+
+type report = {
+  name : string;
+  schema : string;
+  formula : Formula.t;
+  valid : bool;
+}
+
+let check tree ~valuation entries =
+  List.map
+    (fun (name, schema, formula) ->
+      { name; schema; formula; valid = Semantics.valid tree ~valuation formula })
+    entries
+
+let knowledge_s5 tree ~valuation ~agent ~base =
+  let open Formula in
+  let k f = Knows (agent, f) in
+  let p = base in
+  let q = Not base in
+  check tree ~valuation
+    [ ("K (distribution)", "K(p -> q) -> Kp -> Kq",
+       k (p ==> q) ==> (k p ==> k q));
+      ("T (truth)", "Kp -> p", k p ==> p);
+      ("4 (positive introspection)", "Kp -> KKp", k p ==> k (k p));
+      ("5 (negative introspection)", "!Kp -> K!Kp", neg (k p) ==> k (neg (k p)));
+      ("D (consistency)", "Kp -> !K!p", k p ==> neg (k (neg p)))
+    ]
+
+let certainty_kd45 tree ~valuation ~agent ~base =
+  let open Formula in
+  let b f = Believes (agent, Geq, Q.one, f) in
+  let k f = Knows (agent, f) in
+  let p = base in
+  let q = Not base in
+  check tree ~valuation
+    [ ("K for certainty", "B1(p -> q) -> B1 p -> B1 q",
+       b (p ==> q) ==> (b p ==> b q));
+      ("D for certainty", "B1 p -> !B1 !p", b p ==> neg (b (neg p)));
+      ("4 for certainty", "B1 p -> B1 B1 p", b p ==> b (b p));
+      ("5 for certainty", "!B1 p -> B1 !B1 p", neg (b p) ==> b (neg (b p)));
+      ("knowledge yields certainty", "Kp -> B1 p", k p ==> b p);
+      ("certainty is knowledge in a pps", "B1 p -> Kp", b p ==> k p)
+    ]
+
+let graded_coherence tree ~valuation ~agent ~base =
+  let open Formula in
+  let b cmp num den f = Believes (agent, cmp, Q.of_ints num den, f) in
+  let p = base in
+  check tree ~valuation
+    [ ("grade monotonicity", "B>=3/4 p -> B>=1/2 p",
+       b Geq 3 4 p ==> b Geq 1 2 p);
+      ("complementation", "B>=3/4 p -> B<=1/4 !p",
+       b Geq 3 4 p ==> b Leq 1 4 (neg p));
+      ("complement symmetry", "B=1/2 p <-> B=1/2 !p",
+       Iff (b Eq 1 2 p, b Eq 1 2 (neg p)));
+      ("belief self-knowledge", "B>=3/4 p -> B>=1 B>=3/4 p",
+       b Geq 3 4 p ==> b Geq 1 1 (b Geq 3 4 p));
+      ("belief introspection via K", "B>=3/4 p -> K B>=3/4 p",
+       b Geq 3 4 p ==> Knows (agent, b Geq 3 4 p));
+      ("total grades", "B>=1/2 p | B<=1/2 p",
+       Or (b Geq 1 2 p, b Leq 1 2 p))
+    ]
+
+let all tree ~valuation ~agent ~base =
+  knowledge_s5 tree ~valuation ~agent ~base
+  @ certainty_kd45 tree ~valuation ~agent ~base
+  @ graded_coherence tree ~valuation ~agent ~base
+
+let all_valid reports = List.for_all (fun r -> r.valid) reports
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-32s %-36s %s" r.name r.schema (if r.valid then "valid" else "INVALID")

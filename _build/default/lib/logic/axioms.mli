@@ -1,0 +1,47 @@
+(** Modal axiom checking over a pps.
+
+    The knowledge modality of this library is interpreted over the
+    information partitions of a pps, so the S5 axioms must be valid for
+    every agent, fact and system; the graded-belief modality [B^{≥1}]
+    is the S5 knowledge's "certainty" companion (equal to [K] on
+    systems where every world has positive measure, which is every
+    pps). This module instantiates the schemas at given base formulas
+    and model-checks them — a machine-checked sanity layer under the
+    paper's epistemic reasoning, and a demonstration harness for the
+    logic layer.
+
+    Each checker returns one {!report} per instantiated schema. *)
+
+type report = {
+  name : string;          (** e.g. ["T (truth)"] *)
+  schema : string;        (** e.g. ["K_i p -> p"] *)
+  formula : Formula.t;    (** the instantiated formula *)
+  valid : bool;
+}
+
+val knowledge_s5 :
+  Pak_pps.Tree.t -> valuation:Semantics.valuation -> agent:int -> base:Formula.t -> report list
+(** K (distribution), T (truth), 4 (positive introspection),
+    5 (negative introspection), and the derived D (consistency). *)
+
+val certainty_kd45 :
+  Pak_pps.Tree.t -> valuation:Semantics.valuation -> agent:int -> base:Formula.t -> report list
+(** The KD45-style schemas for certainty [B^{≥1}]: K, D, 4, 5 — plus
+    the interaction axioms [K_i p -> B_i^{≥1} p] (knowledge yields
+    certainty) and, specific to pps (posteriors from a full-support
+    prior), [B_i^{≥1} p -> K_i p]. *)
+
+val graded_coherence :
+  Pak_pps.Tree.t -> valuation:Semantics.valuation -> agent:int -> base:Formula.t -> report list
+(** Coherence of the graded-belief family: monotonicity in the grade
+    ([B^{≥3/4} p -> B^{≥1/2} p]), complementation
+    ([B^{≥3/4} p -> B^{<1/2} !p] and [B^{=1/2} p <-> B^{=1/2} !p]),
+    and introspection of graded beliefs
+    ([B^{≥3/4} p -> B^{≥1} B^{≥3/4} p]: an agent knows its own degrees
+    of belief, since they are functions of its local state). *)
+
+val all :
+  Pak_pps.Tree.t -> valuation:Semantics.valuation -> agent:int -> base:Formula.t -> report list
+
+val all_valid : report list -> bool
+val pp_report : Format.formatter -> report -> unit

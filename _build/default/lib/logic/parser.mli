@@ -1,0 +1,26 @@
+(** Parser for the concrete formula syntax produced by
+    {!Formula.to_string}.
+
+    Grammar (usual precedences, tightest first):
+    {v
+    unary   ::= '!' unary | 'K[i]' unary | 'B[i]⋈q' unary
+              | 'E[i,j]' unary | 'C[i,j]' unary
+              | 'EB[i,j]>=q' unary | 'CB[i,j]>=q' unary
+              | 'F'|'G'|'X'|'P'|'H' unary | primary
+    primary ::= 'true' | 'false' | 'does[i](act)' | atom | '(' formula ')'
+    and     ::= unary ('&' unary)*
+    or      ::= and ('|' and)*
+    implies ::= or ('->' implies)?          (right associative)
+    iff     ::= implies ('<->' iff)?        (right associative)
+    v}
+    where [⋈ ∈ {>=, >, <=, <, =}] and [q] is a rational ([3/4], [0.95],
+    [1]). [K], [B], [E], [C], [EB], [CB], [F], [G], [X], [P], [H],
+    [true], [false] and [does] are reserved words; atoms are other
+    identifiers matching [\[A-Za-z_\]\[A-Za-z0-9_'\]*]. *)
+
+exception Parse_error of string
+(** Raised on malformed input, with a human-readable description
+    including the offending position. *)
+
+val parse : string -> Formula.t
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,155 @@
+open Pak_rational
+open Pak_pps
+
+type valuation = string -> Gstate.t -> bool
+
+(* A fact from a per-local-state boolean: true at (r,t) iff the bit for
+   the local state of [agent] at (r,t) is set. Used for K and B, whose
+   truth value only depends on the agent's local state. *)
+let fact_of_lstate_pred tree ~agent pred =
+  let cache : (Tree.lkey, bool) Hashtbl.t = Hashtbl.create 32 in
+  Fact.of_pred tree (fun ~run ~time ->
+      let key = Tree.lkey tree ~agent ~run ~time in
+      match Hashtbl.find_opt cache key with
+      | Some v -> v
+      | None ->
+        let v = pred key in
+        Hashtbl.add cache key v;
+        v)
+
+let knows_fact tree ~agent inner =
+  fact_of_lstate_pred tree ~agent (fun key ->
+      let time = Tree.lkey_time key in
+      Bitset.for_all
+        (fun run -> Fact.holds inner ~run ~time)
+        (Tree.lstate_runs tree key))
+
+let satisfies_cmp (c : Formula.cmp) degree threshold =
+  match c with
+  | Formula.Geq -> Q.geq degree threshold
+  | Formula.Gt -> Q.gt degree threshold
+  | Formula.Leq -> Q.leq degree threshold
+  | Formula.Lt -> Q.lt degree threshold
+  | Formula.Eq -> Q.equal degree threshold
+
+let believes_fact tree ~agent ~cmp ~threshold inner =
+  fact_of_lstate_pred tree ~agent (fun key ->
+      satisfies_cmp cmp (Belief.degree_at_lstate inner key) threshold)
+
+let check_group = function
+  | [] -> invalid_arg "Semantics: empty agent group"
+  | g -> g
+
+(* Greatest fixpoint of a monotone (decreasing-from-top) operator on
+   facts, by iteration; terminates because each step removes points
+   from a finite set. Equality of facts is tested extensionally. *)
+let facts_equal tree a b =
+  Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+      acc && Fact.holds a ~run ~time = Fact.holds b ~run ~time)
+
+let gfp tree step =
+  let rec iterate x =
+    let x' = step x in
+    if facts_equal tree x x' then x else iterate x'
+  in
+  iterate (Fact.tt tree)
+
+let eval tree ~valuation formula =
+  let memo : (Formula.t, Fact.t) Hashtbl.t = Hashtbl.create 32 in
+  let check_agent i =
+    if i < 0 || i >= Tree.n_agents tree then
+      invalid_arg (Printf.sprintf "Semantics.eval: agent %d out of range" i)
+  in
+  let rec go (f : Formula.t) =
+    match Hashtbl.find_opt memo f with
+    | Some fact -> fact
+    | None ->
+      let fact =
+        match f with
+        | True -> Fact.tt tree
+        | False -> Fact.ff tree
+        | Atom a -> Fact.of_state_pred tree (valuation a)
+        | Not g -> Fact.not_ (go g)
+        | And (a, b) -> Fact.and_ (go a) (go b)
+        | Or (a, b) -> Fact.or_ (go a) (go b)
+        | Implies (a, b) -> Fact.implies (go a) (go b)
+        | Iff (a, b) -> Fact.iff (go a) (go b)
+        | Does (i, act) ->
+          check_agent i;
+          Fact.does tree ~agent:i ~act
+        | Eventually g -> Fact.eventually (go g)
+        | Globally g -> Fact.globally (go g)
+        | Next g -> Fact.next (go g)
+        | Once g -> Fact.once (go g)
+        | Historically g -> Fact.historically (go g)
+        | Knows (i, g) ->
+          check_agent i;
+          knows_fact tree ~agent:i (go g)
+        | Believes (i, cmp, threshold, g) ->
+          check_agent i;
+          believes_fact tree ~agent:i ~cmp ~threshold (go g)
+        | EveryoneKnows (grp, g) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let inner = go g in
+          Fact.conj tree (List.map (fun i -> knows_fact tree ~agent:i inner) grp)
+        | CommonKnows (grp, g) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let inner = go g in
+          (* gfp X. E_G(inner ∧ X) *)
+          gfp tree (fun x ->
+              let body = Fact.and_ inner x in
+              Fact.conj tree (List.map (fun i -> knows_fact tree ~agent:i body) grp))
+        | EveryoneBelieves (grp, threshold, g) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let inner = go g in
+          Fact.conj tree
+            (List.map
+               (fun i -> believes_fact tree ~agent:i ~cmp:Formula.Geq ~threshold inner)
+               grp)
+        | CommonBelief (grp, threshold, g) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let inner = go g in
+          (* Monderer–Samet common p-belief as the greatest fixpoint
+             X = E^p_G(inner) ∧ E^p_G(X): the largest "p-evident" event
+             within everyone-p-believes-ϕ. *)
+          let ep fact =
+            Fact.conj tree
+              (List.map
+                 (fun i -> believes_fact tree ~agent:i ~cmp:Formula.Geq ~threshold fact)
+                 grp)
+          in
+          let base = ep inner in
+          gfp tree (fun x -> Fact.and_ base (ep x))
+      in
+      Hashtbl.add memo f fact;
+      fact
+  in
+  go formula
+
+let sat tree ~valuation formula ~run ~time =
+  Fact.holds (eval tree ~valuation formula) ~run ~time
+
+let valid tree ~valuation formula =
+  let fact = eval tree ~valuation formula in
+  Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+      acc && Fact.holds fact ~run ~time)
+
+let valid_initially tree ~valuation formula =
+  let fact = eval tree ~valuation formula in
+  let ok = ref true in
+  for run = 0 to Tree.n_runs tree - 1 do
+    if not (Fact.holds fact ~run ~time:0) then ok := false
+  done;
+  !ok
+
+let probability tree ~valuation formula =
+  let fact = eval tree ~valuation formula in
+  let ev = ref (Tree.empty_event tree) in
+  for run = 0 to Tree.n_runs tree - 1 do
+    if Fact.holds fact ~run ~time:0 then ev := Bitset.add !ev run
+  done;
+  Tree.measure tree !ev

@@ -1,0 +1,34 @@
+(** Model checking of {!Formula.t} over a pps.
+
+    A formula is evaluated to a {!Pak_pps.Fact.t} — its set of
+    satisfying points — given a valuation interpreting atoms at global
+    states. Knowledge [K_i] quantifies over the points the agent cannot
+    distinguish (same local state, hence by synchrony the same time);
+    graded belief [B_i^{⋈q}] compares the agent's posterior degree of
+    belief against [q]; the group fixpoints [C_G]/[CB_G^q] are computed
+    by finite iteration, which terminates because the lattice of point
+    sets is finite. *)
+
+open Pak_pps
+
+type valuation = string -> Gstate.t -> bool
+(** [valuation atom state] decides the atom at a global state.
+    Unknown atoms should raise or return [false] consistently. *)
+
+val eval : Tree.t -> valuation:valuation -> Formula.t -> Fact.t
+(** Evaluate a formula to the fact (set of points) where it holds.
+    Subformulas are memoized, so shared structure is evaluated once. *)
+
+val sat : Tree.t -> valuation:valuation -> Formula.t -> run:int -> time:int -> bool
+(** [(T, r, t) ⊨ ϕ]. *)
+
+val valid : Tree.t -> valuation:valuation -> Formula.t -> bool
+(** True at every point of the system. *)
+
+val valid_initially : Tree.t -> valuation:valuation -> Formula.t -> bool
+(** True at time 0 of every run. *)
+
+val probability : Tree.t -> valuation:valuation -> Formula.t -> Pak_rational.Q.t
+(** [µ_T] of the runs whose time-0 point satisfies the formula. For
+    formulas whose fact is a fact about runs this is the probability of
+    the formula; exposed for reporting. *)

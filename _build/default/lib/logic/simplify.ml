@@ -1,0 +1,136 @@
+open Pak_rational
+
+(* Bottom-up rewriting; every rule is an equivalence valid on all pps
+   (beliefs are probabilities in [0,1], K/E/C are S5 necessity-like,
+   temporal operators are classical). *)
+let rec simplify (f : Formula.t) : Formula.t =
+  match f with
+  | True | False | Atom _ | Does _ -> f
+  | Not g ->
+    (match simplify g with
+     | True -> False
+     | False -> True
+     | Not h -> h
+     | h -> Not h)
+  | And (a, b) ->
+    (match (simplify a, simplify b) with
+     | False, _ | _, False -> False
+     | True, h | h, True -> h
+     | ha, hb when Formula.equal ha hb -> ha
+     | ha, hb -> And (ha, hb))
+  | Or (a, b) ->
+    (match (simplify a, simplify b) with
+     | True, _ | _, True -> True
+     | False, h | h, False -> h
+     | ha, hb when Formula.equal ha hb -> ha
+     | ha, hb -> Or (ha, hb))
+  | Implies (a, b) ->
+    (match (simplify a, simplify b) with
+     | False, _ -> True
+     | True, h -> h
+     | _, True -> True
+     | ha, False -> simplify (Not ha)
+     | ha, hb when Formula.equal ha hb -> True
+     | ha, hb -> Implies (ha, hb))
+  | Iff (a, b) ->
+    (match (simplify a, simplify b) with
+     | True, h | h, True -> h
+     | False, h | h, False -> simplify (Not h)
+     | ha, hb when Formula.equal ha hb -> True
+     | ha, hb -> Iff (ha, hb))
+  | Knows (i, g) ->
+    (match simplify g with
+     | True -> True
+     | False -> False (* every agent considers at least the actual point possible *)
+     | h -> Knows (i, h))
+  | Believes (i, cmp, q, g) ->
+    let h = simplify g in
+    (* Grade bounds that hold or fail for any probability value. *)
+    let trivially_true =
+      match cmp with
+      | Formula.Geq -> Q.leq q Q.zero
+      | Formula.Gt -> Q.lt q Q.zero
+      | Formula.Leq -> Q.geq q Q.one
+      | Formula.Lt -> Q.gt q Q.one
+      | Formula.Eq -> false
+    and trivially_false =
+      match cmp with
+      | Formula.Geq -> Q.gt q Q.one
+      | Formula.Gt -> Q.geq q Q.one
+      | Formula.Leq -> Q.lt q Q.zero
+      | Formula.Lt -> Q.leq q Q.zero
+      | Formula.Eq -> not (Q.is_probability q)
+    in
+    if trivially_true then True
+    else if trivially_false then False
+    else begin
+      (* β(true) = 1 and β(false) = 0 at every point. *)
+      match h with
+      | True ->
+        (match cmp with
+         | Formula.Geq | Formula.Leq | Formula.Eq when Q.equal q Q.one -> True
+         | Formula.Geq -> True (* q < 1 after the trivial cases *)
+         | Formula.Gt -> if Q.lt q Q.one then True else False
+         | Formula.Leq | Formula.Lt | Formula.Eq -> False)
+      | False ->
+        (match cmp with
+         | Formula.Leq | Formula.Geq | Formula.Eq when Q.is_zero q -> True
+         | Formula.Leq -> True (* q > 0 after the trivial cases *)
+         | Formula.Lt -> if Q.gt q Q.zero then True else False
+         | Formula.Geq | Formula.Gt | Formula.Eq -> False)
+      | h -> Believes (i, cmp, q, h)
+    end
+  | Eventually g ->
+    (match simplify g with
+     | True -> True
+     | False -> False
+     | Eventually h -> Eventually h (* FF = F *)
+     | h -> Eventually h)
+  | Globally g ->
+    (match simplify g with
+     | True -> True
+     | False -> False
+     | Globally h -> Globally h
+     | h -> Globally h)
+  | Next g ->
+    (match simplify g with
+     | False -> False (* no next point at run ends, so X false = false *)
+     | h -> Next h)
+  | Once g ->
+    (match simplify g with
+     | True -> True
+     | False -> False
+     | Once h -> Once h
+     | h -> Once h)
+  | Historically g ->
+    (match simplify g with
+     | True -> True
+     | False -> False
+     | Historically h -> Historically h
+     | h -> Historically h)
+  | EveryoneKnows (grp, g) ->
+    (match (List.sort_uniq compare grp, simplify g) with
+     | _, True -> True
+     | _, False -> False
+     | [ i ], h -> Knows (i, h)
+     | grp, h -> EveryoneKnows (grp, h))
+  | CommonKnows (grp, g) ->
+    (match (List.sort_uniq compare grp, simplify g) with
+     | _, True -> True
+     | _, False -> False
+     | grp, h -> CommonKnows (grp, h))
+  | EveryoneBelieves (grp, q, g) ->
+    if Q.leq q Q.zero then True
+    else if Q.gt q Q.one then False
+    else
+      (match (List.sort_uniq compare grp, simplify g) with
+       | _, True -> True
+       | [ i ], h -> simplify (Believes (i, Formula.Geq, q, h))
+       | grp, h -> EveryoneBelieves (grp, q, h))
+  | CommonBelief (grp, q, g) ->
+    if Q.leq q Q.zero then True
+    else if Q.gt q Q.one then False
+    else
+      (match (List.sort_uniq compare grp, simplify g) with
+       | _, True -> True
+       | grp, h -> CommonBelief (grp, q, h))

@@ -1,0 +1,17 @@
+(** Semantics-preserving formula simplification.
+
+    Rewrites a formula to an equivalent, never-larger one:
+    constant folding through every connective and modality (e.g.
+    [K_i true = true], [B_i^{≥0} ϕ = true], [F false = false]),
+    double-negation elimination, idempotence ([ϕ ∧ ϕ = ϕ]), absorption
+    of trivial belief grades, and flattening of degenerate group
+    operators ([E_{i} ϕ = K_i ϕ]).
+
+    The equivalence is with respect to {!Semantics.eval} on every pps
+    and valuation (property-tested in the suite); syntactic equality of
+    the results is {e not} guaranteed to be canonical — this is a
+    simplifier, not a decision procedure. *)
+
+val simplify : Formula.t -> Formula.t
+(** Idempotent: [simplify (simplify f) = simplify f]. The result's
+    {!Formula.size} never exceeds the input's. *)

@@ -1,0 +1,1 @@
+lib/pps/action.ml: Bitset List Printf Tree

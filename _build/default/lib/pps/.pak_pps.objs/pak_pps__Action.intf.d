@@ -1,0 +1,1 @@
+lib/pps/action.mli: Bitset Tree

@@ -1,0 +1,1 @@
+lib/pps/appendix.ml: Action Belief Bitset Fact Format Independence List Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/appendix.mli: Fact Format Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/aumann.ml: Array Belief Bitset Fact Fun Hashtbl List Option Pak_rational Q Tree

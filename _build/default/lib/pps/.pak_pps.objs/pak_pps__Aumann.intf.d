@@ -1,0 +1,1 @@
+lib/pps/aumann.mli: Fact Pak_rational Q

@@ -1,0 +1,1 @@
+lib/pps/belief.ml: Action Bitset Fact List Pak_rational Q Tree

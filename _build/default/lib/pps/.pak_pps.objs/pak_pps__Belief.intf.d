@@ -1,0 +1,1 @@
+lib/pps/belief.mli: Bitset Fact Pak_rational Q Tree

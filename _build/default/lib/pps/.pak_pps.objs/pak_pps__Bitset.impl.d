@@ -1,0 +1,1 @@
+lib/pps/bitset.ml: Array Format List

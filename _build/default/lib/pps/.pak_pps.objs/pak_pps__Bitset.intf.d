@@ -1,0 +1,1 @@
+lib/pps/bitset.mli: Format

@@ -1,0 +1,1 @@
+lib/pps/constr.ml: Action Fact Format Independence Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/constr.mli: Fact Format Pak_rational Q

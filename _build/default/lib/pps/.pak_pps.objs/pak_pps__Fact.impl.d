@@ -1,0 +1,1 @@
+lib/pps/fact.ml: Action Array Bitset Format Fun Gstate List Tree

@@ -1,0 +1,1 @@
+lib/pps/fact.mli: Bitset Format Gstate Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/gen.ml: Action Array Fact Gstate Hashtbl List Pak_rational Printf Q Tree

@@ -1,0 +1,1 @@
+lib/pps/gen.mli: Fact Tree

@@ -1,0 +1,1 @@
+lib/pps/gstate.ml: Array Format Printf Stdlib String

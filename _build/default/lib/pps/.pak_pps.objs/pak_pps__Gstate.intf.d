@@ -1,0 +1,1 @@
+lib/pps/gstate.mli: Format

@@ -1,0 +1,1 @@
+lib/pps/independence.ml: Action Fact Format List Pak_rational Q Tree

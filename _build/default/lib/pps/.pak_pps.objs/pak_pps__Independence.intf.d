@@ -1,0 +1,1 @@
+lib/pps/independence.mli: Fact Format Pak_rational Q Tree

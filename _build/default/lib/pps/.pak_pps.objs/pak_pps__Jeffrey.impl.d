@@ -1,0 +1,1 @@
+lib/pps/jeffrey.ml: Action Bitset List Pak_rational Q Tree

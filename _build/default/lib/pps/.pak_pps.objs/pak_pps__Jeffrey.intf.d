@@ -1,0 +1,1 @@
+lib/pps/jeffrey.mli: Bitset Pak_rational Q Tree

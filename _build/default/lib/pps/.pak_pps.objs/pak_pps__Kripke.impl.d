@@ -1,0 +1,1 @@
+lib/pps/kripke.ml: Array Buffer Fact Hashtbl List Pak_rational Printf Q Tree

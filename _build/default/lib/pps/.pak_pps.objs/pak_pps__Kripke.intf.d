@@ -1,0 +1,1 @@
+lib/pps/kripke.mli: Fact Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/policy.ml: Action Belief Bitset Constr Fact Format List Option Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/policy.mli: Fact Format Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/reference.ml: Action Fact Gstate List Pak_rational Printf Q Tree

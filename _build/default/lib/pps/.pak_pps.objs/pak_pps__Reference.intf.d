@@ -1,0 +1,1 @@
+lib/pps/reference.mli: Fact Pak_rational Q Tree

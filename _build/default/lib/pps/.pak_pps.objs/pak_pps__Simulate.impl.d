@@ -1,0 +1,1 @@
+lib/pps/simulate.ml: Array Bitset Hashtbl List Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/simulate.mli: Bitset Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/pps/theorems.ml: Action Belief Constr Fact Format Independence List Pak_rational Printf Q Tree

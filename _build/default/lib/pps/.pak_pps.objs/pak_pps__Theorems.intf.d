@@ -1,0 +1,1 @@
+lib/pps/theorems.mli: Fact Format Pak_rational Q

@@ -1,0 +1,1 @@
+lib/pps/tree.ml: Array Bitset Buffer Format Gstate Hashtbl List Pak_rational Printf Q String

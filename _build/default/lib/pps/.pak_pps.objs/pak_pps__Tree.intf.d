@@ -1,0 +1,1 @@
+lib/pps/tree.mli: Bitset Format Gstate Pak_rational Q

@@ -1,0 +1,1 @@
+lib/pps/tree_io.ml: Array Buffer Gstate Hashtbl List Pak_rational Printf Q String Tree

@@ -1,0 +1,1 @@
+lib/pps/tree_io.mli: Tree

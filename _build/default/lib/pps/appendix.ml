@@ -1,0 +1,188 @@
+open Pak_rational
+
+(* ------------------------------------------------------------------ *)
+(* Lemma A.1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type a1_report = {
+  a : bool;
+  b : bool;
+  c : bool;
+  d : bool;
+  e : bool;
+}
+
+let lemma_a1 fact ~agent ~act key =
+  let tree = Fact.tree fact in
+  let alpha_at_l = Action.performed_at_lstate tree ~agent ~act key in
+  let l_occurs = Tree.lstate_runs tree key in
+  let phi_and_alpha_at_l = Fact.and_action_at_lstate fact ~agent ~act key in
+  let r_alpha = Action.runs_performing tree ~agent ~act in
+  let phi_at_alpha = Fact.at_action fact ~agent ~act in
+  { a = Bitset.equal alpha_at_l (Bitset.inter alpha_at_l l_occurs);
+    b = Bitset.equal phi_and_alpha_at_l (Bitset.inter phi_and_alpha_at_l l_occurs);
+    c = Bitset.equal (Bitset.inter phi_and_alpha_at_l alpha_at_l) phi_and_alpha_at_l;
+    d = Bitset.equal alpha_at_l (Bitset.inter alpha_at_l r_alpha);
+    e = Bitset.equal phi_at_alpha (Bitset.inter phi_at_alpha r_alpha)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lemma B.1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type b1_row = {
+  lstate : Tree.lkey;
+  lhs : Q.t;
+  rhs : Q.t;
+  equal : bool;
+}
+
+let lemma_b1 fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let phi_at_alpha = Fact.at_action fact ~agent ~act in
+  List.map
+    (fun key ->
+      let lhs =
+        Tree.cond tree phi_at_alpha ~given:(Action.performed_at_lstate tree ~agent ~act key)
+      in
+      let rhs = Belief.degree_at_lstate fact key in
+      { lstate = key; lhs; rhs; equal = Q.equal lhs rhs })
+    (Action.performing_lstates tree ~agent ~act)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 6.2, equations (10)–(23)                                    *)
+(* ------------------------------------------------------------------ *)
+
+type thm62_derivation = {
+  independent : bool;
+  eq10 : Q.t;
+  eq12 : Q.t;
+  eq14 : Q.t;
+  eq16 : Q.t;
+  eq18 : Q.t;
+  eq19 : Q.t;
+  eq21 : Q.t;
+  eq23 : Q.t;
+  chain_upto_18 : bool;
+  chain_19_on : bool;
+  bridge : bool;
+}
+
+let theorem62 fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let r_alpha = Action.runs_performing tree ~agent ~act in
+  let mu_alpha = Tree.measure tree r_alpha in
+  if Q.is_zero mu_alpha then raise Division_by_zero;
+  let lstates = Action.performing_lstates tree ~agent ~act in
+  (* Equation (10): the raw Definition 6.1 sum over runs. *)
+  let eq10 =
+    Bitset.fold
+      (fun run acc ->
+        Q.add acc
+          (Q.mul
+             (Q.div (Tree.run_measure tree run) mu_alpha)
+             (Belief.at_action fact ~agent ~act ~run)))
+      r_alpha Q.zero
+  in
+  (* Equation (12): partition the sum by the performing local state,
+     replacing the per-run belief with the per-state posterior. *)
+  let eq12 =
+    List.fold_left
+      (fun acc key ->
+        let beta = Belief.degree_at_lstate fact key in
+        Bitset.fold
+          (fun run acc ->
+            Q.add acc (Q.mul (Q.div (Tree.run_measure tree run) mu_alpha) beta))
+          (Action.performed_at_lstate tree ~agent ~act key)
+          acc)
+      Q.zero lstates
+  in
+  (* Equation (14): collapse each inner sum to µ(α@ℓ | α). *)
+  let eq14 =
+    List.fold_left
+      (fun acc key ->
+        Q.add acc
+          (Q.mul
+             (Belief.degree_at_lstate fact key)
+             (Tree.cond tree (Action.performed_at_lstate tree ~agent ~act key) ~given:r_alpha)))
+      Q.zero lstates
+  in
+  (* Equation (16): expand the conditional with the definition. *)
+  let eq16 =
+    Q.div
+      (List.fold_left
+         (fun acc key ->
+           Q.add acc
+             (Q.mul
+                (Belief.degree_at_lstate fact key)
+                (Tree.measure tree (Action.performed_at_lstate tree ~agent ~act key))))
+         Q.zero lstates)
+      mu_alpha
+  in
+  (* Equation (18): multiply and divide by µ(ℓ). *)
+  let eq18 =
+    Q.div
+      (List.fold_left
+         (fun acc key ->
+           let l_occurs = Tree.lstate_runs tree key in
+           Q.add acc
+             (Q.mul
+                (Q.mul
+                   (Belief.degree_at_lstate fact key)
+                   (Tree.cond tree (Action.performed_at_lstate tree ~agent ~act key)
+                      ~given:l_occurs))
+                (Tree.measure tree l_occurs)))
+         Q.zero lstates)
+      mu_alpha
+  in
+  (* Equation (19): apply Definition 4.1 to fuse the product into
+     µ([ϕ∧α]@ℓ | ℓ) — the only step needing independence. *)
+  let eq19 =
+    Q.div
+      (List.fold_left
+         (fun acc key ->
+           let l_occurs = Tree.lstate_runs tree key in
+           Q.add acc
+             (Q.mul
+                (Tree.cond tree (Fact.and_action_at_lstate fact ~agent ~act key)
+                   ~given:l_occurs)
+                (Tree.measure tree l_occurs)))
+         Q.zero lstates)
+      mu_alpha
+  in
+  (* Equations (20)–(21): the cells Q^ℓ_ϕ partition ϕ@α. *)
+  let eq21 =
+    Q.div
+      (List.fold_left
+         (fun acc key ->
+           Q.add acc (Tree.measure tree (Fact.and_action_at_lstate fact ~agent ~act key)))
+         Q.zero lstates)
+      mu_alpha
+  in
+  (* Equation (23): the target conditional. *)
+  let eq23 = Tree.cond tree (Fact.at_action fact ~agent ~act) ~given:r_alpha in
+  let all_equal qs = match qs with
+    | [] -> true
+    | first :: rest -> List.for_all (Q.equal first) rest
+  in
+  { independent = Independence.holds fact ~agent ~act;
+    eq10;
+    eq12;
+    eq14;
+    eq16;
+    eq18;
+    eq19;
+    eq21;
+    eq23;
+    chain_upto_18 = all_equal [ eq10; eq12; eq14; eq16; eq18 ];
+    chain_19_on = all_equal [ eq19; eq21; eq23 ];
+    bridge = Q.equal eq18 eq19
+  }
+
+let pp_thm62 fmt d =
+  Format.fprintf fmt
+    "@[<v>Appendix D derivation:@ (10) %a@ (12) %a@ (14) %a@ (16) %a@ (18) %a@ (19) %a@ (21) %a@ (23) %a@ chain (10)-(18): %b, bridge (18)=(19): %b, chain (19)-(23): %b, independent: %b@]"
+    Q.pp d.eq10 Q.pp d.eq12 Q.pp d.eq14 Q.pp d.eq16 Q.pp d.eq18 Q.pp d.eq19 Q.pp d.eq21
+    Q.pp d.eq23 d.chain_upto_18 d.bridge d.chain_19_on d.independent

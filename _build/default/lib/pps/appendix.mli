@@ -1,0 +1,72 @@
+(** The paper's Appendix, executable.
+
+    The appendix proves the main results by chains of exact equalities
+    between conditional measures. This module computes {e every
+    intermediate expression} of those chains on a concrete system, so a
+    reproduction can check not only each theorem's statement but each
+    step of its proof.
+
+    - {!lemma_a1}: the five pointwise equivalences of Lemma A.1
+      relating [α@ℓ], [[ϕ∧α]@ℓ], [ϕ@α] and their conjunctions.
+    - {!lemma_b1}: Lemma B.1, [µ(ϕ@α | α@ℓ) = µ(ϕ@ℓ | ℓ)] for every
+      [ℓ ∈ L_i[α]] — where local-state independence enters.
+    - {!theorem62}: the Appendix D chain, equations (10)–(23): the
+      expectation of Definition 6.1 rewritten step by step into
+      [µ(ϕ@α | α)]. Every field must be equal under local-state
+      independence; without it the chain breaks exactly at the
+      (18)→(19) step, which the report also records. *)
+
+open Pak_rational
+
+(** {1 Lemma A.1} *)
+
+type a1_report = {
+  a : bool;  (** α@ℓ ⇔ α@ℓ ∧ ℓ *)
+  b : bool;  (** [ϕ∧α]@ℓ ⇔ [ϕ∧α]@ℓ ∧ ℓ *)
+  c : bool;  (** [ϕ∧α]@ℓ ∧ α@ℓ ⇔ [ϕ∧α]@ℓ *)
+  d : bool;  (** α@ℓ ⇔ α@ℓ ∧ α *)
+  e : bool;  (** ϕ@α ⇔ ϕ@α ∧ α *)
+}
+
+val lemma_a1 : Fact.t -> agent:int -> act:string -> Tree.lkey -> a1_report
+(** Check each equivalence extensionally (as equality of run events).
+    All five are identities of the model, so every field is always
+    [true]; exposed so the test suite states Lemma A.1 positively.
+    @raise Action.Not_proper for (e), which mentions ϕ@α. *)
+
+(** {1 Lemma B.1} *)
+
+type b1_row = {
+  lstate : Tree.lkey;
+  lhs : Q.t;   (** µ(ϕ@α │ α@ℓ) *)
+  rhs : Q.t;   (** µ(ϕ@ℓ │ ℓ) *)
+  equal : bool;
+}
+
+val lemma_b1 : Fact.t -> agent:int -> act:string -> b1_row list
+(** One row per [ℓ ∈ L_i[α]]. Under local-state independence every row
+    has [equal = true]. *)
+
+(** {1 Theorem 6.2, equations (10)–(23)} *)
+
+type thm62_derivation = {
+  independent : bool;
+  eq10 : Q.t;  (** Σ_{r∈R_α} µ(r|α)·(β_i(ϕ)@α)[r] — Definition 6.1 *)
+  eq12 : Q.t;  (** Σ_ℓ Σ_{r∈Q^ℓ} µ(r|α)·µ(ϕ@ℓ|ℓ) *)
+  eq14 : Q.t;  (** Σ_ℓ µ(ϕ@ℓ|ℓ)·µ(α@ℓ|α) *)
+  eq16 : Q.t;  (** µ(α)⁻¹·Σ_ℓ µ(ϕ@ℓ|ℓ)·µ(α@ℓ) *)
+  eq18 : Q.t;  (** µ(α)⁻¹·Σ_ℓ µ(ϕ@ℓ|ℓ)·µ(α@ℓ|ℓ)·µ(ℓ) *)
+  eq19 : Q.t;  (** µ(α)⁻¹·Σ_ℓ µ([ϕ∧α]@ℓ|ℓ)·µ(ℓ) — uses independence *)
+  eq21 : Q.t;  (** µ(α)⁻¹·Σ_ℓ µ([ϕ∧α]@ℓ) = µ(α)⁻¹·µ(ϕ@α) *)
+  eq23 : Q.t;  (** µ(ϕ@α|α) *)
+  chain_upto_18 : bool;  (** eq10 = eq12 = eq14 = eq16 = eq18 — always *)
+  chain_19_on : bool;    (** eq19 = eq21 = eq23 — always *)
+  bridge : bool;         (** eq18 = eq19 — iff the independence products
+                             agree on L_i[α]; implied by independence *)
+}
+
+val theorem62 : Fact.t -> agent:int -> act:string -> thm62_derivation
+(** @raise Action.Not_proper if the action is not proper.
+    @raise Division_by_zero if the action is never performed. *)
+
+val pp_thm62 : Format.formatter -> thm62_derivation -> unit

@@ -1,0 +1,80 @@
+open Pak_rational
+
+type cmp = [ `Geq | `Gt | `Leq | `Lt | `Eq ]
+
+let degree_at_lstate fact key =
+  let tree = Fact.tree fact in
+  Tree.cond tree (Fact.at_lstate fact key) ~given:(Tree.lstate_runs tree key)
+
+let degree fact ~agent ~run ~time =
+  let tree = Fact.tree fact in
+  degree_at_lstate fact (Tree.lkey tree ~agent ~run ~time)
+
+let at_action fact ~agent ~act ~run =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  match Action.time_performed tree ~agent ~act ~run with
+  | None -> Q.zero
+  | Some time -> degree fact ~agent ~run ~time
+
+let expected_at_action fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let r_alpha = Action.runs_performing tree ~agent ~act in
+  let mass = Tree.measure tree r_alpha in
+  if Q.is_zero mass then raise Division_by_zero;
+  (* Beliefs are constant per local state; group the runs of R_α by the
+     local state at which α is performed so each belief is computed
+     once. *)
+  Q.div
+    (List.fold_left
+       (fun acc key ->
+         let beta = degree_at_lstate fact key in
+         let weight =
+           Tree.measure tree (Action.performed_at_lstate tree ~agent ~act key)
+         in
+         Q.add acc (Q.mul beta weight))
+       Q.zero
+       (Action.performing_lstates tree ~agent ~act))
+    mass
+
+let satisfies cmp q threshold =
+  match cmp with
+  | `Geq -> Q.geq q threshold
+  | `Gt -> Q.gt q threshold
+  | `Leq -> Q.leq q threshold
+  | `Lt -> Q.lt q threshold
+  | `Eq -> Q.equal q threshold
+
+let threshold_event fact ~agent ~act ~cmp threshold =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  List.fold_left
+    (fun ev key ->
+      if satisfies cmp (degree_at_lstate fact key) threshold then
+        Bitset.union ev (Action.performed_at_lstate tree ~agent ~act key)
+      else ev)
+    (Tree.empty_event tree)
+    (Action.performing_lstates tree ~agent ~act)
+
+let distribution_at_action fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let r_alpha = Action.runs_performing tree ~agent ~act in
+  List.map
+    (fun key ->
+      ( key,
+        Tree.cond tree (Action.performed_at_lstate tree ~agent ~act key) ~given:r_alpha,
+        degree_at_lstate fact key ))
+    (Action.performing_lstates tree ~agent ~act)
+
+let min_at_action fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  match Action.performing_lstates tree ~agent ~act with
+  | [] -> None
+  | keys ->
+    Some
+      (List.fold_left
+         (fun acc key -> Q.min acc (degree_at_lstate fact key))
+         Q.one keys)

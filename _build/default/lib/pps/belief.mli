@@ -1,0 +1,56 @@
+(** Subjective probabilistic beliefs (paper, Section 3).
+
+    Agent [i]'s degree of belief in a fact ϕ at a point [(r,t)] is
+
+    {v β_i(ϕ)(r,t) = µ_T(ϕ@ℓ_i | ℓ_i)    where ℓ_i = r_i(t), v}
+
+    the posterior probability of "ϕ holds when I am in this local
+    state", conditioned on the local state occurring — the [P_post]
+    notion of Halpern–Tuttle. Because every run of a pps has positive
+    measure, the conditional is always well defined.
+
+    [β_i(ϕ)@α] lifts this to the (unique) point of each run at which a
+    proper action α is performed, with the paper's convention that it is
+    0 in runs where α is not performed; {!expected_at_action} is the
+    expected degree of belief of Definition 6.1. *)
+
+open Pak_rational
+
+type cmp = [ `Geq | `Gt | `Leq | `Lt | `Eq ]
+
+val degree_at_lstate : Fact.t -> Tree.lkey -> Q.t
+(** [µ(ϕ@ℓ | ℓ)]: the degree of belief any point with local state [ℓ]
+    assigns to the fact.
+    @raise Division_by_zero if the local state never occurs. *)
+
+val degree : Fact.t -> agent:int -> run:int -> time:int -> Q.t
+(** [β_i(ϕ)] at the point [(run, time)]. *)
+
+val at_action : Fact.t -> agent:int -> act:string -> run:int -> Q.t
+(** [(β_i(ϕ)@α)\[r\]]: the agent's degree of belief in ϕ at the unique
+    point of [r] where it performs α, or 0 if α is not performed in [r].
+    @raise Action.Not_proper if the action is not proper. *)
+
+val expected_at_action : Fact.t -> agent:int -> act:string -> Q.t
+(** Definition 6.1: [E_µ(β_i(ϕ)@α | α)], the expectation of the random
+    variable [β_i(ϕ)@α] conditioned on [α] being performed.
+    @raise Action.Not_proper if the action is not proper.
+    @raise Division_by_zero if the action is never performed. *)
+
+val threshold_event : Fact.t -> agent:int -> act:string -> cmp:cmp -> Q.t -> Bitset.t
+(** Runs in [R_α] whose belief-at-action satisfies the comparison, e.g.
+    [threshold_event ϕ ~agent ~act ~cmp:`Geq q] is the event
+    [{r ∈ R_α : β_i(ϕ)@α ≥ q}] used in Theorems 5.2 and 7.1. *)
+
+val min_at_action : Fact.t -> agent:int -> act:string -> Q.t option
+(** Minimum of [β_i(ϕ)] over the points where the action is performed
+    ([None] if it never is). *)
+
+val distribution_at_action :
+  Fact.t -> agent:int -> act:string -> (Tree.lkey * Q.t * Q.t) list
+(** The full distribution of the random variable [β_i(ϕ)@α]
+    conditioned on [α]: one entry [(ℓ, w, β)] per local state in
+    [L_i\[α\]], where [w = µ(α@ℓ | α)] and [β] is the degree of belief
+    at [ℓ]. The weights sum to 1 and [Σ w·β] is
+    {!expected_at_action} — Definition 6.1 made inspectable.
+    @raise Action.Not_proper if the action is not proper. *)

@@ -1,0 +1,111 @@
+(* Packed bit vector over 62-bit words. The capacity is stored so that
+   [complement] and [full] know where the universe ends; the unused high
+   bits of the last word are kept at zero as an invariant. *)
+
+let word_bits = 62
+
+type t = { cap : int; words : int array }
+
+let n_words cap = (cap + word_bits - 1) / word_bits
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create: negative capacity";
+  { cap; words = Array.make (n_words cap) 0 }
+
+let check_bounds t i name =
+  if i < 0 || i >= t.cap then invalid_arg (name ^ ": index out of capacity")
+
+let check_same a b name =
+  if a.cap <> b.cap then invalid_arg (name ^ ": capacity mismatch")
+
+let mask_last cap =
+  let rem = cap mod word_bits in
+  if rem = 0 then -1 land ((1 lsl word_bits) - 1) else (1 lsl rem) - 1
+
+let full cap =
+  let t = create cap in
+  let words = Array.map (fun _ -> (1 lsl word_bits) - 1) t.words in
+  let nw = Array.length words in
+  if nw > 0 then words.(nw - 1) <- mask_last cap;
+  { cap; words }
+
+let mem t i =
+  check_bounds t i "Bitset.mem";
+  (t.words.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let add t i =
+  check_bounds t i "Bitset.add";
+  let words = Array.copy t.words in
+  words.(i / word_bits) <- words.(i / word_bits) lor (1 lsl (i mod word_bits));
+  { t with words }
+
+let remove t i =
+  check_bounds t i "Bitset.remove";
+  let words = Array.copy t.words in
+  words.(i / word_bits) <- words.(i / word_bits) land lnot (1 lsl (i mod word_bits));
+  { t with words }
+
+let singleton cap i = add (create cap) i
+let of_list cap is = List.fold_left add (create cap) is
+
+let map2 name f a b =
+  check_same a b name;
+  { cap = a.cap; words = Array.init (Array.length a.words) (fun k -> f a.words.(k) b.words.(k)) }
+
+let union a b = map2 "Bitset.union" ( lor ) a b
+let inter a b = map2 "Bitset.inter" ( land ) a b
+let diff a b = map2 "Bitset.diff" (fun x y -> x land lnot y) a b
+
+let complement t =
+  let all = full t.cap in
+  diff all t
+
+let equal a b = check_same a b "Bitset.equal"; a.words = b.words
+
+let subset a b =
+  check_same a b "Bitset.subset";
+  Array.for_all2 (fun x y -> x land lnot y = 0) a.words b.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let capacity t = t.cap
+
+let iter f t =
+  for k = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(k) in
+    while !w <> 0 do
+      let bit = !w land - !w in
+      let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+      f ((k * word_bits) + log2 bit 0);
+      w := !w land lnot bit
+    done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+exception Short_circuit
+
+let for_all p t =
+  try
+    iter (fun i -> if not (p i) then raise Short_circuit) t;
+    true
+  with Short_circuit -> false
+
+let exists p t = not (for_all (fun i -> not (p i)) t)
+
+let filter p t = fold (fun i acc -> if p i then add acc i else acc) t (create t.cap)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<hov 1>{%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") Format.pp_print_int)
+    (to_list t)

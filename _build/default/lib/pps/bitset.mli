@@ -1,0 +1,38 @@
+(** Fixed-capacity sets of small integers, used for events (sets of run
+    indices) over a pps. Operations are functional: inputs are never
+    mutated. Both operands of binary operations must share a capacity. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set of capacity [n] (members range over
+    [0 .. n-1]). @raise Invalid_argument if [n < 0]. *)
+
+val full : int -> t
+(** The set containing all of [0 .. n-1]. *)
+
+val singleton : int -> int -> t
+(** [singleton n i] has capacity [n] and sole member [i]. *)
+
+val of_list : int -> int list -> t
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val capacity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val filter : (int -> bool) -> t -> t
+val pp : Format.formatter -> t -> unit

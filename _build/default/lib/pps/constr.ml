@@ -1,0 +1,46 @@
+open Pak_rational
+
+type t = {
+  agent : int;
+  act : string;
+  fact : Fact.t;
+  threshold : Q.t;
+}
+
+let mu_given_action fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Tree.cond tree
+    (Fact.at_action fact ~agent ~act)
+    ~given:(Action.runs_performing tree ~agent ~act)
+
+let make ~agent ~act ~fact ~threshold =
+  if not (Q.is_probability threshold) then
+    invalid_arg "Constr.make: threshold must be a probability";
+  Action.check_proper (Fact.tree fact) ~agent ~act;
+  { agent; act; fact; threshold }
+
+let holds c = Q.geq (mu_given_action c.fact ~agent:c.agent ~act:c.act) c.threshold
+
+type report = {
+  constr : t;
+  mu : Q.t;
+  action_measure : Q.t;
+  satisfied : bool;
+  independent : bool;
+}
+
+let report c =
+  let tree = Fact.tree c.fact in
+  let mu = mu_given_action c.fact ~agent:c.agent ~act:c.act in
+  { constr = c;
+    mu;
+    action_measure = Tree.measure tree (Action.runs_performing tree ~agent:c.agent ~act:c.act);
+    satisfied = Q.geq mu c.threshold;
+    independent = Independence.holds c.fact ~agent:c.agent ~act:c.act
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>constraint µ(ϕ@@%s | %s) ≥ %a for agent %d:@ measured µ = %a (= %s)@ µ(R_α) = %a@ satisfied: %b@ local-state independent: %b@]"
+    r.constr.act r.constr.act Q.pp r.constr.threshold r.constr.agent Q.pp r.mu
+    (Q.to_decimal_string r.mu) Q.pp r.action_measure r.satisfied r.independent

@@ -1,0 +1,39 @@
+(** Probabilistic constraints (paper, Definition 3.2).
+
+    A probabilistic constraint on a proper action α in a pps [T] is a
+    statement [µ_T(ϕ@α | α) ≥ p]: when the agent performs α, the
+    condition ϕ should hold with probability at least the threshold
+    [p]. For facts about runs this reduces to [µ_T(ϕ | α) ≥ p]. *)
+
+open Pak_rational
+
+type t = {
+  agent : int;
+  act : string;
+  fact : Fact.t;
+  threshold : Q.t;
+}
+
+val make : agent:int -> act:string -> fact:Fact.t -> threshold:Q.t -> t
+(** @raise Invalid_argument if the threshold is not a probability.
+    @raise Action.Not_proper if the action is not proper in the fact's
+    tree. *)
+
+val mu_given_action : Fact.t -> agent:int -> act:string -> Q.t
+(** [µ_T(ϕ@α | α)], the left-hand side of a probabilistic constraint.
+    @raise Action.Not_proper if the action is not proper.
+    @raise Division_by_zero if the action is never performed. *)
+
+val holds : t -> bool
+(** Whether the constraint is satisfied (exact comparison). *)
+
+type report = {
+  constr : t;
+  mu : Q.t;               (** µ(ϕ@α | α) *)
+  action_measure : Q.t;   (** µ(R_α) *)
+  satisfied : bool;
+  independent : bool;     (** Definition 4.1 for this (ϕ, α) *)
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

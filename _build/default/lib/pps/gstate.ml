@@ -1,0 +1,18 @@
+type t = { env : string; locals : string array }
+
+let make ~env ~locals = { env; locals = Array.of_list locals }
+let of_labels env locals = make ~env ~locals
+
+let n_agents g = Array.length g.locals
+
+let local g i =
+  if i < 0 || i >= Array.length g.locals then invalid_arg "Gstate.local: agent out of range";
+  g.locals.(i)
+
+let equal a b = a.env = b.env && a.locals = b.locals
+let compare a b = Stdlib.compare (a.env, a.locals) (b.env, b.locals)
+
+let to_string g =
+  Printf.sprintf "(e:%s | %s)" g.env (String.concat ", " (Array.to_list g.locals))
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)

@@ -1,0 +1,25 @@
+(** Global states of a purely probabilistic system.
+
+    A global state is a tuple [(l_e, l_1, ..., l_n)] of an environment
+    local state and one local state per agent (paper, Section 2.1).
+    Local states here are string labels; the synchrony assumption (each
+    local state contains the current time) is realized structurally by
+    the tree layer, which keys local states on (time, label). *)
+
+type t = { env : string; locals : string array }
+
+val make : env:string -> locals:string list -> t
+
+val of_labels : string -> string list -> t
+(** [of_labels env locals], positional variant of {!make}. *)
+
+val n_agents : t -> int
+
+val local : t -> int -> string
+(** [local g i] is agent [i]'s local state label (0-based).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

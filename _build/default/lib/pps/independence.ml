@@ -1,0 +1,30 @@
+open Pak_rational
+
+type failure = {
+  lstate : Tree.lkey;
+  belief : Q.t;
+  act_prob : Q.t;
+  joint : Q.t;
+}
+
+let failures fact ~agent ~act =
+  let tree = Fact.tree fact in
+  List.filter_map
+    (fun key ->
+      let given = Tree.lstate_runs tree key in
+      let belief = Tree.cond tree (Fact.at_lstate fact key) ~given in
+      let act_prob =
+        Tree.cond tree (Action.performed_at_lstate tree ~agent ~act key) ~given
+      in
+      let joint =
+        Tree.cond tree (Fact.and_action_at_lstate fact ~agent ~act key) ~given
+      in
+      if Q.equal (Q.mul belief act_prob) joint then None
+      else Some { lstate = key; belief; act_prob; joint })
+    (Tree.lstates tree ~agent)
+
+let holds fact ~agent ~act = failures fact ~agent ~act = []
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[at %a: µ(ϕ@@ℓ|ℓ)=%a · µ(α@@ℓ|ℓ)=%a ≠ µ([ϕ∧α]@@ℓ|ℓ)=%a@]"
+    Tree.pp_lkey f.lstate Q.pp f.belief Q.pp f.act_prob Q.pp f.joint

@@ -1,0 +1,30 @@
+(** Local-state independence (paper, Definition 4.1).
+
+    A fact ϕ is local-state independent of a proper action α of agent
+    [i] in [T] when, for every local state [ℓ_i] of [i],
+
+    {v µ(ϕ@ℓ | ℓ) · µ(α@ℓ | ℓ) = µ([ϕ∧α]@ℓ | ℓ). v}
+
+    Intuitively: whether ϕ holds at a local state is independent of
+    whether α is chosen there. This is the hypothesis of Theorems 4.2
+    and 6.2; it holds whenever α is deterministic or ϕ is past-based
+    (Lemma 4.3), and can fail for mixed actions and future-dependent
+    facts (Figure 1). *)
+
+open Pak_rational
+
+type failure = {
+  lstate : Tree.lkey;
+  belief : Q.t;      (** µ(ϕ@ℓ | ℓ) *)
+  act_prob : Q.t;    (** µ(α@ℓ | ℓ) *)
+  joint : Q.t;       (** µ([ϕ∧α]@ℓ | ℓ) *)
+}
+(** A local state at which the product rule fails, with both sides. *)
+
+val failures : Fact.t -> agent:int -> act:string -> failure list
+(** All local states of the agent violating Definition 4.1 (empty iff
+    the fact is local-state independent of the action). *)
+
+val holds : Fact.t -> agent:int -> act:string -> bool
+
+val pp_failure : Format.formatter -> failure -> unit

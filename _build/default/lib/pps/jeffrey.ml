@@ -1,0 +1,61 @@
+open Pak_rational
+
+let is_partition tree cells =
+  let full = Tree.all_runs tree in
+  let union = List.fold_left Bitset.union (Tree.empty_event tree) cells in
+  Bitset.equal union full
+  && (let rec pairwise_disjoint = function
+        | [] -> true
+        | c :: rest ->
+          List.for_all (fun c' -> Bitset.is_empty (Bitset.inter c c')) rest
+          && pairwise_disjoint rest
+      in
+      pairwise_disjoint cells)
+
+let check_partition tree cells name =
+  if not (is_partition tree cells) then invalid_arg (name ^ ": cells do not partition the runs")
+
+let total_probability tree ~cells ~event =
+  check_partition tree cells "Jeffrey.total_probability";
+  List.fold_left
+    (fun acc cell ->
+      let m = Tree.measure tree cell in
+      if Q.is_zero m then acc else Q.add acc (Q.mul m (Tree.cond tree event ~given:cell)))
+    Q.zero cells
+
+let conditional_total_probability tree ~cells ~event ~given =
+  check_partition tree cells "Jeffrey.conditional_total_probability";
+  let mu_given = Tree.measure tree given in
+  if Q.is_zero mu_given then raise Division_by_zero;
+  List.fold_left
+    (fun acc cell ->
+      let inter = Bitset.inter cell given in
+      let m = Tree.measure tree inter in
+      if Q.is_zero m then acc
+      else
+        Q.add acc
+          (Q.mul (Q.div m mu_given) (Tree.cond tree event ~given:inter)))
+    Q.zero cells
+
+let lstate_partition tree ~agent ~time =
+  let alive = ref (Tree.empty_event tree) in
+  for run = 0 to Tree.n_runs tree - 1 do
+    if Tree.run_length tree run > time then alive := Bitset.add !alive run
+  done;
+  let keys =
+    List.filter (fun k -> Tree.lkey_time k = time) (Tree.lstates tree ~agent)
+  in
+  let cells = List.map (Tree.lstate_runs tree) keys in
+  let dead = Bitset.complement !alive in
+  if Bitset.is_empty dead then cells else dead :: cells
+
+let action_partition tree ~agent ~act =
+  Action.check_proper tree ~agent ~act;
+  let cells =
+    List.map
+      (fun key -> Action.performed_at_lstate tree ~agent ~act key)
+      (Action.performing_lstates tree ~agent ~act)
+  in
+  let r_alpha = Action.runs_performing tree ~agent ~act in
+  let rest = Bitset.complement r_alpha in
+  if Bitset.is_empty rest then cells else rest :: cells

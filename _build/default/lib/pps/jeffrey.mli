@@ -1,0 +1,44 @@
+(** Jeffrey conditionalization / the law of total probability
+    (Section 6.1), as executable checks over a pps.
+
+    The paper grounds Theorem 6.2 in two classical identities. With
+    events [X₁ … Xₙ] partitioning the runs and [E], [Y] arbitrary
+    events:
+
+    {v Pr(E)   = Σᵢ Pr(Xᵢ) · Pr(E | Xᵢ)                (total probability)
+    Pr(E|Y) = Σᵢ Pr(Xᵢ|Y) · Pr(E | Xᵢ ∩ Y)         (generalized)  v}
+
+    In the proof of Theorem 6.2 the cells [Xᵢ] are the events [α@ℓ]
+    (the action performed at a given local state) and [Y = R_α]. This
+    module exposes the identities directly — both for arbitrary
+    partitions and for the canonical local-state partitions — so the
+    probabilistic engine under the paper's main result is itself
+    tested, independently of the belief layer. *)
+
+open Pak_rational
+
+val is_partition : Tree.t -> Bitset.t list -> bool
+(** Cells are pairwise disjoint and cover all runs. *)
+
+val total_probability : Tree.t -> cells:Bitset.t list -> event:Bitset.t -> Q.t
+(** [Σᵢ µ(Xᵢ) · µ(E | Xᵢ)] over the cells of positive measure (cells
+    of measure zero cannot occur in a pps partition built from
+    nonempty events, but empty cells are skipped for convenience).
+    @raise Invalid_argument if the cells do not partition the runs. *)
+
+val conditional_total_probability :
+  Tree.t -> cells:Bitset.t list -> event:Bitset.t -> given:Bitset.t -> Q.t
+(** [Σᵢ µ(Xᵢ|Y) · µ(E | Xᵢ ∩ Y)], the generalized identity.
+    @raise Invalid_argument if the cells do not partition the runs.
+    @raise Division_by_zero if [µ(Y) = 0]. *)
+
+val lstate_partition : Tree.t -> agent:int -> time:int -> Bitset.t list
+(** The partition of the runs {e alive at [time]} by the agent's local
+    state, plus one cell for runs shorter than [time+1]. This is the
+    "experiment outcome" partition of Section 6.1. *)
+
+val action_partition : Tree.t -> agent:int -> act:string -> Bitset.t list
+(** The partition of [R_α] by the local state at which the (proper)
+    action is performed, plus the complement cell [¬R_α] — the exact
+    partition used in the proof of Theorem 6.2.
+    @raise Action.Not_proper if the action is not proper. *)

@@ -1,0 +1,127 @@
+open Pak_rational
+
+type world = int
+
+type t = {
+  tree : Tree.t;
+  points : (int * int) array; (* world -> (run, time) *)
+  index : (int * int, int) Hashtbl.t; (* (run, time) -> world *)
+  classes : (Tree.lkey, world list) Hashtbl.t; (* members in increasing order *)
+}
+
+let of_tree tree =
+  let points =
+    Tree.fold_points tree ~init:[] ~f:(fun acc ~run ~time -> (run, time) :: acc)
+    |> List.rev |> Array.of_list
+  in
+  let index = Hashtbl.create (Array.length points) in
+  Array.iteri (fun w pt -> Hashtbl.add index pt w) points;
+  let classes = Hashtbl.create 64 in
+  Array.iteri
+    (fun w (run, time) ->
+      for agent = 0 to Tree.n_agents tree - 1 do
+        let key = Tree.lkey tree ~agent ~run ~time in
+        let prev = match Hashtbl.find_opt classes key with Some l -> l | None -> [] in
+        Hashtbl.replace classes key (w :: prev)
+      done)
+    points;
+  (* store members in increasing order *)
+  Hashtbl.iter (fun k l -> Hashtbl.replace classes k (List.rev l)) classes;
+  { tree; points; index; classes }
+
+let tree t = t.tree
+let n_worlds t = Array.length t.points
+
+let world_point t w =
+  if w < 0 || w >= Array.length t.points then invalid_arg "Kripke.world_point: bad world";
+  t.points.(w)
+
+let point_world t ~run ~time =
+  match Hashtbl.find_opt t.index (run, time) with
+  | Some w -> w
+  | None -> invalid_arg "Kripke.point_world: no such point"
+
+let world_measure t w =
+  let run, _ = world_point t w in
+  Tree.run_measure t.tree run
+
+let class_of t ~agent w =
+  let run, time = world_point t w in
+  let key = Tree.lkey t.tree ~agent ~run ~time in
+  match Hashtbl.find_opt t.classes key with Some l -> l | None -> [ w ]
+
+let accessible t ~agent w = class_of t ~agent w
+
+let equivalence_classes t ~agent =
+  Hashtbl.fold
+    (fun key members acc -> if Tree.lkey_agent key = agent then members :: acc else acc)
+    t.classes []
+  |> List.sort compare
+
+let is_equivalence t ~agent =
+  (* The relation is an equivalence iff every member of a class sees
+     exactly that class: this single condition gives reflexivity (the
+     member is in its class), symmetry and transitivity at once, and
+     avoids the cubic pairwise checks. *)
+  List.for_all
+    (fun members ->
+      List.for_all
+        (fun w ->
+          let acc = accessible t ~agent w in
+          acc == members || acc = members)
+        members)
+    (equivalence_classes t ~agent)
+
+let synchronous t =
+  Hashtbl.fold
+    (fun _key members acc ->
+      acc
+      &&
+      match members with
+      | [] -> true
+      | w :: rest ->
+        let _, time = world_point t w in
+        List.for_all (fun v -> snd (world_point t v) = time) rest)
+    t.classes true
+
+let knows t ~agent fact w =
+  List.for_all
+    (fun v ->
+      let run, time = world_point t v in
+      Fact.holds fact ~run ~time)
+    (accessible t ~agent w)
+
+let posterior t ~agent fact w =
+  let members = accessible t ~agent w in
+  let total = Q.sum (List.map (world_measure t) members) in
+  let hit =
+    Q.sum
+      (List.filter_map
+         (fun v ->
+           let run, time = world_point t v in
+           if Fact.holds fact ~run ~time then Some (world_measure t v) else None)
+         members)
+  in
+  Q.div hit total
+
+let to_dot t ~agent =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph kripke_agent%d {\n  rankdir=LR;\n" agent);
+  Array.iteri
+    (fun w (run, time) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  w%d [label=\"(r%d,t%d)\\n%s\"];\n" w run time
+           (Q.to_string (world_measure t w))))
+    t.points;
+  List.iter
+    (fun members ->
+      let rec edges = function
+        | [] | [ _ ] -> ()
+        | w :: (v :: _ as rest) ->
+          Buffer.add_string buf (Printf.sprintf "  w%d -- w%d;\n" w v);
+          edges rest
+      in
+      edges members)
+    (equivalence_classes t ~agent);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

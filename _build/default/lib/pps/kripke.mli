@@ -1,0 +1,58 @@
+(** The explicit epistemic Kripke structure of a pps.
+
+    Worlds are the points of the system; agent [i]'s accessibility
+    relation links points the agent cannot distinguish — those sharing
+    [i]'s local state. Because local states partition points, each
+    relation is an equivalence (an S5 frame); the synchrony assumption
+    makes every class live at a single time. Each world carries the
+    prior measure of its run, which is what turns this S5 frame into
+    the {e probabilistic} Kripke structure in which [β_i] is evaluated.
+
+    This module exists for interoperability and inspection: the
+    {!Pak_pps.Belief} and {!Pak_logic} layers compute over the tree
+    directly, and the test suite uses the extracted frame to verify the
+    S5 properties they silently rely on. *)
+
+open Pak_rational
+
+type t
+type world = int
+
+val of_tree : Tree.t -> t
+val tree : t -> Tree.t
+val n_worlds : t -> int
+
+val world_point : t -> world -> int * int
+(** The (run, time) behind a world. *)
+
+val point_world : t -> run:int -> time:int -> world
+
+val world_measure : t -> world -> Q.t
+(** The prior measure of the world's run. *)
+
+val accessible : t -> agent:int -> world -> world list
+(** All worlds the agent considers possible at [world] (including
+    itself), in increasing world order. *)
+
+val equivalence_classes : t -> agent:int -> world list list
+(** The information partition of agent [i]; each class is one local
+    state's set of points. *)
+
+val is_equivalence : t -> agent:int -> bool
+(** Reflexive, symmetric and transitive — true for every agent of every
+    pps; exported so tests can assert the S5 frame property. *)
+
+val synchronous : t -> bool
+(** Every equivalence class of every agent lives at a single time. *)
+
+val knows : t -> agent:int -> Fact.t -> world -> bool
+(** [K_i ϕ] at the world: ϕ holds at every accessible world. Agrees
+    with the logic layer's [Knows]. *)
+
+val posterior : t -> agent:int -> Fact.t -> world -> Q.t
+(** [β_i(ϕ)] at the world, computed from the frame: the measure-weighted
+    fraction of the agent's accessible worlds satisfying ϕ. Agrees with
+    {!Pak_pps.Belief.degree}. *)
+
+val to_dot : t -> agent:int -> string
+(** Graphviz rendering of the agent's information partition. *)

@@ -1,0 +1,72 @@
+open Pak_rational
+
+type restriction = {
+  kept : Tree.lkey list;
+  dropped : Tree.lkey list;
+  original_mu : Q.t;
+  restricted_mu : Q.t option;
+  original_action_measure : Q.t;
+  restricted_action_measure : Q.t;
+}
+
+let restrict fact ~agent ~act ~min_belief =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let states = Action.performing_lstates tree ~agent ~act in
+  let kept, dropped =
+    List.partition
+      (fun key -> Q.geq (Belief.degree_at_lstate fact key) min_belief)
+      states
+  in
+  let event_at keys =
+    List.fold_left
+      (fun ev key -> Bitset.union ev (Action.performed_at_lstate tree ~agent ~act key))
+      (Tree.empty_event tree) keys
+  in
+  let kept_event = event_at kept in
+  let kept_measure = Tree.measure tree kept_event in
+  let phi_at_alpha = Fact.at_action fact ~agent ~act in
+  { kept;
+    dropped;
+    original_mu = Constr.mu_given_action fact ~agent ~act;
+    restricted_mu =
+      (if Q.is_zero kept_measure then None
+       else Some (Tree.cond tree phi_at_alpha ~given:kept_event));
+    original_action_measure =
+      Tree.measure tree (Action.runs_performing tree ~agent ~act);
+    restricted_action_measure = kept_measure
+  }
+
+let best fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  List.fold_left
+    (fun acc key -> Q.max acc (Belief.degree_at_lstate fact key))
+    Q.zero
+    (Action.performing_lstates tree ~agent ~act)
+
+let frontier fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let levels =
+    Action.performing_lstates tree ~agent ~act
+    |> List.map (fun key -> Belief.degree_at_lstate fact key)
+    |> List.sort_uniq Q.compare
+  in
+  List.filter_map
+    (fun level ->
+      let r = restrict fact ~agent ~act ~min_belief:level in
+      Option.map (fun mu -> (level, mu, r.restricted_action_measure)) r.restricted_mu)
+    levels
+
+let pp_restriction fmt r =
+  let pp_keys fmt keys =
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+      Tree.pp_lkey fmt keys
+  in
+  Format.fprintf fmt
+    "@[<v>restriction: kept [@[%a@]], dropped [@[%a@]]@ µ: %a -> %s@ µ(action): %a -> %a@]"
+    pp_keys r.kept pp_keys r.dropped Q.pp r.original_mu
+    (match r.restricted_mu with Some m -> Q.to_string m | None -> "(never acts)")
+    Q.pp r.original_action_measure Q.pp r.restricted_action_measure

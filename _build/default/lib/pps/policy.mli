@@ -1,0 +1,47 @@
+(** Belief-threshold policy improvement (the Section 8 discussion).
+
+    Theorem 6.2 implies that whenever an agent acts while holding a low
+    degree of belief in the constraint's condition, it drags down
+    [µ(ϕ@α | α)]; by refraining from acting at those local states the
+    agent improves the conditional success probability. This module
+    computes the effect of such a restriction {e derived from the
+    original system} — e.g. the paper's improved firing squad
+    (µ rises from 99/100 to 990/991) falls out of
+    [restrict ~min_belief:(1/2)] applied to the {e original} FS tree.
+
+    The restriction models the protocol variant where the agent
+    performs α only at local states whose belief in ϕ meets
+    [min_belief] and skips elsewhere. Probabilities are computed by
+    conditioning the original measure on the kept states, which is
+    exactly the modified protocol's conditional success probability
+    when ϕ is local-state independent of α. *)
+
+open Pak_rational
+
+type restriction = {
+  kept : Tree.lkey list;     (** performing states with belief ≥ min_belief *)
+  dropped : Tree.lkey list;  (** performing states the policy now skips *)
+  original_mu : Q.t;                  (** µ(ϕ@α | α) in the original system *)
+  restricted_mu : Q.t option;
+      (** µ(ϕ@α | α at a kept state); [None] when every performing
+          state is dropped (the action is never performed anymore) *)
+  original_action_measure : Q.t;      (** µ(R_α) *)
+  restricted_action_measure : Q.t;    (** µ(α performed at a kept state) *)
+}
+
+val restrict : Fact.t -> agent:int -> act:string -> min_belief:Q.t -> restriction
+(** @raise Action.Not_proper if the action is not proper. *)
+
+val best : Fact.t -> agent:int -> act:string -> Q.t
+(** The best conditional success probability achievable by any
+    belief-threshold restriction: the maximum belief over the
+    performing local states. An upper bound on [restricted_mu] for
+    every threshold. *)
+
+val frontier : Fact.t -> agent:int -> act:string -> (Q.t * Q.t * Q.t) list
+(** The achievable (threshold, µ, action measure) frontier: one entry
+    per distinct belief level β among the performing states, giving the
+    restriction at [min_belief = β]. Sorted by increasing threshold;
+    µ is nondecreasing along it while the action measure shrinks. *)
+
+val pp_restriction : Format.formatter -> restriction -> unit

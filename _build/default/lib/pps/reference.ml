@@ -1,0 +1,136 @@
+open Pak_rational
+
+let mu tree pred =
+  let acc = ref Q.zero in
+  for run = 0 to Tree.n_runs tree - 1 do
+    if pred run then acc := Q.add !acc (Tree.run_measure tree run)
+  done;
+  !acc
+
+let mu_cond tree pred ~given =
+  let mb = mu tree given in
+  if Q.is_zero mb then raise Division_by_zero;
+  Q.div (mu tree (fun r -> pred r && given r)) mb
+
+let same_lstate tree ~agent (r1, t1) (r2, t2) =
+  t1 = t2
+  && Gstate.local (Tree.node_state tree (Tree.run_node tree ~run:r1 ~time:t1)) agent
+     = Gstate.local (Tree.node_state tree (Tree.run_node tree ~run:r2 ~time:t2)) agent
+
+(* The event ℓ_i for the local state at (run, time): all runs in which
+   the agent passes through an indistinguishable point. *)
+let lstate_occurs tree ~agent ~run ~time run' =
+  let len = Tree.run_length tree run' in
+  let rec scan t = t < len && (same_lstate tree ~agent (run, time) (run', t) || scan (t + 1)) in
+  scan 0
+
+(* ϕ@ℓ: ℓ occurs in run' and ϕ holds at the occurrence point. *)
+let phi_at_lstate fact ~agent ~run ~time run' =
+  let tree = Fact.tree fact in
+  let len = Tree.run_length tree run' in
+  let rec scan t =
+    t < len
+    && ((same_lstate tree ~agent (run, time) (run', t) && Fact.holds fact ~run:run' ~time:t)
+        || scan (t + 1))
+  in
+  scan 0
+
+let beta fact ~agent ~run ~time =
+  let tree = Fact.tree fact in
+  mu_cond tree
+    (phi_at_lstate fact ~agent ~run ~time)
+    ~given:(lstate_occurs tree ~agent ~run ~time)
+
+let performs tree ~agent ~act ~run ~time = Tree.action_at tree ~agent ~run ~time = Some act
+
+let performed_in_run tree ~agent ~act run =
+  let len = Tree.run_length tree run in
+  let rec scan t = t < len && (performs tree ~agent ~act ~run ~time:t || scan (t + 1)) in
+  scan 0
+
+let occurrences_in_run tree ~agent ~act run =
+  let acc = ref [] in
+  for time = Tree.run_length tree run - 1 downto 0 do
+    if performs tree ~agent ~act ~run ~time then acc := time :: !acc
+  done;
+  !acc
+
+let is_proper tree ~agent ~act =
+  let performed_somewhere = ref false in
+  let at_most_once = ref true in
+  for run = 0 to Tree.n_runs tree - 1 do
+    match occurrences_in_run tree ~agent ~act run with
+    | [] -> ()
+    | [ _ ] -> performed_somewhere := true
+    | _ -> at_most_once := false
+  done;
+  !performed_somewhere && !at_most_once
+
+let check_proper tree ~agent ~act =
+  if not (is_proper tree ~agent ~act) then
+    raise (Action.Not_proper (Printf.sprintf "agent %d, action %s" agent act))
+
+(* ϕ@α as a run predicate. *)
+let phi_at_alpha fact ~agent ~act run =
+  let tree = Fact.tree fact in
+  match occurrences_in_run tree ~agent ~act run with
+  | [ time ] -> Fact.holds fact ~run ~time
+  | _ -> false
+
+let mu_phi_at_alpha_given_alpha fact ~agent ~act =
+  let tree = Fact.tree fact in
+  check_proper tree ~agent ~act;
+  mu_cond tree (phi_at_alpha fact ~agent ~act) ~given:(performed_in_run tree ~agent ~act)
+
+let expected_beta_at_alpha fact ~agent ~act =
+  let tree = Fact.tree fact in
+  check_proper tree ~agent ~act;
+  let mu_alpha = mu tree (performed_in_run tree ~agent ~act) in
+  if Q.is_zero mu_alpha then raise Division_by_zero;
+  let acc = ref Q.zero in
+  for run = 0 to Tree.n_runs tree - 1 do
+    match occurrences_in_run tree ~agent ~act run with
+    | [ time ] ->
+      acc :=
+        Q.add !acc
+          (Q.mul (Q.div (Tree.run_measure tree run) mu_alpha) (beta fact ~agent ~run ~time))
+    | _ -> ()
+  done;
+  !acc
+
+let local_state_independent fact ~agent ~act =
+  let tree = Fact.tree fact in
+  (* Quantify over one representative point per distinct local state. *)
+  let seen = ref [] in
+  let ok = ref true in
+  Tree.iter_points tree (fun ~run ~time ->
+      if !ok && not (List.exists (fun pt -> same_lstate tree ~agent pt (run, time)) !seen)
+      then begin
+        seen := (run, time) :: !seen;
+        let given = lstate_occurs tree ~agent ~run ~time in
+        let belief = mu_cond tree (phi_at_lstate fact ~agent ~run ~time) ~given in
+        let act_here run' =
+          let len = Tree.run_length tree run' in
+          let rec scan t =
+            t < len
+            && ((same_lstate tree ~agent (run, time) (run', t)
+                 && performs tree ~agent ~act ~run:run' ~time:t)
+                || scan (t + 1))
+          in
+          scan 0
+        in
+        let act_prob = mu_cond tree act_here ~given in
+        let joint run' =
+          let len = Tree.run_length tree run' in
+          let rec scan t =
+            t < len
+            && ((same_lstate tree ~agent (run, time) (run', t)
+                 && performs tree ~agent ~act ~run:run' ~time:t
+                 && Fact.holds fact ~run:run' ~time:t)
+                || scan (t + 1))
+          in
+          scan 0
+        in
+        if not (Q.equal (Q.mul belief act_prob) (mu_cond tree joint ~given)) then ok := false
+      end);
+  !ok

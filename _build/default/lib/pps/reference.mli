@@ -1,0 +1,46 @@
+(** A deliberately naive reference implementation of the measure and
+    belief layer, straight from the paper's definitions.
+
+    Every function here recomputes from first principles — enumerating
+    runs, comparing local states pointwise, building no indexes — and
+    exists solely so the property suite can assert that the optimized
+    engine ({!Tree}'s measure, {!Belief}, {!Independence}, {!Constr})
+    agrees with an independent transcription of the definitions. If a
+    bug ever slipped into the indexed engine and a matching bug into a
+    test expectation, this second implementation would still catch it.
+
+    Do not use in application code: complexity is whatever the
+    definition dictates (typically O(runs²) or worse). *)
+
+open Pak_rational
+
+val mu : Tree.t -> (int -> bool) -> Q.t
+(** Measure of the set of runs satisfying a predicate: [Σ µ(r)]. *)
+
+val mu_cond : Tree.t -> (int -> bool) -> given:(int -> bool) -> Q.t
+(** [µ(A|B)] by the definition of conditional probability.
+    @raise Division_by_zero if [µ(B) = 0]. *)
+
+val same_lstate : Tree.t -> agent:int -> int * int -> int * int -> bool
+(** Whether the agent's local states at two points coincide: equal
+    labels at equal times (the synchrony assumption makes unequal
+    times distinguishable). *)
+
+val beta : Fact.t -> agent:int -> run:int -> time:int -> Q.t
+(** Definition 3.1, literally: [µ(ϕ@ℓ | ℓ)] where both events are
+    rebuilt by scanning all runs for occurrences of the local state. *)
+
+val performs : Tree.t -> agent:int -> act:string -> run:int -> time:int -> bool
+
+val is_proper : Tree.t -> agent:int -> act:string -> bool
+
+val mu_phi_at_alpha_given_alpha : Fact.t -> agent:int -> act:string -> Q.t
+(** [µ(ϕ@α | α)] from the definitions in Section 3.1. *)
+
+val expected_beta_at_alpha : Fact.t -> agent:int -> act:string -> Q.t
+(** Definition 6.1 as the literal sum over all runs (with the
+    convention [β@α = 0] off [R_α]). *)
+
+val local_state_independent : Fact.t -> agent:int -> act:string -> bool
+(** Definition 4.1 quantifying over every local state the agent ever
+    takes, each event rebuilt by scanning. *)

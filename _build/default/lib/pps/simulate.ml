@@ -1,0 +1,92 @@
+open Pak_rational
+
+(* Same SplitMix-style generator as Gen; duplicated locally to keep the
+   modules' streams independent. *)
+module Prng = struct
+  type t = { mutable state : int }
+
+  let create seed = { state = (seed * 2_654_435_769) lxor 0x51D2B4C7 }
+
+  let next g =
+    g.state <- (g.state + 0x1E3779B97F4A7C15) land max_int;
+    let z = g.state in
+    let z = (z lxor (z lsr 30)) * 0x1F58476D1CE4E5B9 in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+    (z lxor (z lsr 31)) land max_int
+end
+
+(* Draw a uniform rational in [0,1) with denominator 2^30 — plenty of
+   resolution against the edge probabilities that occur in practice. *)
+let uniform rng =
+  let bits = Prng.next rng land ((1 lsl 30) - 1) in
+  Q.of_ints bits (1 lsl 30)
+
+let pick rng choices =
+  (* choices: (weight, value) list with weights summing to 1. *)
+  let u = uniform rng in
+  let rec go acc = function
+    | [] -> invalid_arg "Simulate.pick: weights below 1"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest ->
+      let acc = Q.add acc w in
+      if Q.lt u acc then v else go acc rest
+  in
+  go Q.zero choices
+
+(* Leaf node -> run index. Runs are enumerated depth-first at finalize,
+   but recomputing the map here keeps Simulate independent of that
+   ordering detail. *)
+let leaf_index tree =
+  let map = Hashtbl.create (Tree.n_runs tree) in
+  for run = 0 to Tree.n_runs tree - 1 do
+    let last = Tree.run_length tree run - 1 in
+    Hashtbl.replace map (Tree.run_node tree ~run ~time:last) run
+  done;
+  map
+
+let walk tree rng leaves =
+  let node =
+    ref (pick rng (List.map (fun (p, id) -> (p, id)) (Tree.initial_nodes tree)))
+  in
+  let rec descend () =
+    match Tree.node_children tree !node with
+    | [] -> ()
+    | children ->
+      node := pick rng (List.map (fun (p, _, id) -> (p, id)) children);
+      descend ()
+  in
+  descend ();
+  Hashtbl.find leaves !node
+
+let sample_run tree ~seed =
+  let rng = Prng.create seed in
+  walk tree rng (leaf_index tree)
+
+let sample_runs tree ~samples ~seed =
+  if samples < 0 then invalid_arg "Simulate.sample_runs: negative sample count";
+  let rng = Prng.create seed in
+  let leaves = leaf_index tree in
+  Array.init samples (fun _ -> walk tree rng leaves)
+
+let estimate tree ~event ~samples ~seed =
+  if samples <= 0 then invalid_arg "Simulate.estimate: need at least one sample";
+  let runs = sample_runs tree ~samples ~seed in
+  let hits = Array.fold_left (fun acc r -> if Bitset.mem event r then acc + 1 else acc) 0 runs in
+  Q.of_ints hits samples
+
+let estimate_cond tree ~event ~given ~samples ~seed =
+  if samples <= 0 then invalid_arg "Simulate.estimate_cond: need at least one sample";
+  let runs = sample_runs tree ~samples ~seed in
+  let hits = ref 0 and given_hits = ref 0 in
+  Array.iter
+    (fun r ->
+      if Bitset.mem given r then begin
+        incr given_hits;
+        if Bitset.mem event r then incr hits
+      end)
+    runs;
+  if !given_hits = 0 then None else Some (Q.of_ints !hits !given_hits)
+
+let standard_error ~p ~samples =
+  let pf = Q.to_float p in
+  sqrt (pf *. (1. -. pf) /. float_of_int samples)

@@ -1,0 +1,31 @@
+(** Monte-Carlo simulation of a pps.
+
+    Samples runs by walking the tree from the root, choosing each child
+    with its transition probability. Estimation is the empirical
+    counterpart of {!Tree.measure}: the library never uses it for
+    theorem checking (that is exact), but it provides an independent
+    cross-check of the measure computations and a way to work with
+    systems too large to enumerate events over (sampling is O(depth)
+    per run regardless of the number of runs).
+
+    All sampling is a pure function of the [seed]. *)
+
+open Pak_rational
+
+val sample_run : Tree.t -> seed:int -> int
+(** One run index, drawn from [µ_T] (up to the 2⁻³⁰ granularity of the
+    underlying uniform draws). *)
+
+val sample_runs : Tree.t -> samples:int -> seed:int -> int array
+
+val estimate : Tree.t -> event:Bitset.t -> samples:int -> seed:int -> Q.t
+(** Empirical frequency of the event, as the exact fraction
+    hits/samples. Converges to [Tree.measure] as samples grows. *)
+
+val estimate_cond :
+  Tree.t -> event:Bitset.t -> given:Bitset.t -> samples:int -> seed:int -> Q.t option
+(** Empirical conditional frequency; [None] if no sample hit [given]. *)
+
+val standard_error : p:Q.t -> samples:int -> float
+(** [sqrt(p(1-p)/n)] — the binomial standard error, for tolerance
+    checks in tests and harnesses. *)

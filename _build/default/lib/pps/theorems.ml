@@ -1,0 +1,204 @@
+open Pak_rational
+
+(* Each checker computes hypothesis and conclusion separately and then
+   records the material implication, so that the test suite can assert
+   [respected = true] on arbitrary generated systems without first
+   filtering for the hypothesis. *)
+
+type expectation_report = {
+  mu : Q.t;
+  expected_belief : Q.t;
+  independent : bool;
+  identity : bool;
+  respected : bool;
+}
+
+let expectation_identity fact ~agent ~act =
+  let mu = Constr.mu_given_action fact ~agent ~act in
+  let expected_belief = Belief.expected_at_action fact ~agent ~act in
+  let independent = Independence.holds fact ~agent ~act in
+  let identity = Q.equal mu expected_belief in
+  { mu; expected_belief; independent; identity; respected = (not independent) || identity }
+
+type sufficiency_report = {
+  threshold : Q.t;
+  independent : bool;
+  min_belief : Q.t;
+  premise : bool;
+  mu : Q.t;
+  conclusion : bool;
+  respected : bool;
+}
+
+let sufficiency fact ~agent ~act ~p =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let min_belief =
+    match Belief.min_at_action fact ~agent ~act with
+    | Some m -> m
+    | None -> Q.one (* unreachable for proper actions *)
+  in
+  let premise = Q.geq min_belief p in
+  let mu = Constr.mu_given_action fact ~agent ~act in
+  let independent = Independence.holds fact ~agent ~act in
+  let conclusion = Q.geq mu p in
+  { threshold = p;
+    independent;
+    min_belief;
+    premise;
+    mu;
+    conclusion;
+    respected = (not (independent && premise)) || conclusion
+  }
+
+type lemma43_report = {
+  deterministic : bool;
+  past_based : bool;
+  independent : bool;
+  respected : bool;
+}
+
+let lemma43 fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let deterministic = Action.is_deterministic tree ~agent ~act in
+  let past_based = Fact.is_past_based fact in
+  let independent = Independence.holds fact ~agent ~act in
+  { deterministic;
+    past_based;
+    independent;
+    respected = (not (deterministic || past_based)) || independent
+  }
+
+type necessity_report = {
+  threshold : Q.t;
+  independent : bool;
+  constraint_holds : bool;
+  witness : (int * int) option;
+  respected : bool;
+}
+
+let necessity_exists fact ~agent ~act ~p =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let mu = Constr.mu_given_action fact ~agent ~act in
+  let constraint_holds = Q.geq mu p in
+  let independent = Independence.holds fact ~agent ~act in
+  let witness =
+    List.find_opt
+      (fun (run, time) -> Q.geq (Belief.degree fact ~agent ~run ~time) p)
+      (Action.occurrences tree ~agent ~act)
+  in
+  { threshold = p;
+    independent;
+    constraint_holds;
+    witness;
+    respected = (not (independent && constraint_holds)) || witness <> None
+  }
+
+type pak_report = {
+  eps : Q.t;
+  delta : Q.t;
+  independent : bool;
+  mu : Q.t;
+  premise : bool;
+  strong_belief_measure : Q.t;
+  conclusion : bool;
+  respected : bool;
+}
+
+let pak_general fact ~agent ~act ~eps ~delta =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let mu = Constr.mu_given_action fact ~agent ~act in
+  let independent = Independence.holds fact ~agent ~act in
+  let premise = Q.geq mu (Q.one_minus (Q.mul delta eps)) in
+  let strong_belief_measure =
+    Tree.cond tree
+      (Belief.threshold_event fact ~agent ~act ~cmp:`Geq (Q.one_minus eps))
+      ~given:(Action.runs_performing tree ~agent ~act)
+  in
+  let conclusion = Q.geq strong_belief_measure (Q.one_minus delta) in
+  { eps;
+    delta;
+    independent;
+    mu;
+    premise;
+    strong_belief_measure;
+    conclusion;
+    respected = (not (independent && premise)) || conclusion
+  }
+
+let pak fact ~agent ~act ~eps ~delta =
+  let open_unit q = Q.gt q Q.zero && Q.lt q Q.one in
+  if not (open_unit eps && open_unit delta) then
+    invalid_arg "Theorems.pak: eps and delta must lie in (0,1)";
+  pak_general fact ~agent ~act ~eps ~delta
+
+let pak_corollary fact ~agent ~act ~eps =
+  if not (Q.is_probability eps) then
+    invalid_arg "Theorems.pak_corollary: eps must lie in [0,1]";
+  pak_general fact ~agent ~act ~eps ~delta:eps
+
+type kop_report = {
+  mu : Q.t;
+  premise : bool;
+  certain_measure : Q.t;
+  conclusion : bool;
+  respected : bool;
+}
+
+let kop fact ~agent ~act =
+  let tree = Fact.tree fact in
+  Action.check_proper tree ~agent ~act;
+  let mu = Constr.mu_given_action fact ~agent ~act in
+  let independent = Independence.holds fact ~agent ~act in
+  let premise = Q.equal mu Q.one in
+  let certain_measure =
+    Tree.cond tree
+      (Belief.threshold_event fact ~agent ~act ~cmp:`Eq Q.one)
+      ~given:(Action.runs_performing tree ~agent ~act)
+  in
+  let conclusion = Q.equal certain_measure Q.one in
+  { mu;
+    premise;
+    certain_measure;
+    conclusion;
+    respected = (not (independent && premise)) || conclusion
+  }
+
+let pp_expectation fmt (r : expectation_report) =
+  Format.fprintf fmt
+    "@[<v>Theorem 6.2: µ(ϕ@@α|α) = %a, E(β@@α|α) = %a, independent=%b, identity=%b, respected=%b@]"
+    Q.pp r.mu Q.pp r.expected_belief r.independent r.identity r.respected
+
+let pp_sufficiency fmt (r : sufficiency_report) =
+  Format.fprintf fmt
+    "@[<v>Theorem 4.2 (p=%a): min β@@α = %a, premise=%b, µ=%a, conclusion=%b, independent=%b, respected=%b@]"
+    Q.pp r.threshold Q.pp r.min_belief r.premise Q.pp r.mu r.conclusion r.independent
+    r.respected
+
+let pp_lemma43 fmt (r : lemma43_report) =
+  Format.fprintf fmt
+    "@[<v>Lemma 4.3: deterministic=%b, past-based=%b, independent=%b, respected=%b@]"
+    r.deterministic r.past_based r.independent r.respected
+
+let pp_necessity fmt (r : necessity_report) =
+  Format.fprintf fmt
+    "@[<v>Lemma 5.1 (p=%a): constraint=%b, witness=%s, independent=%b, respected=%b@]"
+    Q.pp r.threshold r.constraint_holds
+    (match r.witness with
+     | Some (run, time) -> Printf.sprintf "(r%d,t%d)" run time
+     | None -> "none")
+    r.independent r.respected
+
+let pp_pak fmt (r : pak_report) =
+  Format.fprintf fmt
+    "@[<v>Theorem 7.1 (ε=%a, δ=%a): µ=%a, premise (µ ≥ 1−δε)=%b, µ(β ≥ 1−ε | α)=%a, conclusion (≥ 1−δ)=%b, respected=%b@]"
+    Q.pp r.eps Q.pp r.delta Q.pp r.mu r.premise Q.pp r.strong_belief_measure r.conclusion
+    r.respected
+
+let pp_kop fmt (r : kop_report) =
+  Format.fprintf fmt
+    "@[<v>Lemma F.1 (KoP): µ=%a, premise (µ=1)=%b, µ(β=1|α)=%a, conclusion=%b, respected=%b@]"
+    Q.pp r.mu r.premise Q.pp r.certain_measure r.conclusion r.respected

@@ -1,0 +1,113 @@
+(** Executable checkers for every theorem, lemma and corollary of the
+    paper.
+
+    Each checker evaluates, with exact rational arithmetic, both the
+    hypothesis and the conclusion of one result on a concrete pps, a
+    proper action and a fact, and reports all intermediate quantities.
+    The [respected] field of each report is the material implication
+    "hypotheses ⟹ conclusion"; the paper's results assert it is [true]
+    for {e every} pps, which the test suite and benchmark harness verify
+    on the paper's own constructions and on thousands of random systems.
+
+    All checkers raise {!Action.Not_proper} when the action is not
+    proper, since every result of the paper assumes properness. *)
+
+open Pak_rational
+
+(** {1 Theorem 6.2 — the expectation identity (main theorem)} *)
+
+type expectation_report = {
+  mu : Q.t;               (** µ(ϕ@α | α) *)
+  expected_belief : Q.t;  (** E_µ(β_i(ϕ)@α | α), Definition 6.1 *)
+  independent : bool;     (** local-state independence of ϕ from α *)
+  identity : bool;        (** [mu = expected_belief], exactly *)
+  respected : bool;       (** independent ⟹ identity *)
+}
+
+val expectation_identity : Fact.t -> agent:int -> act:string -> expectation_report
+(** Theorem 6.2: under local-state independence,
+    [µ(ϕ@α | α) = E(β_i(ϕ)@α | α)]. *)
+
+(** {1 Theorem 4.2 — sufficiency of meeting the threshold} *)
+
+type sufficiency_report = {
+  threshold : Q.t;
+  independent : bool;
+  min_belief : Q.t;        (** min of β_i(ϕ) over the α-points *)
+  premise : bool;          (** β_i(ϕ) ≥ p at every point where α is performed *)
+  mu : Q.t;                (** µ(ϕ@α | α) *)
+  conclusion : bool;       (** mu ≥ p *)
+  respected : bool;        (** (independent ∧ premise) ⟹ conclusion *)
+}
+
+val sufficiency : Fact.t -> agent:int -> act:string -> p:Q.t -> sufficiency_report
+
+(** {1 Lemma 4.3 — sufficient conditions for independence} *)
+
+type lemma43_report = {
+  deterministic : bool;   (** (a): α is a deterministic action in T *)
+  past_based : bool;      (** (b): ϕ is past-based in T *)
+  independent : bool;
+  respected : bool;       (** (deterministic ∨ past_based) ⟹ independent *)
+}
+
+val lemma43 : Fact.t -> agent:int -> act:string -> lemma43_report
+
+(** {1 Lemma 5.1 — the threshold must sometimes be met} *)
+
+type necessity_report = {
+  threshold : Q.t;
+  independent : bool;
+  constraint_holds : bool;       (** µ(ϕ@α | α) ≥ p *)
+  witness : (int * int) option;  (** a point (run, time) where α is
+                                     performed and β_i(ϕ) ≥ p *)
+  respected : bool;              (** (independent ∧ constraint) ⟹ witness exists *)
+}
+
+val necessity_exists : Fact.t -> agent:int -> act:string -> p:Q.t -> necessity_report
+
+(** {1 Theorem 7.1 and Corollary 7.2 — probably approximately knowing} *)
+
+type pak_report = {
+  eps : Q.t;
+  delta : Q.t;
+  independent : bool;
+  mu : Q.t;                     (** µ(ϕ@α | α) *)
+  premise : bool;               (** mu ≥ 1 − δ·ε *)
+  strong_belief_measure : Q.t;  (** µ(β_i(ϕ)@α ≥ 1−ε | α) *)
+  conclusion : bool;            (** strong_belief_measure ≥ 1 − δ *)
+  respected : bool;             (** (independent ∧ premise) ⟹ conclusion *)
+}
+
+val pak : Fact.t -> agent:int -> act:string -> eps:Q.t -> delta:Q.t -> pak_report
+(** Theorem 7.1. @raise Invalid_argument unless ε, δ ∈ (0,1). *)
+
+val pak_corollary : Fact.t -> agent:int -> act:string -> eps:Q.t -> pak_report
+(** Corollary 7.2 (δ = ε): if [µ(ϕ@α|α) ≥ 1−ε²] then
+    [µ(β_i(ϕ)@α ≥ 1−ε | α) ≥ 1−ε]. Accepts ε ∈ [0,1]; ε = 0 is checked
+    via {!kop} and ε = 1 holds trivially. *)
+
+(** {1 Lemma F.1 — the Knowledge-of-Preconditions limit} *)
+
+type kop_report = {
+  mu : Q.t;
+  premise : bool;           (** µ(ϕ@α | α) = 1 *)
+  certain_measure : Q.t;    (** µ(β_i(ϕ)@α = 1 | α) *)
+  conclusion : bool;        (** certain_measure = 1 *)
+  respected : bool;
+}
+
+val kop : Fact.t -> agent:int -> act:string -> kop_report
+(** Lemma F.1: if ϕ is local-state independent of α and surely holds
+    when α is performed, the agent is surely certain of ϕ when acting —
+    the probabilistic analogue of the Knowledge of Preconditions
+    principle. The [respected] field additionally requires independence. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_expectation : Format.formatter -> expectation_report -> unit
+val pp_sufficiency : Format.formatter -> sufficiency_report -> unit
+val pp_lemma43 : Format.formatter -> lemma43_report -> unit
+val pp_necessity : Format.formatter -> necessity_report -> unit
+val pp_pak : Format.formatter -> pak_report -> unit
+val pp_kop : Format.formatter -> kop_report -> unit

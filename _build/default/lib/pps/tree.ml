@@ -1,0 +1,385 @@
+open Pak_rational
+
+(* Nodes store their incoming edge (probability and joint action), so a
+   finalized tree is a flat array. Runs are enumerated at finalize time
+   as root-to-leaf node paths, and local states are indexed into events
+   (bitsets of run indices) keyed by (agent, time, label). *)
+
+type node = {
+  depth : int;
+  state : Gstate.t;
+  parent : int; (* -1 for initial states *)
+  in_prob : Q.t;
+  in_acts : string array; (* [||] for initial states *)
+  mutable children : int list; (* in insertion order after finalize *)
+}
+
+type run = { nodes : int array; meas : Q.t }
+
+type lkey = { agent : int; time : int; label : string }
+
+type t = {
+  id : int;
+  n_agents : int;
+  nodes : node array;
+  runs : run array;
+  n_points : int;
+  lstate_index : (lkey, Bitset.t) Hashtbl.t;
+  node_runs : Bitset.t array; (* runs passing through each node *)
+}
+
+let next_id = ref 0
+
+module Builder = struct
+  type tree = t
+
+  type t = {
+    b_n_agents : int;
+    mutable b_nodes : node array; (* growable; first b_count slots live *)
+    mutable b_count : int;
+  }
+
+  let dummy_node =
+    { depth = 0; state = Gstate.make ~env:"" ~locals:[ "" ]; parent = -1;
+      in_prob = Q.one; in_acts = [||]; children = [] }
+
+  let create ~n_agents =
+    if n_agents < 1 then invalid_arg "Tree.Builder.create: need at least one agent";
+    { b_n_agents = n_agents; b_nodes = Array.make 16 dummy_node; b_count = 0 }
+
+  let check_prob prob =
+    if not (Q.gt prob Q.zero && Q.leq prob Q.one) then
+      invalid_arg "Tree.Builder: edge probability must be in (0,1]"
+
+  let check_state b state =
+    if Gstate.n_agents state <> b.b_n_agents then
+      invalid_arg "Tree.Builder: global state has wrong number of agents"
+
+  let push b node =
+    if b.b_count = Array.length b.b_nodes then begin
+      let bigger = Array.make (2 * b.b_count) dummy_node in
+      Array.blit b.b_nodes 0 bigger 0 b.b_count;
+      b.b_nodes <- bigger
+    end;
+    b.b_nodes.(b.b_count) <- node;
+    b.b_count <- b.b_count + 1;
+    b.b_count - 1
+
+  let nth_node b id =
+    if id < 0 || id >= b.b_count then invalid_arg "Tree.Builder: unknown node id";
+    b.b_nodes.(id)
+
+  let add_initial b ~prob state =
+    check_prob prob;
+    check_state b state;
+    push b { depth = 0; state; parent = -1; in_prob = prob; in_acts = [||]; children = [] }
+
+  let add_child b ~parent ~prob ~acts state =
+    check_prob prob;
+    check_state b state;
+    if Array.length acts <> b.b_n_agents + 1 then
+      invalid_arg "Tree.Builder.add_child: acts must have length n_agents + 1";
+    let parent_node = nth_node b parent in
+    (* A joint action tuple determines a unique successor (Section 2.2). *)
+    List.iter
+      (fun child_id ->
+        let child = nth_node b child_id in
+        if child.in_acts = acts then
+          invalid_arg "Tree.Builder.add_child: duplicate joint action at this node")
+      parent_node.children;
+    let id =
+      push b
+        { depth = parent_node.depth + 1; state; parent; in_prob = prob; in_acts = acts;
+          children = [] }
+    in
+    parent_node.children <- id :: parent_node.children;
+    id
+
+  let finalize b : tree =
+    if b.b_count = 0 then invalid_arg "Tree.finalize: no initial states";
+    let nodes = Array.sub b.b_nodes 0 b.b_count in
+    Array.iter (fun n -> n.children <- List.rev n.children) nodes;
+    (* Edge probabilities must sum to one at the root and at every
+       internal node. *)
+    let initial_mass = ref Q.zero in
+    Array.iter (fun n -> if n.parent = -1 then initial_mass := Q.add !initial_mass n.in_prob) nodes;
+    if not (Q.equal !initial_mass Q.one) then
+      invalid_arg
+        (Format.asprintf "Tree.finalize: initial probabilities sum to %a, not 1" Q.pp
+           !initial_mass);
+    Array.iteri
+      (fun id n ->
+        match n.children with
+        | [] -> ()
+        | children ->
+          let mass = Q.sum (List.map (fun c -> nodes.(c).in_prob) children) in
+          if not (Q.equal mass Q.one) then
+            invalid_arg
+              (Format.asprintf
+                 "Tree.finalize: node %d edge probabilities sum to %a, not 1" id Q.pp mass))
+      nodes;
+    (* Enumerate runs: depth-first, recording node paths to each leaf. *)
+    let runs = ref [] in
+    let rec descend path meas id =
+      let n = nodes.(id) in
+      let path = id :: path in
+      let meas = Q.mul meas n.in_prob in
+      match n.children with
+      | [] -> runs := ({ nodes = Array.of_list (List.rev path); meas } : run) :: !runs
+      | children -> List.iter (descend path meas) children
+    in
+    Array.iteri (fun id n -> if n.parent = -1 then descend [] Q.one id) nodes;
+    let runs = Array.of_list (List.rev !runs) in
+    let n_runs = Array.length runs in
+    let n_points = Array.fold_left (fun acc (r : run) -> acc + Array.length r.nodes) 0 runs in
+    (* Index: local state -> event of runs in which it occurs; and node
+       -> event of runs passing through it. *)
+    let lstate_index = Hashtbl.create 64 in
+    let node_run_lists = Array.make b.b_count [] in
+    Array.iteri
+      (fun ri (r : run) ->
+        Array.iteri
+          (fun time node_id ->
+            node_run_lists.(node_id) <- ri :: node_run_lists.(node_id);
+            let state = nodes.(node_id).state in
+            for agent = 0 to b.b_n_agents - 1 do
+              let key = { agent; time; label = Gstate.local state agent } in
+              let prev =
+                match Hashtbl.find_opt lstate_index key with
+                | Some s -> s
+                | None -> Bitset.create n_runs
+              in
+              Hashtbl.replace lstate_index key (Bitset.add prev ri)
+            done)
+          r.nodes)
+      runs;
+    let node_runs = Array.map (Bitset.of_list n_runs) node_run_lists in
+    incr next_id;
+    { id = !next_id;
+      n_agents = b.b_n_agents;
+      nodes;
+      runs;
+      n_points;
+      lstate_index;
+      node_runs
+    }
+end
+
+let tree_id t = t.id
+let n_agents t = t.n_agents
+let n_nodes t = Array.length t.nodes
+let n_runs t = Array.length t.runs
+let n_points t = t.n_points
+
+let check_node t id name =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg (name ^ ": unknown node id")
+
+let check_run t r name =
+  if r < 0 || r >= Array.length t.runs then invalid_arg (name ^ ": unknown run index")
+
+let node_state t id = check_node t id "Tree.node_state"; t.nodes.(id).state
+let node_depth t id = check_node t id "Tree.node_depth"; t.nodes.(id).depth
+
+let node_parent t id =
+  check_node t id "Tree.node_parent";
+  match t.nodes.(id).parent with -1 -> None | p -> Some p
+
+let node_children t id =
+  check_node t id "Tree.node_children";
+  List.map
+    (fun c -> (t.nodes.(c).in_prob, t.nodes.(c).in_acts, c))
+    t.nodes.(id).children
+
+let initial_nodes t =
+  Array.to_list t.nodes
+  |> List.mapi (fun id n -> (id, n))
+  |> List.filter_map (fun (id, n) -> if n.parent = -1 then Some (n.in_prob, id) else None)
+
+let run_length t r = check_run t r "Tree.run_length"; Array.length t.runs.(r).nodes
+let run_measure t r = check_run t r "Tree.run_measure"; t.runs.(r).meas
+
+let run_node t ~run ~time =
+  check_run t run "Tree.run_node";
+  let nodes = t.runs.(run).nodes in
+  if time < 0 || time >= Array.length nodes then
+    invalid_arg "Tree.run_node: time out of range for run";
+  nodes.(time)
+
+let runs_agree_upto t r1 r2 ~time =
+  check_run t r1 "Tree.runs_agree_upto";
+  check_run t r2 "Tree.runs_agree_upto";
+  let n1 = t.runs.(r1).nodes and n2 = t.runs.(r2).nodes in
+  time < Array.length n1 && time < Array.length n2 && n1.(time) = n2.(time)
+
+let iter_points t f =
+  Array.iteri
+    (fun run (r : run) ->
+      for time = 0 to Array.length r.nodes - 1 do
+        f ~run ~time
+      done)
+    t.runs
+
+let fold_points t ~init ~f =
+  let acc = ref init in
+  iter_points t (fun ~run ~time -> acc := f !acc ~run ~time);
+  !acc
+
+let all_runs t = Bitset.full (Array.length t.runs)
+let empty_event t = Bitset.create (Array.length t.runs)
+
+let measure t ev =
+  if Bitset.capacity ev <> Array.length t.runs then
+    invalid_arg "Tree.measure: event capacity does not match run count";
+  Bitset.fold (fun r acc -> Q.add acc t.runs.(r).meas) ev Q.zero
+
+let cond t a ~given =
+  let mb = measure t given in
+  if Q.is_zero mb then raise Division_by_zero;
+  Q.div (measure t (Bitset.inter a given)) mb
+
+let lkey t ~agent ~run ~time =
+  if agent < 0 || agent >= t.n_agents then invalid_arg "Tree.lkey: agent out of range";
+  let node = run_node t ~run ~time in
+  { agent; time; label = Gstate.local t.nodes.(node).state agent }
+
+let lkey_make ~agent ~time ~label = { agent; time; label }
+let lkey_agent k = k.agent
+let lkey_time k = k.time
+let lkey_label k = k.label
+let lkey_equal a b = a = b
+
+let pp_lkey fmt k = Format.fprintf fmt "agent %d @@ t=%d: %s" k.agent k.time k.label
+
+let lstate_runs t key =
+  match Hashtbl.find_opt t.lstate_index key with
+  | Some s -> s
+  | None -> empty_event t
+
+let lstates t ~agent =
+  Hashtbl.fold (fun k _ acc -> if k.agent = agent then k :: acc else acc) t.lstate_index []
+  |> List.sort compare
+
+let action_at t ~agent ~run ~time =
+  if agent < 0 || agent >= t.n_agents then invalid_arg "Tree.action_at: agent out of range";
+  check_run t run "Tree.action_at";
+  let nodes = t.runs.(run).nodes in
+  if time < 0 || time >= Array.length nodes then
+    invalid_arg "Tree.action_at: time out of range for run";
+  if time = Array.length nodes - 1 then None
+  else Some t.nodes.(nodes.(time + 1)).in_acts.(agent + 1)
+
+let env_action_at t ~run ~time =
+  check_run t run "Tree.env_action_at";
+  let nodes = t.runs.(run).nodes in
+  if time < 0 || time >= Array.length nodes then
+    invalid_arg "Tree.env_action_at: time out of range for run";
+  if time = Array.length nodes - 1 then None else Some t.nodes.(nodes.(time + 1)).in_acts.(0)
+
+let agent_actions t ~agent =
+  if agent < 0 || agent >= t.n_agents then invalid_arg "Tree.agent_actions: agent out of range";
+  let acc = Hashtbl.create 16 in
+  Array.iter
+    (fun n -> if Array.length n.in_acts > 0 then Hashtbl.replace acc n.in_acts.(agent + 1) ())
+    t.nodes;
+  Hashtbl.fold (fun a () l -> a :: l) acc [] |> List.sort String.compare
+
+let check_protocol_consistency t =
+  (* Per-node conditional action distribution for an agent: sum of
+     outgoing edge probabilities by the agent's action label; [None] at
+     leaves (no action performed). *)
+  let node_dist node agent =
+    match t.nodes.(node).children with
+    | [] -> None
+    | children ->
+      let acc = Hashtbl.create 4 in
+      List.iter
+        (fun c ->
+          let child = t.nodes.(c) in
+          let a = child.in_acts.(agent + 1) in
+          let prev = match Hashtbl.find_opt acc a with Some q -> q | None -> Q.zero in
+          Hashtbl.replace acc a (Q.add prev child.in_prob))
+        children;
+      Some (Hashtbl.fold (fun a q l -> (a, q) :: l) acc [] |> List.sort compare)
+  in
+  (* Nodes grouped by (agent, lkey). *)
+  let groups = Hashtbl.create 64 in
+  Array.iteri
+    (fun id n ->
+      for agent = 0 to t.n_agents - 1 do
+        let key = { agent; time = n.depth; label = Gstate.local n.state agent } in
+        let prev = match Hashtbl.find_opt groups key with Some l -> l | None -> [] in
+        Hashtbl.replace groups key (id :: prev)
+      done)
+    t.nodes;
+  let violations = ref [] in
+  Hashtbl.iter
+    (fun key nodes ->
+      let agent = key.agent in
+      match List.map (fun id -> node_dist id agent) nodes with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        List.iter
+          (fun d ->
+            if d <> first then begin
+              (* Name one action on which they differ, or <none> when a
+                 final point mixes with non-final ones. *)
+              let offending =
+                match (first, d) with
+                | Some xs, Some ys ->
+                  let labels = List.sort_uniq compare (List.map fst (xs @ ys)) in
+                  (try
+                     List.find
+                       (fun a -> List.assoc_opt a xs <> List.assoc_opt a ys)
+                       labels
+                   with Not_found -> "<none>")
+                | _ -> "<none>"
+              in
+              if
+                not
+                  (List.exists
+                     (fun (ag, k, a) -> ag = agent && k = key && a = offending)
+                     !violations)
+              then violations := (agent, key, offending) :: !violations
+            end)
+          rest)
+    groups;
+  List.sort compare !violations
+
+let check_labels_synchronous t =
+  (* Report (agent, label) pairs appearing at more than one depth. *)
+  let seen = Hashtbl.create 64 in
+  let offenders = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun k _ ->
+      match Hashtbl.find_opt seen (k.agent, k.label) with
+      | Some time when time <> k.time -> Hashtbl.replace offenders (k.agent, k.label) ()
+      | Some _ -> ()
+      | None -> Hashtbl.add seen (k.agent, k.label) k.time)
+    t.lstate_index;
+  Hashtbl.fold (fun k () acc -> k :: acc) offenders [] |> List.sort compare
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph pps {\n  rankdir=TB;\n  lambda [label=\"λ\", shape=point];\n";
+  Array.iteri
+    (fun id n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\nt=%d\", shape=box];\n" id
+           (String.concat "|" (n.state.Gstate.env :: Array.to_list n.state.Gstate.locals))
+           n.depth))
+    t.nodes;
+  Array.iteri
+    (fun id n ->
+      let src = if n.parent = -1 then "lambda" else Printf.sprintf "n%d" n.parent in
+      let acts =
+        if Array.length n.in_acts = 0 then ""
+        else "\\n" ^ String.concat "," (Array.to_list n.in_acts)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> n%d [label=\"%s%s\"];\n" src id (Q.to_string n.in_prob) acts))
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Used by the node-constancy test for past-based facts. *)
+let node_runs t id = check_node t id "Tree.node_runs"; t.node_runs.(id)

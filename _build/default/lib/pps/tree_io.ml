@@ -1,0 +1,203 @@
+open Pak_rational
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let quote buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "(pps (agents %d)\n" (Tree.n_agents tree));
+  (* Emit nodes in id order. Initial nodes carry parent -1; every other
+     node's incoming edge is found through its parent's children. *)
+  let incoming = Hashtbl.create 64 in
+  List.iter
+    (fun (prob, id) -> Hashtbl.replace incoming id (prob, [||], -1))
+    (Tree.initial_nodes tree);
+  for id = 0 to Tree.n_nodes tree - 1 do
+    List.iter
+      (fun (prob, acts, child) -> Hashtbl.replace incoming child (prob, acts, id))
+      (Tree.node_children tree id)
+  done;
+  for id = 0 to Tree.n_nodes tree - 1 do
+    let prob, acts, parent =
+      match Hashtbl.find_opt incoming id with
+      | Some v -> v
+      | None -> invalid_arg "Tree_io.to_string: orphan node"
+    in
+    let state = Tree.node_state tree id in
+    Buffer.add_string buf
+      (Printf.sprintf "  (node (parent %d) (prob %s) (acts" parent (Q.to_string prob));
+    Array.iter
+      (fun a ->
+        Buffer.add_char buf ' ';
+        quote buf a)
+      acts;
+    Buffer.add_string buf ") (env ";
+    quote buf state.Gstate.env;
+    Buffer.add_string buf ") (locals";
+    Array.iter
+      (fun l ->
+        Buffer.add_char buf ' ';
+        quote buf l)
+      state.Gstate.locals;
+    Buffer.add_string buf "))\n"
+  done;
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a minimal s-expression reader                              *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then begin
+      tokens := `Open :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := `Close :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match input.[!i] with
+         | '"' -> closed := true
+         | '\\' ->
+           if !i + 1 >= n then raise (Parse_error "dangling escape in string");
+           incr i;
+           Buffer.add_char buf input.[!i]
+         | c -> Buffer.add_char buf c);
+        incr i
+      done;
+      if not !closed then raise (Parse_error "unterminated string");
+      tokens := `Str (Buffer.contents buf) :: !tokens
+    end
+    else begin
+      let j = ref !i in
+      while
+        !j < n
+        &&
+        let c = input.[!j] in
+        c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r' && c <> '(' && c <> ')' && c <> '"'
+      do
+        incr j
+      done;
+      tokens := `Atom (String.sub input !i (!j - !i)) :: !tokens;
+      i := !j
+    end
+  done;
+  List.rev !tokens
+
+let parse_sexp tokens =
+  let rec parse = function
+    | [] -> raise (Parse_error "unexpected end of input")
+    | `Open :: rest ->
+      let items, rest = parse_list rest in
+      (List items, rest)
+    | `Close :: _ -> raise (Parse_error "unexpected ')'")
+    | `Atom a :: rest -> (Atom a, rest)
+    | `Str s :: rest -> (Str s, rest)
+  and parse_list tokens =
+    match tokens with
+    | `Close :: rest -> ([], rest)
+    | [] -> raise (Parse_error "unterminated '('")
+    | _ ->
+      let item, rest = parse tokens in
+      let items, rest = parse_list rest in
+      (item :: items, rest)
+  in
+  match parse tokens with
+  | sexp, [] -> sexp
+  | _, _ -> raise (Parse_error "trailing input after document")
+
+(* ------------------------------------------------------------------ *)
+(* Document interpretation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let field name = function
+  | List (Atom key :: rest) when key = name -> rest
+  | _ -> raise (Parse_error (Printf.sprintf "expected (%s ...)" name))
+
+let as_int what = function
+  | Atom a ->
+    (match int_of_string_opt a with
+     | Some v -> v
+     | None -> raise (Parse_error (what ^ ": not an integer")))
+  | _ -> raise (Parse_error (what ^ ": not an integer"))
+
+let as_string what = function
+  | Str s -> s
+  | _ -> raise (Parse_error (what ^ ": not a string"))
+
+let as_q what = function
+  | Atom a ->
+    (try Q.of_string a
+     with _ -> raise (Parse_error (what ^ ": not a rational")))
+  | _ -> raise (Parse_error (what ^ ": not a rational"))
+
+let of_string input =
+  match parse_sexp (tokenize input) with
+  | List (Atom "pps" :: header :: nodes) ->
+    let n_agents =
+      match field "agents" header with
+      | [ v ] -> as_int "agents" v
+      | _ -> raise (Parse_error "(agents n) expected")
+    in
+    let b = Tree.Builder.create ~n_agents in
+    List.iter
+      (fun node ->
+        match node with
+        | List (Atom "node" :: fields) ->
+          (match fields with
+           | [ parent_f; prob_f; acts_f; env_f; locals_f ] ->
+             let parent =
+               match field "parent" parent_f with
+               | [ v ] -> as_int "parent" v
+               | _ -> raise (Parse_error "(parent id) expected")
+             in
+             let prob =
+               match field "prob" prob_f with
+               | [ v ] -> as_q "prob" v
+               | _ -> raise (Parse_error "(prob q) expected")
+             in
+             let acts =
+               field "acts" acts_f |> List.map (as_string "acts") |> Array.of_list
+             in
+             let env =
+               match field "env" env_f with
+               | [ v ] -> as_string "env" v
+               | _ -> raise (Parse_error "(env label) expected")
+             in
+             let locals = field "locals" locals_f |> List.map (as_string "locals") in
+             let state = Gstate.make ~env ~locals in
+             if parent = -1 then ignore (Tree.Builder.add_initial b ~prob state)
+             else ignore (Tree.Builder.add_child b ~parent ~prob ~acts state)
+           | _ -> raise (Parse_error "node: expected (parent)(prob)(acts)(env)(locals)"))
+        | _ -> raise (Parse_error "expected (node ...)"))
+      nodes;
+    Tree.Builder.finalize b
+  | _ -> raise (Parse_error "expected (pps (agents n) (node ...) ...)")

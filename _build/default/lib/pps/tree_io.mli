@@ -1,0 +1,27 @@
+(** Textual serialization of pps trees.
+
+    A tree serializes to a small s-expression document:
+
+    {v
+    (pps (agents 2)
+      (node (parent -1) (prob 1/2) (acts) (env "e") (locals "a" "b"))
+      (node (parent 0) (prob 9/10) (acts "env" "x" "y") (env "e") (locals "a" "c")))
+    v}
+
+    Nodes appear in id order (so parents always precede children), with
+    [parent -1] marking initial states. Labels are quoted strings with
+    ["\\"]-escapes for quotes and backslashes; probabilities are exact
+    rationals. Parsing rebuilds the tree through {!Tree.Builder}, so
+    every structural invariant is re-validated on load; a parsed tree
+    is observationally identical to the original (same runs, measures,
+    labels, actions — checked in the test suite). *)
+
+val to_string : Tree.t -> string
+
+exception Parse_error of string
+
+val of_string : string -> Tree.t
+(** @raise Parse_error on malformed documents.
+    @raise Invalid_argument when the document is well-formed but
+    violates a tree invariant (bad probabilities, duplicate joint
+    actions, …) — the same errors {!Tree.Builder} raises. *)

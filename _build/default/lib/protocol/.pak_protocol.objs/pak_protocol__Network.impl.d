@@ -1,0 +1,1 @@
+lib/protocol/network.ml: Dist Fun List Pak_dist Pak_rational Printf Q String

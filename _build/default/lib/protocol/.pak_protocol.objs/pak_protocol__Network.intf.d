@@ -1,0 +1,1 @@
+lib/protocol/network.mli: Dist Pak_dist Pak_rational Q

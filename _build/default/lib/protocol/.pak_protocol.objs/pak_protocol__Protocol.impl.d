@@ -1,0 +1,1 @@
+lib/protocol/protocol.ml: Array Dist Format Gstate List Pak_dist Pak_pps Pak_rational Q Tree

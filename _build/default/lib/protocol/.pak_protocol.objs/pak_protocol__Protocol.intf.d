@@ -1,0 +1,1 @@
+lib/protocol/protocol.mli: Dist Pak_dist Pak_pps Pak_rational Q Tree

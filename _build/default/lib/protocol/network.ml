@@ -1,0 +1,19 @@
+open Pak_rational
+open Pak_dist
+
+type msg = { src : int; dst : int; payload : string }
+
+let msg ~src ~dst payload = { src; dst; payload }
+
+let delivery_patterns ~loss msgs =
+  if not (Q.is_probability loss) then
+    invalid_arg "Network.delivery_patterns: loss must be a probability";
+  let deliver = Q.one_minus loss in
+  let coins = List.map (fun m -> Dist.coin deliver ~yes:(Some m) ~no:None) msgs in
+  Dist.map (List.filter_map Fun.id) (Dist.product_list coins)
+
+let pattern_label pattern =
+  let one m = Printf.sprintf "%d>%d:%s" m.src m.dst m.payload in
+  Printf.sprintf "deliver{%s}" (String.concat "," (List.map one pattern))
+
+let delivered pattern ~dst = List.filter (fun m -> m.dst = dst) pattern

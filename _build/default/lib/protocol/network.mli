@@ -1,0 +1,31 @@
+(** Synchronous lossy message passing — the communication substrate of
+    Example 1 and of the coordinated-attack systems.
+
+    Messages sent in a round are delivered at the end of that round or
+    lost, each independently with a fixed loss probability (no late or
+    reordered delivery, as in the paper's model). The environment's
+    probabilistic choice in a round is a {e delivery pattern}: the
+    subset of that round's messages that get through. *)
+
+open Pak_rational
+open Pak_dist
+
+type msg = { src : int; dst : int; payload : string }
+
+val msg : src:int -> dst:int -> string -> msg
+
+val delivery_patterns : loss:Q.t -> msg list -> msg list Dist.t
+(** All subsets of the given messages as delivery outcomes, with the
+    product Bernoulli probabilities (each message is delivered
+    independently with probability [1 - loss]). With [loss = 0] or an
+    empty message list this is a point mass. The order of messages
+    within each outcome follows the input order.
+    @raise Invalid_argument if [loss] is not a probability. *)
+
+val pattern_label : msg list -> string
+(** Compact textual encoding of a delivery pattern, usable as an
+    environment action label ("deliver{1>2:m1,2>1:ack}" or
+    "deliver{}"). *)
+
+val delivered : msg list -> dst:int -> msg list
+(** Messages of a pattern addressed to the given agent. *)

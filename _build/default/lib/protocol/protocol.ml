@@ -1,0 +1,76 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+
+type ('env, 'ls, 'act) spec = {
+  n_agents : int;
+  horizon : int;
+  init : (('env * 'ls array) * Q.t) list;
+  env_protocol : time:int -> 'env -> 'act Dist.t;
+  agent_protocol : agent:int -> time:int -> 'ls -> 'act Dist.t;
+  transition : time:int -> 'env * 'ls array -> 'act -> 'act array -> 'env * 'ls array;
+  halts : time:int -> 'env * 'ls array -> bool;
+  env_label : 'env -> string;
+  agent_label : agent:int -> 'ls -> string;
+  act_label : 'act -> string;
+}
+
+let check_spec spec =
+  if spec.n_agents < 1 then invalid_arg "Protocol.compile: need at least one agent";
+  if spec.horizon < 1 then invalid_arg "Protocol.compile: horizon must be at least 1";
+  let total = Q.sum (List.map snd spec.init) in
+  if not (Q.equal total Q.one) then
+    invalid_arg
+      (Format.asprintf "Protocol.compile: initial probabilities sum to %a, not 1" Q.pp total)
+
+let gstate_of spec (env, locals) =
+  Gstate.make ~env:(spec.env_label env)
+    ~locals:(List.init spec.n_agents (fun i -> spec.agent_label ~agent:i locals.(i)))
+
+(* One round's joint outcomes at a global state: the independent
+   product of the environment's choice and every agent's choice, with
+   the resulting successor state. *)
+let round_outcomes spec ~time (env, locals) =
+  let env_dist = spec.env_protocol ~time env in
+  let agent_dists =
+    List.init spec.n_agents (fun i -> spec.agent_protocol ~agent:i ~time locals.(i))
+  in
+  let joint = Dist.product env_dist (Dist.product_list agent_dists) in
+  List.map
+    (fun ((env_act, agent_acts), prob) ->
+      let agent_acts = Array.of_list agent_acts in
+      let labels =
+        Array.of_list (spec.act_label env_act :: List.map spec.act_label (Array.to_list agent_acts))
+      in
+      let next = spec.transition ~time (env, locals) env_act agent_acts in
+      (prob, labels, next))
+    (Dist.to_list joint)
+
+let compile spec =
+  check_spec spec;
+  let b = Tree.Builder.create ~n_agents:spec.n_agents in
+  let rec expand node config time =
+    if time < spec.horizon && not (spec.halts ~time config) then
+      List.iter
+        (fun (prob, acts, next) ->
+          let child = Tree.Builder.add_child b ~parent:node ~prob ~acts (gstate_of spec next) in
+          expand child next (time + 1))
+        (round_outcomes spec ~time config)
+  in
+  List.iter
+    (fun (config, prob) ->
+      let node = Tree.Builder.add_initial b ~prob (gstate_of spec config) in
+      expand node config 0)
+    spec.init;
+  Tree.Builder.finalize b
+
+let count_nodes spec =
+  check_spec spec;
+  let count = ref 0 in
+  let rec expand config time =
+    incr count;
+    if time < spec.horizon && not (spec.halts ~time config) then
+      List.iter (fun (_, _, next) -> expand next (time + 1)) (round_outcomes spec ~time config)
+  in
+  List.iter (fun (config, _) -> expand config 0) spec.init;
+  !count

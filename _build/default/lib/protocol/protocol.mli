@@ -1,0 +1,60 @@
+(** Probabilistic joint protocols and their compilation into pps trees
+    (paper, Section 2.2).
+
+    A {!spec} packages, for a fixed adversary (initial-state
+    distribution plus a probabilistic environment):
+    - a probabilistic protocol [P_i : L_i → ∆(Act_i)] per agent — a
+      distribution over actions as a function of the agent's local
+      state (and the time, which by synchrony is part of the local
+      state);
+    - a probabilistic environment protocol over environment actions
+      (delivery patterns, coin flips, scheduling choices);
+    - a deterministic transition function: the joint action performed
+      at a global state determines the unique successor state.
+
+    {!compile} unrolls a spec to the bounded horizon, producing exactly
+    the paper's pps tree: one node per reachable (history, state), one
+    edge per joint action in the support, with the product transition
+    probability. Since protocols terminate in bounded time and supports
+    are finite, the tree is finite.
+
+    Labelling functions name local states and actions in the tree.
+    [agent_label] {b must be injective} on the local states reachable
+    at each time: two distinct local states mapped to the same label
+    would be conflated into one information set, silently changing the
+    agents' beliefs. (Post-compile,
+    {!Pak_pps.Tree.check_protocol_consistency} will usually catch such
+    conflation, since the conflated states rarely share an action
+    distribution.) *)
+
+open Pak_rational
+open Pak_dist
+open Pak_pps
+
+type ('env, 'ls, 'act) spec = {
+  n_agents : int;
+  horizon : int;                       (** maximum number of rounds *)
+  init : (('env * 'ls array) * Q.t) list;
+      (** initial global states with probabilities summing to 1 *)
+  env_protocol : time:int -> 'env -> 'act Dist.t;
+  agent_protocol : agent:int -> time:int -> 'ls -> 'act Dist.t;
+  transition : time:int -> 'env * 'ls array -> 'act -> 'act array -> 'env * 'ls array;
+      (** [transition ~time (env, locals) env_act agent_acts] is the
+          unique successor global state *)
+  halts : time:int -> 'env * 'ls array -> bool;
+      (** stop expanding this branch before the horizon (a leaf) *)
+  env_label : 'env -> string;
+  agent_label : agent:int -> 'ls -> string;
+  act_label : 'act -> string;          (** must be injective on each
+                                           distribution's support *)
+}
+
+val compile : ('env, 'ls, 'act) spec -> Tree.t
+(** Unroll the joint protocol to a pps tree.
+    @raise Invalid_argument if the initial probabilities do not sum
+    to 1, if [horizon < 1] or [n_agents < 1], or if [act_label]
+    collides on a support (reported as a duplicate joint action). *)
+
+val count_nodes : ('env, 'ls, 'act) spec -> int
+(** Number of tree nodes [compile] would create, without building
+    facts/indexes — useful to sanity-check a spec's size first. *)

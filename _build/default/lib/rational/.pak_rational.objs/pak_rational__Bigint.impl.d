@@ -1,0 +1,1 @@
+lib/rational/bigint.ml: Bignat Format Stdlib String

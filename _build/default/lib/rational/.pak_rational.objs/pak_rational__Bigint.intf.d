@@ -1,0 +1,1 @@
+lib/rational/bigint.mli: Bignat Format

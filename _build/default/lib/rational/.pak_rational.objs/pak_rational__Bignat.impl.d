@@ -1,0 +1,1 @@
+lib/rational/bignat.ml: Array Buffer Format List Printf Seq Stdlib String

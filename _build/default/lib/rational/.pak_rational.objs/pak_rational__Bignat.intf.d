@@ -1,0 +1,1 @@
+lib/rational/bignat.mli: Format

@@ -1,0 +1,1 @@
+lib/rational/q.ml: Bigint Bignat Buffer Format List Seq Stdlib String

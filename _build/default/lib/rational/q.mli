@@ -1,0 +1,110 @@
+(** Exact rational numbers.
+
+    Every probability and degree of belief in the library is a value of
+    this type, so theorem checks such as the expectation identity of
+    Theorem 6.2 ([µ(ϕ@α|α) = E(β_i(ϕ)@α|α)]) are decided as exact
+    equalities rather than floating-point approximations.
+
+    Values are kept in lowest terms with a strictly positive denominator;
+    zero is canonically [0/1]. Equality is therefore structural. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val half : t
+val minus_one : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints n d] is [n/d].
+    @raise Division_by_zero if [d = 0]. *)
+
+val of_string : string -> t
+(** Accepts ["n"], ["n/d"], and decimal notation ["0.95"], ["-1.25"],
+    each part optionally signed. Underscores are ignored inside numerals.
+    @raise Invalid_argument on malformed input.
+    @raise Division_by_zero on a zero denominator. *)
+
+(** {1 Accessors and conversions} *)
+
+val num : t -> Bigint.t
+val den : t -> Bignat.t
+val to_string : t -> string
+(** Lowest-terms rendering: ["3/4"], ["-1/2"], or just ["5"] when the
+    denominator is one. *)
+
+val to_decimal_string : ?digits:int -> t -> string
+(** Decimal rendering truncated to [digits] (default 6) fractional digits,
+    for human-facing reports. Exact when the expansion terminates within
+    [digits]; otherwise suffixed with ["…"]. *)
+
+val to_float : t -> float
+(** Nearest float, for display and plotting only — never used in proofs. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_probability : t -> bool
+(** [0 <= q <= 1]. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val pow : t -> int -> t
+(** Integer exponent of either sign.
+    @raise Division_by_zero when raising zero to a negative power. *)
+
+val sum : t list -> t
+val one_minus : t -> t
+(** [one_minus q] is [1 - q], the complement of a probability. *)
+
+(** {1 Infix operators}
+
+    [open Q.Infix] (or a local [let open]) for formula-dense code. *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+val pp : Format.formatter -> t -> unit

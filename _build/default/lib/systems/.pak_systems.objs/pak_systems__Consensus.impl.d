@@ -1,0 +1,1 @@
+lib/systems/consensus.ml: Action Array Belief Constr Dist Fact Gstate Independence List Pak_dist Pak_pps Pak_protocol Pak_rational Printf Protocol Q String

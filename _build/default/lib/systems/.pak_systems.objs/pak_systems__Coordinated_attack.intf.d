@@ -1,0 +1,1 @@
+lib/systems/coordinated_attack.mli: Fact Pak_pps Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/systems/figure_one.ml: Belief Constr Fact Gstate Independence Pak_pps Pak_rational Q Theorems Tree

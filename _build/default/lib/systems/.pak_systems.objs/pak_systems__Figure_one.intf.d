@@ -1,0 +1,1 @@
+lib/systems/figure_one.mli: Fact Pak_pps Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/systems/firing_squad.ml: Action Array Belief Constr Dist Fact Independence List Option Pak_dist Pak_pps Pak_protocol Pak_rational Printf Protocol Q Tree

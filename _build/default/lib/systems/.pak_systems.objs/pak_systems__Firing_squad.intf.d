@@ -1,0 +1,1 @@
+lib/systems/firing_squad.mli: Fact Pak_pps Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/systems/interactive_proof.ml: Action Array Belief Bigint Constr Dist Fact Gstate Independence List Pak_dist Pak_pps Pak_protocol Pak_rational Protocol Q Tree

@@ -1,0 +1,1 @@
+lib/systems/interactive_proof.mli: Fact Pak_pps Pak_rational Q Tree

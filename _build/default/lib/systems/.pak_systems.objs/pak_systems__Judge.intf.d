@@ -1,0 +1,1 @@
+lib/systems/judge.mli: Fact Pak_pps Pak_rational Q Tree

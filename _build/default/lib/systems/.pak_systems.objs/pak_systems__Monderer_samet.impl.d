@@ -1,0 +1,1 @@
+lib/systems/monderer_samet.ml: Belief Bitset Fact Gstate List Pak_pps Pak_rational Printf Q Tree

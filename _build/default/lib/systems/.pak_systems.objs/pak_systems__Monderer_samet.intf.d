@@ -1,0 +1,1 @@
+lib/systems/monderer_samet.mli: Fact Pak_pps Pak_rational Q Tree

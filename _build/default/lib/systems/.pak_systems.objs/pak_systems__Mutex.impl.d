@@ -1,0 +1,1 @@
+lib/systems/mutex.ml: Action Array Belief Constr Dist Fact Independence Pak_dist Pak_pps Pak_protocol Pak_rational Printf Protocol Q Tree

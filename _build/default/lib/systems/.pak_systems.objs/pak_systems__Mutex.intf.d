@@ -1,0 +1,1 @@
+lib/systems/mutex.mli: Fact Pak_pps Pak_rational Q Tree

@@ -1,0 +1,1 @@
+lib/systems/threshold_gap.ml: Action Belief Constr Fact Gstate Independence List Pak_pps Pak_rational Q Tree

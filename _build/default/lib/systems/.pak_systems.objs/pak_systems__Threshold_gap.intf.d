@@ -1,0 +1,1 @@
+lib/systems/threshold_gap.mli: Fact Pak_pps Pak_rational Q Tree

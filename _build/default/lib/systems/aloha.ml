@@ -1,0 +1,114 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+(* An agent's local state is its own observation history, one character
+   per elapsed slot: 'i' = stayed idle, 'c' = transmitted and collided.
+   A successful transmission moves the agent to Done (suffix 's'). *)
+type ls = Active of string | Done of string
+type act = Tx of int | Wait
+
+let tx ~slot = Printf.sprintf "tx%d" slot
+
+let act_label = function Tx slot -> tx ~slot | Wait -> "wait"
+
+let agent_label ~agent:_ = function
+  | Active h -> "a:" ^ h
+  | Done h -> "d:" ^ h
+
+let spec ~p_tx ~n ~slots : (unit, ls, act) Protocol.spec =
+  { n_agents = n;
+    horizon = slots;
+    init = [ (((), Array.make n (Active "")), Q.one) ];
+    env_protocol = (fun ~time:_ () -> Dist.return Wait);
+    agent_protocol =
+      (fun ~agent:_ ~time ls ->
+        match ls with
+        | Active _ -> Dist.coin p_tx ~yes:(Tx time) ~no:Wait
+        | Done _ -> Dist.return Wait);
+    transition =
+      (fun ~time ((), locals) _ agent_acts ->
+        let transmitters = ref 0 in
+        Array.iter (fun a -> if a = Tx time then incr transmitters) agent_acts;
+        let next i ls =
+          match (ls, agent_acts.(i)) with
+          | Active h, Tx _ -> if !transmitters = 1 then Done (h ^ "s") else Active (h ^ "c")
+          | Active h, Wait -> Active (h ^ "i")
+          | (Done _ as d), _ -> d
+        in
+        ((), Array.mapi next locals));
+    halts = (fun ~time:_ ((), locals) ->
+        Array.for_all (function Done _ -> true | Active _ -> false) locals);
+    env_label = (fun () -> "chan");
+    agent_label;
+    act_label
+  }
+
+let tree ?(p_tx = Q.half) ~n ~slots () =
+  if n < 2 then invalid_arg "Aloha.tree: need at least two agents";
+  if slots < 1 then invalid_arg "Aloha.tree: need at least one slot";
+  if not (Q.gt p_tx Q.zero && Q.leq p_tx Q.one) then
+    invalid_arg "Aloha.tree: p_tx must lie in (0,1]";
+  Protocol.compile (spec ~p_tx ~n ~slots)
+
+let phi_free t ~agent ~slot =
+  let others =
+    List.filter (fun j -> j <> agent) (List.init (Tree.n_agents t) Fun.id)
+  in
+  Fact.not_
+    (Fact.disj t (List.map (fun j -> Fact.does t ~agent:j ~act:(tx ~slot)) others))
+
+type analysis = {
+  n : int;
+  slots : int;
+  p_tx : Q.t;
+  mu_free_by_slot : (int * Q.t) list;
+  belief_by_slot : (int * Q.t) list;
+  throughput : Q.t;
+  independent : bool;
+}
+
+let analyze ?(p_tx = Q.half) ~n ~slots () =
+  let t = tree ~p_tx ~n ~slots () in
+  let slots_list = List.init slots Fun.id in
+  let per_slot f =
+    List.filter_map
+      (fun slot ->
+        let act = tx ~slot in
+        if Action.is_proper t ~agent:0 ~act then Some (slot, f slot act) else None)
+      slots_list
+  in
+  let throughput =
+    let acc = ref Q.zero in
+    for run = 0 to Tree.n_runs t - 1 do
+      let last = Tree.run_length t run - 1 in
+      let state = Tree.node_state t (Tree.run_node t ~run ~time:last) in
+      let done_count = ref 0 in
+      for i = 0 to n - 1 do
+        if String.length (Gstate.local state i) > 0 && (Gstate.local state i).[0] = 'd' then
+          incr done_count
+      done;
+      acc := Q.add !acc (Q.mul (Tree.run_measure t run) (Q.of_ints !done_count n))
+    done;
+    !acc
+  in
+  { n;
+    slots;
+    p_tx;
+    mu_free_by_slot =
+      per_slot (fun slot act -> Constr.mu_given_action (phi_free t ~agent:0 ~slot) ~agent:0 ~act);
+    belief_by_slot =
+      per_slot (fun slot act ->
+          match Belief.min_at_action (phi_free t ~agent:0 ~slot) ~agent:0 ~act with
+          | Some b -> b
+          | None -> Q.one);
+    throughput;
+    independent =
+      List.for_all
+        (fun slot ->
+          let act = tx ~slot in
+          (not (Action.is_proper t ~agent:0 ~act))
+          || Independence.holds (phi_free t ~agent:0 ~slot) ~agent:0 ~act)
+        slots_list
+  }

@@ -1,0 +1,46 @@
+(** Slotted-ALOHA-style random access (the paper's reference [1] —
+    symmetry breaking by randomization, a canonical source of
+    probabilistic protocols).
+
+    [n] agents each hold one packet. In every one of [slots] rounds,
+    every agent still holding a packet transmits with probability
+    [p_tx] (a mixed action step); a transmission succeeds — the agent
+    is done — iff it was the only transmission in the slot. Agents
+    observe only their own outcome (success or not); they do not learn
+    who else transmitted, only that {e someone} collided with them.
+
+    The probabilistic constraint of interest for agent [i] in slot [t]
+    is [µ(ϕ_free@tx_i^t | tx_i^t) ≥ p] where ϕ_free = "no other agent
+    is transmitting now". Transmission actions are tagged with their
+    slot, making each proper. *)
+
+open Pak_rational
+open Pak_pps
+
+val tx : slot:int -> string
+(** The transmit action label for a slot ([tx0], [tx1], …). *)
+
+val tree : ?p_tx:Q.t -> n:int -> slots:int -> unit -> Tree.t
+(** Defaults: [p_tx = 1/2].
+    @raise Invalid_argument if [n < 2], [slots < 1], or [p_tx] is not in
+    (0,1] (with 0 nobody ever transmits and no action is proper). *)
+
+val phi_free : Tree.t -> agent:int -> slot:int -> Fact.t
+(** "No agent other than [agent] transmits in [slot]" (evaluated at the
+    points of that slot; a fact about runs via the slot tag). *)
+
+type analysis = {
+  n : int;
+  slots : int;
+  p_tx : Q.t;
+  mu_free_by_slot : (int * Q.t) list;
+      (** per slot t: µ(ϕ_free@tx_0^t | tx_0^t) — rises with t as other
+          agents drain *)
+  belief_by_slot : (int * Q.t) list;
+      (** agent 0's belief in ϕ_free when transmitting in slot t (equal
+          across its information states within a slot in this model) *)
+  throughput : Q.t;  (** expected fraction of agents done by the horizon *)
+  independent : bool;
+}
+
+val analyze : ?p_tx:Q.t -> n:int -> slots:int -> unit -> analysis

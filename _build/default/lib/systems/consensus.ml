@@ -1,0 +1,96 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+type ls = { value : int; heard : bool }
+type env_ls = unit
+type act = Noop | Send | Decide of int | Coin of bool
+
+let decide_act v = Printf.sprintf "decide%d" v
+
+let act_label = function
+  | Noop -> "noop"
+  | Send -> "send"
+  | Decide v -> decide_act v
+  | Coin d -> if d then "coin_D" else "coin_L"
+
+let spec ~loss ~p_one ~rounds : (env_ls, ls, act) Protocol.spec =
+  let deliver = Q.one_minus loss in
+  let init =
+    (* independent random initial bits *)
+    List.concat_map
+      (fun (v0, p0) ->
+        List.filter_map
+          (fun (v1, p1) ->
+            let p = Q.mul p0 p1 in
+            if Q.is_zero p then None
+            else Some (((), [| { value = v0; heard = false }; { value = v1; heard = false } |]), p))
+          [ (1, p_one); (0, Q.one_minus p_one) ])
+      [ (1, p_one); (0, Q.one_minus p_one) ]
+  in
+  { n_agents = 2;
+    horizon = rounds + 1;
+    init;
+    env_protocol =
+      (fun ~time () ->
+        if time < rounds then Dist.coin deliver ~yes:(Coin true) ~no:(Coin false)
+        else Dist.return Noop);
+    agent_protocol =
+      (fun ~agent ~time ls ->
+        Dist.return
+          (if time < rounds then (if agent = 0 then Send else Noop)
+           else Decide ls.value));
+    transition =
+      (fun ~time:_ ((), locals) env_act _ ->
+        match env_act with
+        | Coin true ->
+          ((), [| locals.(0); { value = locals.(0).value; heard = true } |])
+        | _ -> ((), locals));
+    halts = (fun ~time:_ _ -> false);
+    env_label = (fun () -> "net");
+    agent_label =
+      (fun ~agent:_ ls -> Printf.sprintf "v%d_h%d" ls.value (if ls.heard then 1 else 0));
+    act_label
+  }
+
+let tree ?(loss = Q.of_ints 1 10) ?(p_one = Q.half) ~rounds () =
+  if rounds < 1 then invalid_arg "Consensus.tree: rounds must be at least 1";
+  if not (Q.is_probability loss) then invalid_arg "Consensus.tree: loss not a probability";
+  if not (Q.is_probability p_one) then invalid_arg "Consensus.tree: p_one not a probability";
+  Protocol.compile (spec ~loss ~p_one ~rounds)
+
+let agreement t =
+  Fact.of_state_pred t (fun g ->
+      (* labels are "v<bit>_h<flag>"; values agree iff the bit chars do *)
+      (Gstate.local g 0).[1] = (Gstate.local g 1).[1])
+
+type analysis = {
+  rounds : int;
+  loss : Q.t;
+  mu_agree_given_decide : (int * Q.t) list;
+  expected_belief : (int * Q.t) list;
+  independent : bool;
+}
+
+let analyze ?(loss = Q.of_ints 1 10) ?(p_one = Q.half) ~rounds () =
+  let t = tree ~loss ~p_one ~rounds () in
+  let agree = agreement t in
+  let per_value f =
+    List.filter_map
+      (fun v ->
+        let act = decide_act v in
+        if Action.is_proper t ~agent:0 ~act then Some (v, f act) else None)
+      [ 0; 1 ]
+  in
+  { rounds;
+    loss;
+    mu_agree_given_decide = per_value (fun act -> Constr.mu_given_action agree ~agent:0 ~act);
+    expected_belief = per_value (fun act -> Belief.expected_at_action agree ~agent:0 ~act);
+    independent =
+      List.for_all
+        (fun v ->
+          let act = decide_act v in
+          (not (Action.is_proper t ~agent:0 ~act)) || Independence.holds agree ~agent:0 ~act)
+        [ 0; 1 ]
+  }

@@ -1,0 +1,46 @@
+(** A bounded randomized-agreement system over a lossy channel,
+    representative of the "protocols that succeed with high
+    probability" class the paper targets (e.g. [34, 19] in its related
+    work).
+
+    Two agents start with independent random bits ([p_one] each). For
+    [rounds] rounds, agent 0 transmits its (fixed) value; agent 1
+    adopts the value on first receipt. At time [rounds] each agent
+    decides its current value (actions [decide0]/[decide1], proper by
+    construction). Messages are lost independently with probability
+    [loss].
+
+    Agreement = "both agents decide the same value" — a fact about
+    runs. The probabilistic constraint analyzed is
+    [µ(agree@decide_v | decide_v) ≥ p] for agent 0's decision on value
+    [v]; its exact value is [1 − p_other·loss^rounds]-style and is
+    computed, not assumed. *)
+
+open Pak_rational
+open Pak_pps
+
+val tree : ?loss:Q.t -> ?p_one:Q.t -> rounds:int -> unit -> Tree.t
+(** Defaults: [loss = 1/10], [p_one = 1/2].
+    @raise Invalid_argument for non-probability parameters or
+    [rounds < 1]; degenerate [p_one] ∈ {0,1} leaves one decision value
+    unused (that action is then improper — callers analyzing it will
+    get {!Pak_pps.Action.Not_proper}). *)
+
+val decide_act : int -> string
+(** [decide_act v] is the label of the "decide value v" action
+    (v ∈ {0,1}). *)
+
+val agreement : Tree.t -> Fact.t
+(** Both agents' current values coincide (state-based; at decision time
+    this is exactly "both decide the same"). *)
+
+type analysis = {
+  rounds : int;
+  loss : Q.t;
+  mu_agree_given_decide : (int * Q.t) list;
+      (** per decided value v of agent 0: µ(agree@decide_v | decide_v) *)
+  expected_belief : (int * Q.t) list;  (** = µ per value (Theorem 6.2) *)
+  independent : bool;
+}
+
+val analyze : ?loss:Q.t -> ?p_one:Q.t -> rounds:int -> unit -> analysis

@@ -1,0 +1,150 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+let general_a = 0
+let general_b = 1
+let attack = "attack"
+
+type a_ls = { go : bool; acks : int }
+type b_ls = { heard : int } (* how many of A's messages arrived so far *)
+type ls = A of a_ls | B of b_ls
+type env_ls = { e_go : bool; e_b_heard : bool }
+
+type act =
+  | Noop
+  | Send_m          (* A's per-round attack message *)
+  | Send_ack        (* B's acknowledgement *)
+  | Attack | Skip
+  | Coins of bool option * bool option
+      (* environment: delivery of (A→B message, B→A ack); None = not sent *)
+
+let act_label = function
+  | Noop -> "noop"
+  | Send_m -> "send_m"
+  | Send_ack -> "send_ack"
+  | Attack -> attack
+  | Skip -> "skip"
+  | Coins (m, a) ->
+    let c = function None -> '-' | Some true -> 'D' | Some false -> 'L' in
+    Printf.sprintf "coins_%c%c" (c m) (c a)
+
+let coin_opt ~deliver present =
+  if present then Dist.coin deliver ~yes:(Some true) ~no:(Some false)
+  else Dist.return None
+
+let spec ~loss ~p_go ~rounds : (env_ls, ls, act) Protocol.spec =
+  let deliver = Q.one_minus loss in
+  { n_agents = 2;
+    horizon = rounds + 1;
+    init =
+      List.filter
+        (fun (_, p) -> not (Q.is_zero p))
+        [ (({ e_go = true; e_b_heard = false }, [| A { go = true; acks = 0 }; B { heard = 0 } |]), p_go);
+          ( ({ e_go = false; e_b_heard = false }, [| A { go = false; acks = 0 }; B { heard = 0 } |]),
+            Q.one_minus p_go )
+        ];
+    env_protocol =
+      (fun ~time env ->
+        if time >= rounds then Dist.return (Coins (None, None))
+        else
+          Dist.map
+            (fun (m, a) -> Coins (m, a))
+            (Dist.product
+               (coin_opt ~deliver env.e_go)
+               (coin_opt ~deliver env.e_b_heard)));
+    agent_protocol =
+      (fun ~agent ~time ls ->
+        Dist.return
+          (match (agent, ls) with
+           | 0, A a ->
+             if time < rounds then (if a.go then Send_m else Noop)
+             else if a.go then Attack
+             else Skip
+           | 1, B b ->
+             if time < rounds then (if b.heard > 0 then Send_ack else Noop)
+             else if b.heard > 0 then Attack
+             else Skip
+           | _ -> Noop));
+    transition =
+      (fun ~time:_ (env, locals) env_act _agent_acts ->
+        let a = match locals.(0) with A a -> a | B _ -> assert false in
+        let b = match locals.(1) with B b -> b | A _ -> assert false in
+        match env_act with
+        | Coins (m, ack) ->
+          let b' = { heard = b.heard + (match m with Some true -> 1 | _ -> 0) } in
+          let a' = { a with acks = a.acks + (match ack with Some true -> 1 | _ -> 0) } in
+          ({ env with e_b_heard = b'.heard > 0 }, [| A a'; B b' |])
+        | _ -> (env, locals));
+    halts = (fun ~time:_ _ -> false);
+    env_label =
+      (fun env ->
+        Printf.sprintf "go%d_bh%d" (if env.e_go then 1 else 0) (if env.e_b_heard then 1 else 0));
+    agent_label =
+      (fun ~agent ls ->
+        match (agent, ls) with
+        | 0, A a -> Printf.sprintf "go%d_acks%d" (if a.go then 1 else 0) a.acks
+        | 1, B b -> Printf.sprintf "heard%d" b.heard
+        | _ -> invalid_arg "Coordinated_attack.agent_label: state/agent mismatch");
+    act_label
+  }
+
+let tree ?(loss = Q.of_ints 1 10) ?(p_go = Q.half) ~rounds () =
+  if rounds < 1 then invalid_arg "Coordinated_attack.tree: rounds must be at least 1";
+  if not (Q.is_probability loss) then
+    invalid_arg "Coordinated_attack.tree: loss not a probability";
+  if not (Q.is_probability p_go) then
+    invalid_arg "Coordinated_attack.tree: p_go not a probability";
+  if Q.is_zero p_go then
+    invalid_arg "Coordinated_attack.tree: p_go = 0 makes attack_A improper";
+  Protocol.compile (spec ~loss ~p_go ~rounds)
+
+let attack_b_fact t = Fact.does t ~agent:general_b ~act:attack
+let phi_both t = Fact.and_ (Fact.does t ~agent:general_a ~act:attack) (attack_b_fact t)
+
+type analysis = {
+  rounds : int;
+  loss : Q.t;
+  mu_both_given_attack_a : Q.t;
+  belief_with_ack : Q.t option;
+  belief_no_ack : Q.t;
+  expected_belief : Q.t;
+  threshold_met_measure : Q.t -> Q.t;
+  independent : bool;
+}
+
+let analyze ?(loss = Q.of_ints 1 10) ?(p_go = Q.half) ~rounds () =
+  let t = tree ~loss ~p_go ~rounds () in
+  let both = phi_both t in
+  let states = Action.performing_lstates t ~agent:general_a ~act:attack in
+  let belief_for pred =
+    match List.filter pred states with
+    | [] -> None
+    | ks ->
+      (* All matching states share the same belief in this family; take
+         the minimum to be conservative. *)
+      Some
+        (List.fold_left
+           (fun acc k -> Q.min acc (Belief.degree_at_lstate both k))
+           Q.one ks)
+  in
+  let no_ack =
+    match belief_for (fun k -> Tree.lkey_label k = Printf.sprintf "go1_acks%d" 0) with
+    | Some q -> q
+    | None -> Q.one
+  in
+  let r_alpha = Action.runs_performing t ~agent:general_a ~act:attack in
+  { rounds;
+    loss;
+    mu_both_given_attack_a = Constr.mu_given_action both ~agent:general_a ~act:attack;
+    belief_with_ack = belief_for (fun k -> Tree.lkey_label k <> "go1_acks0");
+    belief_no_ack = no_ack;
+    expected_belief = Belief.expected_at_action both ~agent:general_a ~act:attack;
+    threshold_met_measure =
+      (fun q ->
+        Tree.cond t
+          (Belief.threshold_event both ~agent:general_a ~act:attack ~cmp:`Geq q)
+          ~given:r_alpha);
+    independent = Independence.holds both ~agent:general_a ~act:attack
+  }

@@ -1,0 +1,47 @@
+(** A k-round coordinated-attack system over a lossy channel, in the
+    style of Fischer–Zuck (the paper's Section 1 motivation and [20]).
+
+    General A (agent 0) holds a bit [go] (1 with probability [p_go]).
+    In each of the [rounds] communication rounds, A sends an "attack"
+    message to general B (agent 1) if [go = 1]; B sends an
+    acknowledgement back in every round after it has first heard from
+    A. Each message is lost independently with probability [loss]. At
+    time [rounds], A attacks iff [go = 1] and B attacks iff it heard
+    from A.
+
+    The probabilistic constraint of interest is
+    [µ(ϕ_both@attack_A | attack_A) ≥ p] with ϕ_both = "both are
+    currently attacking"; its exact value is [1 − loss^rounds]. A's
+    degree of belief in ϕ_both when attacking depends on how many
+    acknowledgements she received: any ack gives certainty, none gives
+    a conditional probability < 1. The PAK corollary (7.2) is
+    exercised against this family in the benchmarks. *)
+
+open Pak_rational
+open Pak_pps
+
+val general_a : int
+val general_b : int
+val attack : string
+
+val tree : ?loss:Q.t -> ?p_go:Q.t -> rounds:int -> unit -> Tree.t
+(** Defaults: [loss = 1/10], [p_go = 1/2].
+    @raise Invalid_argument for non-probability parameters, [p_go = 0]
+    (attack_A never performed) or [rounds < 1]. *)
+
+val phi_both : Tree.t -> Fact.t
+val attack_b_fact : Tree.t -> Fact.t
+
+type analysis = {
+  rounds : int;
+  loss : Q.t;
+  mu_both_given_attack_a : Q.t;  (** 1 − loss^rounds, exactly *)
+  belief_with_ack : Q.t option;  (** 1 when at least one ack arrived *)
+  belief_no_ack : Q.t;           (** A's belief having heard nothing back *)
+  expected_belief : Q.t;         (** = µ (Theorem 6.2) *)
+  threshold_met_measure : Q.t -> Q.t;
+      (** µ(β_A(ϕ)@attack_A ≥ q | attack_A) as a function of q *)
+  independent : bool;
+}
+
+val analyze : ?loss:Q.t -> ?p_go:Q.t -> rounds:int -> unit -> analysis

@@ -1,0 +1,46 @@
+open Pak_rational
+open Pak_pps
+
+let agent = 0
+let alpha = "alpha"
+let alpha' = "alpha'"
+
+let tree ?(p_alpha = Q.half) () =
+  if not (Q.gt p_alpha Q.zero && Q.lt p_alpha Q.one) then
+    invalid_arg "Figure_one.tree: p_alpha must lie strictly between 0 and 1";
+  let b = Tree.Builder.create ~n_agents:1 in
+  let g0 = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e0" [ "g0" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:g0 ~prob:p_alpha ~acts:[| "env"; alpha |]
+       (Gstate.of_labels "e1" [ "g1" ]));
+  ignore
+    (Tree.Builder.add_child b ~parent:g0 ~prob:(Q.one_minus p_alpha) ~acts:[| "env"; alpha' |]
+       (Gstate.of_labels "e1" [ "g1" ]));
+  Tree.Builder.finalize b
+
+let psi t = Fact.not_ (Fact.does t ~agent ~act:alpha)
+let phi t = Fact.does t ~agent ~act:alpha
+
+type analysis = {
+  belief_psi_at_alpha : Q.t;
+  mu_psi : Q.t;
+  psi_independent : bool;
+  mu_phi : Q.t;
+  expected_belief_phi : Q.t;
+  phi_independent : bool;
+  theorem62_vacuous : bool;
+}
+
+let analyze ?(p_alpha = Q.half) () =
+  let t = tree ~p_alpha () in
+  let psi = psi t and phi = phi t in
+  let report = Theorems.expectation_identity phi ~agent ~act:alpha in
+  (* α is performed in run 0 at time 0. *)
+  { belief_psi_at_alpha = Belief.at_action psi ~agent ~act:alpha ~run:0;
+    mu_psi = Constr.mu_given_action psi ~agent ~act:alpha;
+    psi_independent = Independence.holds psi ~agent ~act:alpha;
+    mu_phi = report.Theorems.mu;
+    expected_belief_phi = report.Theorems.expected_belief;
+    phi_independent = report.Theorems.independent;
+    theorem62_vacuous = report.Theorems.respected && not report.Theorems.identity
+  }

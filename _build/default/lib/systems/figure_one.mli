@@ -1,0 +1,45 @@
+(** The single-agent counterexample of Figure 1 (Sections 4 and 6).
+
+    One agent, one initial state [g0]; at time 0 the agent performs a
+    mixed action step choosing [α] or [α' ≠ α], each with probability
+    1/2. The resulting pps has two runs and exhibits both failures the
+    paper uses it for:
+
+    - {b Sufficiency fails} (Section 4): for [ψ = ¬does_i(α)], the
+      agent's belief [β_i(ψ) = 1/2] whenever it performs α, yet
+      [µ(ψ@α | α) = 0] — believing at threshold 1/2 does not yield the
+      constraint, because ψ is not local-state independent of α.
+    - {b The expectation identity fails} (Section 6): for
+      [ϕ = does_i(α)], [µ(ϕ@α | α) = 1] but [E(β_i(ϕ)@α | α) = 1/2].
+
+    Parametric in the mixing probability for the benchmark sweeps. *)
+
+open Pak_rational
+open Pak_pps
+
+val agent : int
+val alpha : string
+val alpha' : string
+
+val tree : ?p_alpha:Q.t -> unit -> Tree.t
+(** The two-run pps; [p_alpha] (default 1/2) is the probability of
+    choosing α. @raise Invalid_argument unless [0 < p_alpha < 1] (both
+    runs must exist). *)
+
+val psi : Tree.t -> Fact.t
+(** [ψ = ¬does_i(α)], the Section 4 condition. *)
+
+val phi : Tree.t -> Fact.t
+(** [ϕ = does_i(α)], the Section 6 condition. *)
+
+type analysis = {
+  belief_psi_at_alpha : Q.t;      (** β_i(ψ) when performing α = 1 − p_alpha *)
+  mu_psi : Q.t;                   (** µ(ψ@α | α) = 0 *)
+  psi_independent : bool;         (** false *)
+  mu_phi : Q.t;                   (** µ(ϕ@α | α) = 1 *)
+  expected_belief_phi : Q.t;      (** E(β_i(ϕ)@α | α) = p_alpha *)
+  phi_independent : bool;         (** false *)
+  theorem62_vacuous : bool;       (** identity fails but hypothesis too *)
+}
+
+val analyze : ?p_alpha:Q.t -> unit -> analysis

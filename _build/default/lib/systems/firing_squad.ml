@@ -1,0 +1,165 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+type variant = Original | Improved
+
+let alice = 0
+let bob = 1
+let fire = "fire"
+
+(* Local and environment states. Alice's state records her bit and, from
+   time 2 on, what she heard back from Bob; Bob's records how many of
+   Alice's two round-1 messages he received. The environment is
+   omniscient (it knows go) so it only flips delivery coins for messages
+   that are actually sent. *)
+type heard = Nothing | Heard_yes | Heard_no
+type alice_ls = { go : bool; heard : heard }
+type bob_ls = { got : int }
+type ls = A of alice_ls | B of bob_ls
+type env_ls = { e_go : bool; bob_got : int }
+
+type act =
+  | Noop
+  | Send_both          (* Alice, round 1 *)
+  | Send_yes | Send_no (* Bob, round 2 *)
+  | Fire | Skip        (* both, round 3 *)
+  | Coins of bool * bool (* environment, round 1: delivery of m1, m2 *)
+  | Coin of bool         (* environment, round 2: delivery of Bob's reply *)
+  | Env_noop
+
+let act_label = function
+  | Noop -> "noop"
+  | Send_both -> "send_both"
+  | Send_yes -> "yes"
+  | Send_no -> "no"
+  | Fire -> fire
+  | Skip -> "skip"
+  | Coins (a, b) ->
+    Printf.sprintf "coins_%c%c" (if a then 'D' else 'L') (if b then 'D' else 'L')
+  | Coin a -> Printf.sprintf "coin_%c" (if a then 'D' else 'L')
+  | Env_noop -> "env_noop"
+
+let heard_label = function Nothing -> "none" | Heard_yes -> "yes" | Heard_no -> "no"
+
+let agent_label ~agent ls =
+  match (agent, ls) with
+  | 0, A a -> Printf.sprintf "go%d_heard_%s" (if a.go then 1 else 0) (heard_label a.heard)
+  | 1, B b -> Printf.sprintf "got%d" b.got
+  | _ -> invalid_arg "Firing_squad.agent_label: state/agent mismatch"
+
+let spec variant ~loss ~p_go : (env_ls, ls, act) Protocol.spec =
+  let deliver = Q.one_minus loss in
+  let coin2 =
+    Dist.of_list
+      [ (Coins (true, true), Q.mul deliver deliver);
+        (Coins (true, false), Q.mul deliver loss);
+        (Coins (false, true), Q.mul loss deliver);
+        (Coins (false, false), Q.mul loss loss)
+      ]
+  in
+  let coin1 = Dist.coin deliver ~yes:(Coin true) ~no:(Coin false) in
+  { n_agents = 2;
+    horizon = 3;
+    init =
+      List.filter
+        (fun (_, p) -> not (Q.is_zero p))
+        [ ( ({ e_go = true; bob_got = 0 }, [| A { go = true; heard = Nothing }; B { got = 0 } |]),
+            p_go );
+          ( ({ e_go = false; bob_got = 0 }, [| A { go = false; heard = Nothing }; B { got = 0 } |]),
+            Q.one_minus p_go )
+        ];
+    env_protocol =
+      (fun ~time env ->
+        match time with
+        | 0 -> if env.e_go then coin2 else Dist.return Env_noop
+        | 1 -> coin1 (* Bob always replies *)
+        | _ -> Dist.return Env_noop);
+    agent_protocol =
+      (fun ~agent ~time ls ->
+        Dist.return
+          (match (agent, time, ls) with
+           | 0, 0, A a -> if a.go then Send_both else Noop
+           | 0, 2, A a ->
+             let fires =
+               match variant with
+               | Original -> a.go
+               | Improved -> a.go && a.heard <> Heard_no
+             in
+             if fires then Fire else Skip
+           | 1, 1, B b -> if b.got >= 1 then Send_yes else Send_no
+           | 1, 2, B b -> if b.got >= 1 then Fire else Skip
+           | _ -> Noop));
+    transition =
+      (fun ~time (env, locals) env_act agent_acts ->
+        let a = match locals.(0) with A a -> a | B _ -> assert false in
+        let b = match locals.(1) with B b -> b | A _ -> assert false in
+        match time with
+        | 0 ->
+          let got =
+            match (agent_acts.(0), env_act) with
+            | Send_both, Coins (d1, d2) -> (if d1 then 1 else 0) + if d2 then 1 else 0
+            | _ -> 0
+          in
+          ({ env with bob_got = got }, [| A a; B { got } |])
+        | 1 ->
+          let heard =
+            match (agent_acts.(1), env_act) with
+            | Send_yes, Coin true -> Heard_yes
+            | Send_no, Coin true -> Heard_no
+            | _ -> Nothing
+          in
+          (env, [| A { a with heard }; B b |])
+        | _ -> (env, locals));
+    halts = (fun ~time:_ _ -> false);
+    env_label = (fun env -> Printf.sprintf "go%d_bgot%d" (if env.e_go then 1 else 0) env.bob_got);
+    agent_label;
+    act_label
+  }
+
+let tree ?(loss = Q.of_ints 1 10) ?(p_go = Q.half) variant =
+  if not (Q.is_probability loss) then invalid_arg "Firing_squad.tree: loss not a probability";
+  if not (Q.is_probability p_go) then invalid_arg "Firing_squad.tree: p_go not a probability";
+  if Q.is_zero p_go then
+    invalid_arg "Firing_squad.tree: p_go = 0 makes fire_A improper (never performed)";
+  Protocol.compile (spec variant ~loss ~p_go)
+
+let fire_b_fact t = Fact.does t ~agent:bob ~act:fire
+let phi_both t = Fact.and_ (Fact.does t ~agent:alice ~act:fire) (fire_b_fact t)
+
+type analysis = {
+  mu_both_given_fire_a : Q.t;
+  spec_satisfied : bool;
+  belief_heard_yes : Q.t option;
+  belief_heard_nothing : Q.t option;
+  belief_heard_no : Q.t option;
+  threshold_met_measure : Q.t;
+  expected_belief : Q.t;
+  independent : bool;
+}
+
+let analyze ?(loss = Q.of_ints 1 10) ?(p_go = Q.half) variant =
+  let t = tree ~loss ~p_go variant in
+  let both = phi_both t in
+  let fb = fire_b_fact t in
+  let firing_states = Action.performing_lstates t ~agent:alice ~act:fire in
+  let belief_at heard =
+    List.find_opt (fun k -> Tree.lkey_label k = Printf.sprintf "go1_heard_%s" heard) firing_states
+    |> Option.map (fun k -> Belief.degree_at_lstate fb k)
+  in
+  let threshold = Q.of_ints 19 20 in
+  let r_alpha = Action.runs_performing t ~agent:alice ~act:fire in
+  let mu = Constr.mu_given_action both ~agent:alice ~act:fire in
+  { mu_both_given_fire_a = mu;
+    spec_satisfied = Q.geq mu threshold;
+    belief_heard_yes = belief_at "yes";
+    belief_heard_nothing = belief_at "none";
+    belief_heard_no = belief_at "no";
+    threshold_met_measure =
+      Tree.cond t
+        (Belief.threshold_event fb ~agent:alice ~act:fire ~cmp:`Geq threshold)
+        ~given:r_alpha;
+    expected_belief = Belief.expected_at_action fb ~agent:alice ~act:fire;
+    independent = Independence.holds both ~agent:alice ~act:fire
+  }

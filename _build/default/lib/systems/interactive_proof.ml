@@ -1,0 +1,115 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+let verifier = 0
+let prover = 1
+let accept = "accept"
+
+type v_ls = Ok | Failed
+type p_ls = Stmt_true | Stmt_false
+type ls = V of v_ls | P of p_ls
+type env_ls = { e_true : bool }
+type act = Noop | Answer | Correct | Wrong | Accept | Reject
+
+let act_label = function
+  | Noop -> "noop"
+  | Answer -> "answer"
+  | Correct -> "correct"
+  | Wrong -> "wrong"
+  | Accept -> accept
+  | Reject -> "reject"
+
+let spec ~p_true ~cheat ~rounds : (env_ls, ls, act) Protocol.spec =
+  { n_agents = 2;
+    horizon = rounds + 1;
+    init =
+      List.filter
+        (fun (_, p) -> not (Q.is_zero p))
+        [ (({ e_true = true }, [| V Ok; P Stmt_true |]), p_true);
+          (({ e_true = false }, [| V Ok; P Stmt_false |]), Q.one_minus p_true)
+        ];
+    env_protocol =
+      (fun ~time env ->
+        if time >= rounds then Dist.return Noop
+        else if env.e_true then Dist.return Correct
+        else Dist.coin cheat ~yes:Correct ~no:Wrong);
+    agent_protocol =
+      (fun ~agent ~time ls ->
+        Dist.return
+          (match (agent, ls) with
+           | 0, V v when time = rounds -> if v = Ok then Accept else Reject
+           | 1, P _ when time < rounds -> Answer
+           | _ -> Noop));
+    transition =
+      (fun ~time:_ (env, locals) env_act _ ->
+        match (env_act, locals.(0)) with
+        | Wrong, V Ok -> (env, [| V Failed; locals.(1) |])
+        | _ -> (env, locals));
+    halts = (fun ~time:_ _ -> false);
+    env_label = (fun env -> if env.e_true then "T" else "F");
+    agent_label =
+      (fun ~agent ls ->
+        match (agent, ls) with
+        | 0, V Ok -> "ok"
+        | 0, V Failed -> "failed"
+        | 1, P Stmt_true -> "true"
+        | 1, P Stmt_false -> "false"
+        | _ -> invalid_arg "Interactive_proof.agent_label: state/agent mismatch");
+    act_label
+  }
+
+let tree ?(p_true = Q.half) ?(cheat = Q.half) ~rounds () =
+  if rounds < 1 then invalid_arg "Interactive_proof.tree: rounds must be at least 1";
+  if not (Q.is_probability p_true) then
+    invalid_arg "Interactive_proof.tree: p_true not a probability";
+  if not (Q.is_probability cheat) then
+    invalid_arg "Interactive_proof.tree: cheat not a probability";
+  if Q.is_zero p_true && Q.is_zero cheat then
+    invalid_arg "Interactive_proof.tree: acceptance impossible (improper action)";
+  Protocol.compile (spec ~p_true ~cheat ~rounds)
+
+let true_fact t = Fact.of_state_pred t (fun g -> Gstate.local g prover = "true")
+
+type analysis = {
+  rounds : int;
+  mu_true_given_accept : Q.t;
+  accept_measure : Q.t;
+  belief_at_accept : Q.t;
+  expected_belief : Q.t;
+  pak_eps : Q.t option;
+  independent : bool;
+}
+
+(* Exact square root of a rational when it exists. *)
+let q_sqrt q =
+  let isqrt_opt bignat =
+    match Pak_rational.Bignat.to_int_opt bignat with
+    | None -> None
+    | Some n ->
+      let r = int_of_float (sqrt (float_of_int n)) in
+      let candidates = [ r - 1; r; r + 1 ] in
+      List.find_opt (fun c -> c >= 0 && c * c = n) candidates
+  in
+  if Q.sign q < 0 then None
+  else
+    match (isqrt_opt (Bigint.to_bignat (Q.num q)), isqrt_opt (Q.den q)) with
+    | Some n, Some d -> Some (Q.of_ints n d)
+    | _ -> None
+
+let analyze ?(p_true = Q.half) ?(cheat = Q.half) ~rounds () =
+  let t = tree ~p_true ~cheat ~rounds () in
+  let phi = true_fact t in
+  let mu = Constr.mu_given_action phi ~agent:verifier ~act:accept in
+  { rounds;
+    mu_true_given_accept = mu;
+    accept_measure = Tree.measure t (Action.runs_performing t ~agent:verifier ~act:accept);
+    belief_at_accept =
+      (match Belief.min_at_action phi ~agent:verifier ~act:accept with
+       | Some b -> b
+       | None -> Q.one);
+    expected_belief = Belief.expected_at_action phi ~agent:verifier ~act:accept;
+    pak_eps = q_sqrt (Q.one_minus mu);
+    independent = Independence.holds phi ~agent:verifier ~act:accept
+  }

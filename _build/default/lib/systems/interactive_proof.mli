@@ -1,0 +1,56 @@
+(** A toy interactive proof, after the paper's Section 1 motivation
+    (references [6, 21]): soundness amplification as a probabilistic
+    constraint with a threshold exponentially close to 1 — the regime
+    where Section 7's remark makes PAK bite hardest.
+
+    A statement is true with prior probability [p_true] (held by the
+    prover, agent 1). The verifier (agent 0) runs [rounds] independent
+    challenge rounds: in each, the environment draws a random challenge
+    and the prover answers. When the statement is true the (honest)
+    prover always answers correctly; when it is false the (cheating)
+    prover answers correctly only with probability [cheat] per round
+    (1/2 in the classic setting). After all rounds the verifier accepts
+    iff every answer was correct.
+
+    The soundness constraint is [µ(true@accept | accept) ≥ p]; its
+    exact value is
+
+    {v p_true / (p_true + (1 − p_true)·cheat^rounds), v}
+
+    which approaches 1 exponentially in [rounds]. Correspondingly
+    (Corollary 7.2 with ε² = 1 − µ), when the verifier accepts it must,
+    with probability exponentially close to 1, hold a belief
+    exponentially close to 1 that the statement is true — and here the
+    implication is tight: the verifier's belief when accepting is
+    exactly µ at its single accepting information state. *)
+
+open Pak_rational
+open Pak_pps
+
+val verifier : int
+val prover : int
+val accept : string
+
+val tree : ?p_true:Q.t -> ?cheat:Q.t -> rounds:int -> unit -> Tree.t
+(** Defaults: [p_true = 1/2], [cheat = 1/2].
+    @raise Invalid_argument for non-probability parameters,
+    [rounds < 1], or [p_true = 0] (acceptance impossible… the verifier
+    still accepts on a lucky cheater unless [cheat = 0] too; only the
+    jointly degenerate case is rejected). *)
+
+val true_fact : Tree.t -> Fact.t
+(** "The statement is true" — a past-based fact about runs. *)
+
+type analysis = {
+  rounds : int;
+  mu_true_given_accept : Q.t;   (** the soundness value above, exactly *)
+  accept_measure : Q.t;         (** µ(R_accept) *)
+  belief_at_accept : Q.t;       (** verifier's posterior at its accepting state *)
+  expected_belief : Q.t;        (** = µ (Theorem 6.2) *)
+  pak_eps : Q.t option;
+      (** the ε of Corollary 7.2 when [1 − µ] is a square of a
+          rational, i.e. ε = √(1−µ); [None] otherwise *)
+  independent : bool;
+}
+
+val analyze : ?p_true:Q.t -> ?cheat:Q.t -> rounds:int -> unit -> analysis

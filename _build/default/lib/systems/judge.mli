@@ -1,0 +1,46 @@
+(** The judge example: acting only under strong belief ("beyond a
+    reasonable doubt", Section 1).
+
+    A defendant (agent 1) is guilty with probability [p_guilt]; the
+    truth is fixed at time 0 and never changes. The judge (agent 0)
+    observes [rounds] independent noisy evidence signals from the
+    environment: a signal is {e incriminating} with probability
+    [accuracy] if the defendant is guilty, and with probability
+    [1 − accuracy] if innocent. After all evidence, the judge convicts
+    iff at least [convict_at] signals were incriminating.
+
+    The probabilistic constraint is [µ(guilty@convict | convict) ≥ p]:
+    a convicted defendant should be guilty with high probability. The
+    judge's belief when convicting is the exact posterior given the
+    number of incriminating signals, so this family exercises
+    Theorem 6.2 and the PAK corollary on a statistically natural
+    system. *)
+
+open Pak_rational
+open Pak_pps
+
+val judge : int
+val defendant : int
+val convict : string
+
+val tree : ?p_guilt:Q.t -> ?accuracy:Q.t -> rounds:int -> convict_at:int -> unit -> Tree.t
+(** Defaults: [p_guilt = 1/2], [accuracy = 9/10].
+    @raise Invalid_argument for non-probability parameters,
+    [rounds < 1], a [convict_at] outside [0..rounds], or parameters
+    under which the judge never convicts (improper action). *)
+
+val guilty_fact : Tree.t -> Fact.t
+
+type analysis = {
+  rounds : int;
+  convict_at : int;
+  mu_guilty_given_convict : Q.t;
+  posterior_by_count : (int * Q.t) list;
+      (** judge's posterior in guilt for each incriminating-signal
+          count at which she convicts *)
+  expected_belief : Q.t;   (** = µ (Theorem 6.2) *)
+  independent : bool;
+}
+
+val analyze :
+  ?p_guilt:Q.t -> ?accuracy:Q.t -> rounds:int -> convict_at:int -> unit -> analysis

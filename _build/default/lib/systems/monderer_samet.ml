@@ -1,0 +1,60 @@
+open Pak_rational
+open Pak_pps
+
+let flat states =
+  match states with
+  | [] -> invalid_arg "Monderer_samet.flat: no states"
+  | (first, _) :: _ ->
+    let n_agents = List.length first in
+    let b = Tree.Builder.create ~n_agents in
+    List.iteri
+      (fun idx (locals, prob) ->
+        if List.length locals <> n_agents then
+          invalid_arg "Monderer_samet.flat: inconsistent number of agents";
+        ignore
+          (Tree.Builder.add_initial b ~prob
+             (Gstate.of_labels (Printf.sprintf "w%d" idx) locals)))
+      states;
+    Tree.Builder.finalize b
+
+let random_flat ~n_agents ~n_states ~label_alphabet ~seed =
+  if n_states < 1 then invalid_arg "Monderer_samet.random_flat: need at least one state";
+  (* Small multiplicative generator; adequate for label/weight choice. *)
+  let state = ref (seed lxor 0x2545F491) in
+  let next bound =
+    state := (!state * 6_364_136_223_846_793 + 1442695) land max_int;
+    !state mod bound
+  in
+  let weights = List.init n_states (fun _ -> 1 + next 9) in
+  let total = Q.of_int (List.fold_left ( + ) 0 weights) in
+  flat
+    (List.map
+       (fun w ->
+         ( List.init n_agents (fun i -> Printf.sprintf "s%d_%d" i (next label_alphabet)),
+           Q.div (Q.of_int w) total ))
+       weights)
+
+let expected_posterior fact ~agent =
+  let t = Fact.tree fact in
+  let acc = ref Q.zero in
+  for run = 0 to Tree.n_runs t - 1 do
+    acc :=
+      Q.add !acc (Q.mul (Tree.run_measure t run) (Belief.degree fact ~agent ~run ~time:0))
+  done;
+  !acc
+
+type report = {
+  prior : Q.t;
+  expected_posterior : Q.t;
+  identity : bool;
+}
+
+let check fact ~agent =
+  let t = Fact.tree fact in
+  let ev = ref (Tree.empty_event t) in
+  for run = 0 to Tree.n_runs t - 1 do
+    if Fact.holds fact ~run ~time:0 then ev := Bitset.add !ev run
+  done;
+  let prior = Tree.measure t !ev in
+  let expected = expected_posterior fact ~agent in
+  { prior; expected_posterior = expected; identity = Q.equal prior expected }

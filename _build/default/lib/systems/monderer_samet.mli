@@ -1,0 +1,38 @@
+(** Flat (static) systems and the Monderer–Samet 1989 result that
+    Section 6.1 identifies as the action-free special case of
+    Theorem 6.2.
+
+    A flat pps consists of the root and its children only: every run is
+    a single initial global state, there are no actions, and an agent's
+    belief at (the only) time 0 is its posterior given its local state.
+    Monderer and Samet showed that if an agent's {e expected} posterior
+    degree of belief in ϕ is at least p, then the prior probability of
+    ϕ is at least p. The library verifies the sharper law-of-total-
+    probability identity: the expected posterior {e equals} the
+    prior. *)
+
+open Pak_rational
+open Pak_pps
+
+val flat : (string list * Q.t) list -> Tree.t
+(** [flat states] builds the one-level pps whose initial states have
+    the given per-agent local labels and probabilities (which must sum
+    to 1). All states must agree on the number of agents.
+    @raise Invalid_argument on an empty list or inconsistent arities;
+    the underlying builder rejects bad probabilities. *)
+
+val random_flat : n_agents:int -> n_states:int -> label_alphabet:int -> seed:int -> Tree.t
+(** A deterministic pseudo-random flat system for property tests. *)
+
+val expected_posterior : Fact.t -> agent:int -> Q.t
+(** [E_µ(β_i(ϕ))] over all runs, at time 0. *)
+
+type report = {
+  prior : Q.t;              (** µ(ϕ) *)
+  expected_posterior : Q.t; (** E(β_i(ϕ)) *)
+  identity : bool;          (** the two are equal, exactly *)
+}
+
+val check : Fact.t -> agent:int -> report
+(** The Monderer–Samet comparison on any tree (not only flat ones),
+    evaluated at time 0 with ϕ restricted to its time-0 truth value. *)

@@ -1,0 +1,98 @@
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+let enter = "enter"
+
+type ls = Init | Waiting of { requested : bool; granted : bool } | Done
+
+type act =
+  | Request | Idle
+  | Enter | Stay
+  | Arb of { both_on_err : bool; favor : int }
+  | Env_noop
+
+let act_label = function
+  | Request -> "request"
+  | Idle -> "idle"
+  | Enter -> enter
+  | Stay -> "stay"
+  | Arb a -> Printf.sprintf "arb_%c%d" (if a.both_on_err then 'E' else 'n') a.favor
+  | Env_noop -> "env_noop"
+
+let agent_label ~agent:_ = function
+  | Init -> "init"
+  | Waiting w ->
+    Printf.sprintf "req%d_grant%d" (if w.requested then 1 else 0) (if w.granted then 1 else 0)
+  | Done -> "done"
+
+let spec ~p_req ~err : (unit, ls, act) Protocol.spec =
+  let arbiter =
+    (* Error coin and uniform tie-break, drawn independently; only
+       consulted when both agents request. *)
+    Dist.bind (Dist.bernoulli err) (fun both_on_err ->
+        Dist.map (fun favor -> Arb { both_on_err; favor }) (Dist.uniform [ 0; 1 ]))
+  in
+  { n_agents = 2;
+    horizon = 2;
+    init = [ (((), [| Init; Init |]), Q.one) ];
+    env_protocol =
+      (fun ~time _ -> if time = 0 then arbiter else Dist.return Env_noop);
+    agent_protocol =
+      (fun ~agent:_ ~time ls ->
+        match (time, ls) with
+        | 0, Init -> Dist.coin p_req ~yes:Request ~no:Idle
+        | 1, Waiting w -> Dist.return (if w.granted then Enter else Stay)
+        | _ -> Dist.return Stay);
+    transition =
+      (fun ~time (env, locals) env_act agent_acts ->
+        match time with
+        | 0 ->
+          let req i = agent_acts.(i) = Request in
+          let granted =
+            match env_act with
+            | Arb a ->
+              (match (req 0, req 1) with
+               | true, true -> if a.both_on_err then [| true; true |] else [| a.favor = 0; a.favor = 1 |]
+               | r0, r1 -> [| r0; r1 |])
+            | _ -> [| false; false |]
+          in
+          (env, Array.init 2 (fun i -> Waiting { requested = req i; granted = granted.(i) }))
+        | _ -> (env, Array.map (fun _ -> Done) locals));
+    halts = (fun ~time:_ _ -> false);
+    env_label = (fun () -> "arb");
+    agent_label;
+    act_label
+  }
+
+let tree ?(p_req = Q.half) ?(err = Q.of_ints 1 100) () =
+  if not (Q.is_probability p_req) then invalid_arg "Mutex.tree: p_req not a probability";
+  if not (Q.is_probability err) then invalid_arg "Mutex.tree: err not a probability";
+  if Q.is_zero p_req then invalid_arg "Mutex.tree: p_req = 0 makes enter improper";
+  Protocol.compile (spec ~p_req ~err)
+
+let phi_alone t ~agent = Fact.not_ (Fact.does t ~agent:(1 - agent) ~act:enter)
+
+type analysis = {
+  p_req : Q.t;
+  err : Q.t;
+  mu_alone_given_enter : Q.t;
+  belief_granted : Q.t;
+  expected_belief : Q.t;
+  enter_deterministic : bool;
+  independent : bool;
+}
+
+let analyze ?(p_req = Q.half) ?(err = Q.of_ints 1 100) () =
+  let t = tree ~p_req ~err () in
+  let phi = phi_alone t ~agent:0 in
+  let granted_state = Tree.lkey_make ~agent:0 ~time:1 ~label:"req1_grant1" in
+  { p_req;
+    err;
+    mu_alone_given_enter = Constr.mu_given_action phi ~agent:0 ~act:enter;
+    belief_granted = Belief.degree_at_lstate phi granted_state;
+    expected_belief = Belief.expected_at_action phi ~agent:0 ~act:enter;
+    enter_deterministic = Action.is_deterministic t ~agent:0 ~act:enter;
+    independent = Independence.holds phi ~agent:0 ~act:enter
+  }

@@ -1,0 +1,41 @@
+(** Relaxed mutual exclusion with a noisy arbiter (the paper's
+    Section 1 motivation: "upon entry to the critical section, it
+    should be empty with very high probability").
+
+    Two agents contend for a critical section. At time 0 each requests
+    independently with probability [p_req] (a mixed action step). An
+    arbiter — part of the probabilistic environment — grants requests:
+    a sole requester is always granted; when both request, with
+    probability [err] the arbiter erroneously grants {e both}, and
+    otherwise grants one of the two uniformly at random. At time 1, a
+    granted agent enters the critical section ([enter] — deterministic
+    given its local state, so Lemma 4.3(a) applies).
+
+    The probabilistic constraint is
+    [µ(ϕ_alone@enter_i | enter_i) ≥ p] with ϕ_alone = "the other agent
+    is not entering". *)
+
+open Pak_rational
+open Pak_pps
+
+val enter : string
+
+val tree : ?p_req:Q.t -> ?err:Q.t -> unit -> Tree.t
+(** Defaults: [p_req = 1/2], [err = 1/100].
+    @raise Invalid_argument for non-probability parameters or
+    [p_req = 0] (enter never performed). *)
+
+val phi_alone : Tree.t -> agent:int -> Fact.t
+(** "The other agent is not currently entering" for the given agent. *)
+
+type analysis = {
+  p_req : Q.t;
+  err : Q.t;
+  mu_alone_given_enter : Q.t;   (** µ(ϕ_alone@enter_0 | enter_0) *)
+  belief_granted : Q.t;         (** agent 0's belief in ϕ_alone when entering *)
+  expected_belief : Q.t;        (** = µ (Theorem 6.2) *)
+  enter_deterministic : bool;   (** true: protocol enters iff granted *)
+  independent : bool;           (** true by Lemma 4.3(a) *)
+}
+
+val analyze : ?p_req:Q.t -> ?err:Q.t -> unit -> analysis

@@ -1,0 +1,65 @@
+open Pak_rational
+open Pak_pps
+
+let i = 0
+let j = 1
+let alpha = "alpha"
+
+let tree ~p ~eps =
+  if not (Q.gt eps Q.zero && Q.lt eps p && Q.lt p Q.one) then
+    invalid_arg "Threshold_gap.tree: need 0 < eps < p < 1";
+  let b = Tree.Builder.create ~n_agents:2 in
+  let s0 =
+    Tree.Builder.add_initial b ~prob:(Q.one_minus p) (Gstate.of_labels "e" [ "i0"; "bit0" ])
+  in
+  let s1 = Tree.Builder.add_initial b ~prob:p (Gstate.of_labels "e" [ "i0"; "bit1" ]) in
+  (* Round 1: j sends m_j or the revealing m'_j. *)
+  let send parent ~prob ~payload ~bit =
+    Tree.Builder.add_child b ~parent ~prob
+      ~acts:[| "env"; "recv"; "send_" ^ payload |]
+      (Gstate.of_labels "e" [ "got_" ^ payload; bit ])
+  in
+  let eps_over_p = Q.div eps p in
+  let n_r = send s0 ~prob:Q.one ~payload:"mj" ~bit:"bit0" in
+  let n_r' = send s1 ~prob:(Q.one_minus eps_over_p) ~payload:"mj" ~bit:"bit1" in
+  let n_r'' = send s1 ~prob:eps_over_p ~payload:"mj'" ~bit:"bit1" in
+  (* Round 2: i performs alpha unconditionally at time 1. *)
+  List.iter
+    (fun (parent, bit) ->
+      ignore
+        (Tree.Builder.add_child b ~parent ~prob:Q.one ~acts:[| "env"; alpha; "noop" |]
+           (Gstate.of_labels "e" [ "done"; bit ])))
+    [ (n_r, "bit0"); (n_r', "bit1"); (n_r'', "bit1") ];
+  Tree.Builder.finalize b
+
+let phi t = Fact.of_state_pred t (fun g -> Gstate.local g j = "bit1")
+
+type analysis = {
+  p : Q.t;
+  eps : Q.t;
+  mu : Q.t;
+  pooled_belief : Q.t;
+  revealing_belief : Q.t;
+  threshold_met_measure : Q.t;
+  expected_belief : Q.t;
+  independent : bool;
+}
+
+let analyze ~p ~eps =
+  let t = tree ~p ~eps in
+  let phi = phi t in
+  let belief label =
+    Belief.degree_at_lstate phi (Tree.lkey_make ~agent:i ~time:1 ~label)
+  in
+  { p;
+    eps;
+    mu = Constr.mu_given_action phi ~agent:i ~act:alpha;
+    pooled_belief = belief "got_mj";
+    revealing_belief = belief "got_mj'";
+    threshold_met_measure =
+      Tree.cond t
+        (Belief.threshold_event phi ~agent:i ~act:alpha ~cmp:`Geq p)
+        ~given:(Action.runs_performing t ~agent:i ~act:alpha);
+    expected_belief = Belief.expected_at_action phi ~agent:i ~act:alpha;
+    independent = Independence.holds phi ~agent:i ~act:alpha
+  }

@@ -1,0 +1,45 @@
+(** The parametric construction T̂(p, ε) of Theorem 5.2 (Figure 2).
+
+    Two agents: [j] holds a bit fixed at time 0 ([bit = 1] with
+    probability [p]); [i] receives one message from [j] and then
+    performs α unconditionally at time 1. When [bit = 0], j surely
+    sends [m_j]; when [bit = 1], j sends [m_j] with probability
+    [1 − ε/p] and a revealing message [m'_j] with probability [ε/p].
+
+    The constraint [µ(ϕ@α | α) ≥ p] holds with equality for
+    [ϕ = "bit = 1"], yet the agent's belief meets the threshold p only
+    with probability ε: at the pooled state (received [m_j]) the belief
+    is [(p − ε)/(1 − ε) < p], and only the measure-ε revealing run has
+    belief 1. Since ε is arbitrary, no positive lower bound exists on
+    the measure of runs in which the threshold must be met — the
+    content of Theorem 5.2. *)
+
+open Pak_rational
+open Pak_pps
+
+val i : int
+(** The acting agent (0). *)
+
+val j : int
+(** The bit-holding agent (1). *)
+
+val alpha : string
+
+val tree : p:Q.t -> eps:Q.t -> Tree.t
+(** @raise Invalid_argument unless [0 < ε < p < 1]. *)
+
+val phi : Tree.t -> Fact.t
+(** ["bit = 1"], a past-based fact about runs. *)
+
+type analysis = {
+  p : Q.t;
+  eps : Q.t;
+  mu : Q.t;                    (** µ(ϕ@α | α); equals p exactly *)
+  pooled_belief : Q.t;         (** belief at the [m_j] state: (p−ε)/(1−ε) *)
+  revealing_belief : Q.t;      (** belief at the [m'_j] state: 1 *)
+  threshold_met_measure : Q.t; (** µ(β_i(ϕ)@α ≥ p | α); equals ε exactly *)
+  expected_belief : Q.t;       (** equals p (Theorem 6.2) *)
+  independent : bool;
+}
+
+val analyze : p:Q.t -> eps:Q.t -> analysis

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist Gen List Pak_dist Pak_rational Q QCheck QCheck_alcotest

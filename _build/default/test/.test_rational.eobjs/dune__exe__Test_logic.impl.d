@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Belief Fact Formula Gen Gstate Hashtbl List Pak_logic Pak_pps Pak_rational Parser Printf Q QCheck QCheck_alcotest Semantics Tree

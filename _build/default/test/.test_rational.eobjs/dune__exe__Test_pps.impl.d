@@ -1,0 +1,1 @@
+test/test_pps.ml: Action Alcotest Belief Bitset Constr Fact Gen Gstate Independence List Pak_pps Pak_rational Printf Q QCheck QCheck_alcotest String Theorems Tree

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Belief Dist Fact Fun Gstate List Network Pak_dist Pak_pps Pak_protocol Pak_rational Pak_systems Printf Protocol Q String Tree

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Bigint Bignat Gen List Option Pak_rational Printf Q QCheck QCheck_alcotest String

@@ -1,0 +1,186 @@
+(* Tests for finite rational-weighted distributions. *)
+
+open Pak_rational
+open Pak_dist
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let test_return () =
+  let d = Dist.return 42 in
+  check_int "size" 1 (Dist.size d);
+  check_bool "deterministic" true (Dist.is_deterministic d);
+  check_q "prob" Q.one (Dist.prob d 42);
+  check_q "prob other" Q.zero (Dist.prob d 7)
+
+let test_of_list () =
+  let d = Dist.of_list [ ("a", q 1 2); ("b", q 1 3); ("c", q 1 6) ] in
+  check_int "size" 3 (Dist.size d);
+  check_q "mass" Q.one (Dist.total_mass d);
+  check_q "prob b" (q 1 3) (Dist.prob d "b");
+  Alcotest.check_raises "not normalized"
+    (Invalid_argument "Dist.of_list: weights sum to 5/6, not 1") (fun () ->
+      ignore (Dist.of_list [ ("a", q 1 2); ("b", q 1 3) ]));
+  Alcotest.check_raises "negative" (Invalid_argument "Dist: negative weight") (fun () ->
+      ignore (Dist.of_list [ ("a", q 3 2); ("b", q (-1) 2) ]))
+
+let test_of_list_merges_duplicates () =
+  let d = Dist.of_list [ ("a", q 1 2); ("a", q 1 4); ("b", q 1 4) ] in
+  check_int "merged size" 2 (Dist.size d);
+  check_q "merged prob" (q 3 4) (Dist.prob d "a")
+
+let test_of_weights () =
+  let d = Dist.of_weights [ (1, q 2 1); (2, q 6 1) ] in
+  check_q "rescaled 1" (q 1 4) (Dist.prob d 1);
+  check_q "rescaled 2" (q 3 4) (Dist.prob d 2);
+  Alcotest.check_raises "all zero" (Invalid_argument "Dist: empty support") (fun () ->
+      ignore (Dist.of_weights [ (1, Q.zero) ]))
+
+let test_uniform_bernoulli_coin () =
+  let d = Dist.uniform [ 'x'; 'y'; 'z'; 'w' ] in
+  check_q "uniform" (q 1 4) (Dist.prob d 'y');
+  let b = Dist.bernoulli (q 9 10) in
+  check_q "bernoulli true" (q 9 10) (Dist.prob b true);
+  check_q "bernoulli false" (q 1 10) (Dist.prob b false);
+  check_bool "bernoulli 1 det" true (Dist.is_deterministic (Dist.bernoulli Q.one));
+  check_bool "bernoulli 0 det" true (Dist.is_deterministic (Dist.bernoulli Q.zero));
+  let c = Dist.coin (q 1 3) ~yes:"fire" ~no:"skip" in
+  check_q "coin yes" (q 1 3) (Dist.prob c "fire");
+  Alcotest.check_raises "bad p" (Invalid_argument "Dist.bernoulli: not a probability")
+    (fun () -> ignore (Dist.bernoulli (q 3 2)))
+
+let test_map_merges () =
+  let d = Dist.of_list [ (1, q 1 2); (2, q 1 3); (3, q 1 6) ] in
+  let parity = Dist.map (fun n -> n mod 2) d in
+  check_int "two classes" 2 (Dist.size parity);
+  check_q "odd mass" (q 2 3) (Dist.prob parity 1);
+  check_q "even mass" (q 1 3) (Dist.prob parity 0)
+
+let test_bind () =
+  (* Flip a fair coin; if heads flip a 0.9-coin, else point mass false. *)
+  let d =
+    Dist.bind (Dist.bernoulli Q.half) (fun heads ->
+        if heads then Dist.bernoulli (q 9 10) else Dist.return false)
+  in
+  check_q "P(true)" (q 9 20) (Dist.prob d true);
+  check_q "P(false)" (q 11 20) (Dist.prob d false);
+  check_q "mass" Q.one (Dist.total_mass d)
+
+let test_product () =
+  let d = Dist.product (Dist.bernoulli (q 9 10)) (Dist.bernoulli (q 9 10)) in
+  check_q "both delivered" (q 81 100) (Dist.prob d (true, true));
+  check_q "both lost" (q 1 100) (Dist.prob d (false, false));
+  check_q "at least one" (q 99 100) (Dist.prob_pred d (fun (a, b) -> a || b))
+
+let test_product_list () =
+  let channels = List.init 3 (fun _ -> Dist.bernoulli (q 1 2)) in
+  let d = Dist.product_list channels in
+  check_int "2^3 outcomes" 8 (Dist.size d);
+  check_q "one outcome" (q 1 8) (Dist.prob d [ true; false; true ]);
+  let empty = Dist.product_list [] in
+  check_q "empty product is Dirac []" Q.one (Dist.prob empty [])
+
+let test_condition () =
+  let d = Dist.of_list [ (0, q 1 2); (1, q 1 4); (2, q 1 4) ] in
+  let c = Dist.condition d (fun n -> n > 0) in
+  check_q "renormalized" (q 1 2) (Dist.prob c 1);
+  check_q "mass" Q.one (Dist.total_mass c);
+  Alcotest.check_raises "impossible event"
+    (Invalid_argument "Dist.condition: zero-probability event") (fun () ->
+      ignore (Dist.condition d (fun n -> n > 5)))
+
+let test_expectation () =
+  let d = Dist.of_list [ (0, q 1 2); (10, q 1 4); (20, q 1 4) ] in
+  check_q "E[X]" (q 15 2) (Dist.expectation d (fun n -> Q.of_int n));
+  (* The paper's Def 6.1 is exactly this with X = beta_i(phi)@alpha. *)
+  check_q "E[1_A] = P(A)" (Dist.prob_pred d (fun n -> n >= 10))
+    (Dist.expectation d (fun n -> if n >= 10 then Q.one else Q.zero))
+
+let test_filter_map () =
+  let d = Dist.of_list [ (1, q 1 2); (2, q 1 4); (3, q 1 4) ] in
+  let f n = if n mod 2 = 1 then Some (n * 10) else None in
+  let c = Dist.filter_map f d in
+  check_q "renormalized odd 1" (q 2 3) (Dist.prob c 10);
+  check_q "renormalized odd 3" (q 1 3) (Dist.prob c 30)
+
+(* Properties *)
+
+let gen_weights =
+  QCheck.(list_of_size (Gen.int_range 1 8) (pair (int_range 0 5) (int_range 1 20)))
+
+let dist_of_raw raw = Dist.of_weights (List.map (fun (v, w) -> (v, Q.of_int w)) raw)
+
+let prop_mass_one =
+  QCheck.Test.make ~count:300 ~name:"total mass is one" gen_weights (fun raw ->
+      Q.equal Q.one (Dist.total_mass (dist_of_raw raw)))
+
+let prop_expectation_linear =
+  QCheck.Test.make ~count:300 ~name:"expectation is linear" gen_weights (fun raw ->
+      let d = dist_of_raw raw in
+      let f n = Q.of_int (n * 2) and g n = Q.of_int (n - 3) in
+      Q.equal
+        (Dist.expectation d (fun n -> Q.add (f n) (g n)))
+        (Q.add (Dist.expectation d f) (Dist.expectation d g)))
+
+let prop_bind_return_right_id =
+  QCheck.Test.make ~count:300 ~name:"bind return = id" gen_weights (fun raw ->
+      let d = dist_of_raw raw in
+      let d' = Dist.bind d Dist.return in
+      List.for_all (fun v -> Q.equal (Dist.prob d v) (Dist.prob d' v)) (Dist.support d))
+
+let prop_condition_bayes =
+  QCheck.Test.make ~count:300 ~name:"conditioning matches Bayes" gen_weights (fun raw ->
+      let d = dist_of_raw raw in
+      let pred n = n mod 2 = 0 in
+      let pa = Dist.prob_pred d pred in
+      QCheck.assume (not (Q.is_zero pa));
+      let c = Dist.condition d pred in
+      List.for_all
+        (fun v ->
+          if pred v then Q.equal (Dist.prob c v) (Q.div (Dist.prob d v) pa)
+          else Q.is_zero (Dist.prob c v))
+        (Dist.support d))
+
+let prop_product_marginals =
+  QCheck.Test.make ~count:200 ~name:"product has independent marginals"
+    QCheck.(pair gen_weights gen_weights)
+    (fun (ra, rb) ->
+      let a = dist_of_raw ra and b = dist_of_raw rb in
+      let p = Dist.product a b in
+      List.for_all
+        (fun va ->
+          List.for_all
+            (fun vb -> Q.equal (Dist.prob p (va, vb)) (Q.mul (Dist.prob a va) (Dist.prob b vb)))
+            (Dist.support b))
+        (Dist.support a))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mass_one;
+      prop_expectation_linear;
+      prop_bind_return_right_id;
+      prop_condition_bayes;
+      prop_product_marginals
+    ]
+
+let () =
+  Alcotest.run "pak_dist"
+    [ ( "dist",
+        [ Alcotest.test_case "return" `Quick test_return;
+          Alcotest.test_case "of_list" `Quick test_of_list;
+          Alcotest.test_case "duplicate merging" `Quick test_of_list_merges_duplicates;
+          Alcotest.test_case "of_weights" `Quick test_of_weights;
+          Alcotest.test_case "uniform/bernoulli/coin" `Quick test_uniform_bernoulli_coin;
+          Alcotest.test_case "map merges" `Quick test_map_merges;
+          Alcotest.test_case "bind" `Quick test_bind;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "product_list" `Quick test_product_list;
+          Alcotest.test_case "condition" `Quick test_condition;
+          Alcotest.test_case "expectation" `Quick test_expectation;
+          Alcotest.test_case "filter_map" `Quick test_filter_map
+        ] );
+      ("properties", qcheck_cases)
+    ]

@@ -1,0 +1,763 @@
+(* Tests for the extension modules: Jeffrey conditionalization, policy
+   improvement (Section 8), Kripke extraction, Monte-Carlo simulation,
+   tree serialization, modal axioms, formula simplification, and the
+   ALOHA system. *)
+
+open Pak_rational
+open Pak_pps
+open Pak_logic
+open Pak_systems
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let fs () = Firing_squad.tree Firing_squad.Original
+
+(* ------------------------------------------------------------------ *)
+(* Jeffrey conditionalization                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_jeffrey_partitions () =
+  let t = fs () in
+  let cells = Jeffrey.lstate_partition t ~agent:Firing_squad.alice ~time:2 in
+  check_bool "lstate cells partition" true (Jeffrey.is_partition t cells);
+  let acells = Jeffrey.action_partition t ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_bool "action cells partition" true (Jeffrey.is_partition t acells);
+  (* Alice at time 2 in go=1 runs: heard yes/none/no; in go=0 runs:
+     heard no/none. Five positive cells, no dead cell (uniform depth). *)
+  check_int "five lstate cells" 5 (List.length cells);
+  check_bool "not a partition detector" false
+    (Jeffrey.is_partition t [ Tree.all_runs t; Tree.all_runs t ])
+
+let test_jeffrey_total_probability () =
+  let t = fs () in
+  let fireb = Action.runs_performing t ~agent:Firing_squad.bob ~act:Firing_squad.fire in
+  let cells = Jeffrey.lstate_partition t ~agent:Firing_squad.alice ~time:2 in
+  check_q "law of total probability" (Tree.measure t fireb)
+    (Jeffrey.total_probability t ~cells ~event:fireb);
+  (* Generalized version conditioned on R_alpha — the exact identity
+     under Theorem 6.2's proof. *)
+  let r_alpha = Action.runs_performing t ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  let acells = Jeffrey.action_partition t ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_q "generalized identity"
+    (Tree.cond t fireb ~given:r_alpha)
+    (Jeffrey.conditional_total_probability t ~cells:acells ~event:fireb ~given:r_alpha);
+  Alcotest.check_raises "partition check"
+    (Invalid_argument "Jeffrey.total_probability: cells do not partition the runs")
+    (fun () -> ignore (Jeffrey.total_probability t ~cells:[ fireb ] ~event:fireb))
+
+let prop_jeffrey_random =
+  QCheck.Test.make ~count:100 ~name:"total probability on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      let fact = Gen.run_fact t ~seed in
+      let event = Fact.event_of_run_fact fact in
+      List.for_all
+        (fun time ->
+          let cells = Jeffrey.lstate_partition t ~agent:0 ~time in
+          Q.equal (Tree.measure t event) (Jeffrey.total_probability t ~cells ~event))
+        [ 0; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Policy improvement (Section 8)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_reproduces_section8 () =
+  (* Restricting the ORIGINAL FS protocol to firing states with belief
+     >= 1/2 drops exactly the 'No' state and yields the improved
+     protocol's 990/991 — the paper's Section 8 number, derived rather
+     than re-implemented. *)
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  let r =
+    Policy.restrict fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire ~min_belief:Q.half
+  in
+  check_int "one state dropped" 1 (List.length r.Policy.dropped);
+  Alcotest.(check string) "the 'No' state" "go1_heard_no"
+    (Tree.lkey_label (List.hd r.Policy.dropped));
+  check_q "original µ" (q 99 100) r.Policy.original_mu;
+  check_bool "restricted µ = 990/991" true (r.Policy.restricted_mu = Some (q 990 991));
+  check_q "action measure shrinks" (Q.mul Q.half (q 991 1000))
+    r.Policy.restricted_action_measure
+
+let test_policy_frontier () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  let frontier = Policy.frontier fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  (* Belief levels when firing: 0 ('No'), 99/100 (nothing), 1 ('Yes'). *)
+  check_int "three levels" 3 (List.length frontier);
+  let mus = List.map (fun (_, mu, _) -> mu) frontier in
+  check_bool "µ nondecreasing along frontier" true
+    (List.for_all2 Q.leq
+       (List.filteri (fun i _ -> i < List.length mus - 1) mus)
+       (List.tl mus));
+  (* Keeping only the certainty state gives µ = 1 = best. *)
+  let _, best_mu, _ = List.nth frontier 2 in
+  check_q "top of frontier" Q.one best_mu;
+  check_q "best matches max belief" Q.one
+    (Policy.best fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire)
+
+let test_policy_drop_all () =
+  let t = fs () in
+  let never = Fact.ff t in
+  let r =
+    Policy.restrict never ~agent:Firing_squad.alice ~act:Firing_squad.fire ~min_belief:Q.half
+  in
+  check_bool "nothing kept" true (r.Policy.kept = []);
+  check_bool "no restricted µ" true (r.Policy.restricted_mu = None);
+  check_q "zero action measure" Q.zero r.Policy.restricted_action_measure
+
+let prop_policy_improves =
+  QCheck.Test.make ~count:150 ~name:"restricting at µ never lowers µ (random systems)"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      match Gen.pick_proper_action tree ~seed with
+      | None -> QCheck.assume_fail ()
+      | Some (agent, act) ->
+        let fact = Gen.past_based_fact tree ~seed in
+        let mu = Constr.mu_given_action fact ~agent ~act in
+        let r = Policy.restrict fact ~agent ~act ~min_belief:mu in
+        (match r.Policy.restricted_mu with
+         | None -> true (* everything dropped: vacuous *)
+         | Some mu' -> Q.geq mu' mu))
+
+let prop_policy_bounded_by_best =
+  QCheck.Test.make ~count:150 ~name:"frontier µ bounded by best belief"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      match Gen.pick_proper_action tree ~seed with
+      | None -> QCheck.assume_fail ()
+      | Some (agent, act) ->
+        let fact = Gen.past_based_fact tree ~seed in
+        let best = Policy.best fact ~agent ~act in
+        List.for_all (fun (_, mu, _) -> Q.leq mu best) (Policy.frontier fact ~agent ~act))
+
+(* ------------------------------------------------------------------ *)
+(* The executable appendix                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_appendix_lemma_a1 () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  List.iter
+    (fun key ->
+      let r = Appendix.lemma_a1 fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire key in
+      check_bool "a" true r.Appendix.a;
+      check_bool "b" true r.Appendix.b;
+      check_bool "c" true r.Appendix.c;
+      check_bool "d" true r.Appendix.d;
+      check_bool "e" true r.Appendix.e)
+    (Action.performing_lstates t ~agent:Firing_squad.alice ~act:Firing_squad.fire)
+
+let test_appendix_lemma_b1 () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  let rows = Appendix.lemma_b1 fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_int "three rows" 3 (List.length rows);
+  List.iter
+    (fun row ->
+      check_bool
+        (Printf.sprintf "B.1 at %s" (Tree.lkey_label row.Appendix.lstate))
+        true row.Appendix.equal)
+    rows
+
+let test_appendix_thm62_chain () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  let d = Appendix.theorem62 fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_bool "independent" true d.Appendix.independent;
+  check_bool "chain (10)-(18)" true d.Appendix.chain_upto_18;
+  check_bool "bridge (18)=(19)" true d.Appendix.bridge;
+  check_bool "chain (19)-(23)" true d.Appendix.chain_19_on;
+  check_q "(10) is the expectation" (q 99 100) d.Appendix.eq10;
+  check_q "(23) is µ" (q 99 100) d.Appendix.eq23
+
+let test_appendix_thm62_bridge_breaks () =
+  (* Figure 1 with ϕ = does(α): the chain identities (10)-(18) and
+     (19)-(23) hold unconditionally, and the failure of Theorem 6.2 is
+     localized at the bridge step that uses Definition 4.1. *)
+  let t1 = Pak_systems.Figure_one.tree () in
+  let phi = Pak_systems.Figure_one.phi t1 in
+  let d =
+    Appendix.theorem62 phi ~agent:Pak_systems.Figure_one.agent
+      ~act:Pak_systems.Figure_one.alpha
+  in
+  check_bool "not independent" false d.Appendix.independent;
+  check_bool "chain (10)-(18) still holds" true d.Appendix.chain_upto_18;
+  check_bool "chain (19)-(23) still holds" true d.Appendix.chain_19_on;
+  check_bool "bridge breaks" false d.Appendix.bridge;
+  check_q "(10) = E = 1/2" Q.half d.Appendix.eq10;
+  check_q "(23) = µ = 1" Q.one d.Appendix.eq23
+
+let prop_appendix_random =
+  QCheck.Test.make ~count:80 ~name:"Appendix chains on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      match Gen.pick_proper_action tree ~seed with
+      | None -> QCheck.assume_fail ()
+      | Some (agent, act) ->
+        let fact = Gen.transient_fact tree ~seed in
+        let d = Appendix.theorem62 fact ~agent ~act in
+        (* The two sub-chains are unconditional; the bridge must hold
+           whenever Definition 4.1 does. *)
+        d.Appendix.chain_upto_18 && d.Appendix.chain_19_on
+        && ((not d.Appendix.independent) || d.Appendix.bridge)
+        && List.for_all
+             (fun key ->
+               let r = Appendix.lemma_a1 fact ~agent ~act key in
+               r.Appendix.a && r.Appendix.b && r.Appendix.c && r.Appendix.d && r.Appendix.e)
+             (Action.performing_lstates tree ~agent ~act))
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine agreement                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reference_fs () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  check_q "µ agrees" (q 99 100)
+    (Reference.mu_phi_at_alpha_given_alpha fireb ~agent:Firing_squad.alice
+       ~act:Firing_squad.fire);
+  check_q "E agrees" (q 99 100)
+    (Reference.expected_beta_at_alpha fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire);
+  check_bool "properness agrees" true
+    (Reference.is_proper t ~agent:Firing_squad.alice ~act:Firing_squad.fire);
+  check_bool "independence agrees" true
+    (Reference.local_state_independent fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire)
+
+let prop_reference_beta =
+  QCheck.Test.make ~count:40 ~name:"reference beta agrees with Belief.degree"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      QCheck.assume (Tree.n_runs tree <= 60);
+      let fact = Gen.transient_fact tree ~seed in
+      Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+          acc
+          && Q.equal
+               (Belief.degree fact ~agent:0 ~run ~time)
+               (Reference.beta fact ~agent:0 ~run ~time)))
+
+let prop_reference_engine =
+  QCheck.Test.make ~count:40 ~name:"reference engine agrees on µ, E, properness, independence"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      QCheck.assume (Tree.n_runs tree <= 60);
+      match Gen.pick_proper_action tree ~seed with
+      | None -> QCheck.assume_fail ()
+      | Some (agent, act) ->
+        let fact = Gen.transient_fact tree ~seed in
+        Reference.is_proper tree ~agent ~act = Action.is_proper tree ~agent ~act
+        && Q.equal
+             (Reference.mu_phi_at_alpha_given_alpha fact ~agent ~act)
+             (Constr.mu_given_action fact ~agent ~act)
+        && Q.equal
+             (Reference.expected_beta_at_alpha fact ~agent ~act)
+             (Belief.expected_at_action fact ~agent ~act)
+        && Reference.local_state_independent fact ~agent ~act
+           = Independence.holds fact ~agent ~act)
+
+(* ------------------------------------------------------------------ *)
+(* Monderer–Samet p-agreement                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_p_agreement_full_information () =
+  (* Full-information flat system: posteriors are common knowledge,
+     hence common p-belief for every p, with spread 0. *)
+  let t =
+    Monderer_samet.flat [ ([ "x0"; "y0" ], Q.half); ([ "x1"; "y1" ], Q.half) ]
+  in
+  let phi = Fact.of_state_pred t (fun g -> Gstate.local g 0 = "x1") in
+  let reports = Aumann.p_agreement phi ~group:[ 0; 1 ] ~p:(q 9 10) in
+  check_int "premise everywhere" 2 (List.length reports);
+  List.iter
+    (fun r ->
+      check_q "spread 0" Q.zero r.Aumann.spread;
+      check_bool "within bound" true r.Aumann.within_bound)
+    reports
+
+let test_p_agreement_guard () =
+  let t = fs () in
+  Alcotest.check_raises "p range"
+    (Invalid_argument "Aumann.p_agreement: p must lie in (1/2, 1]") (fun () ->
+      ignore (Aumann.p_agreement (Fact.tt t) ~group:[ 0; 1 ] ~p:(q 1 4)))
+
+let prop_p_agreement_random =
+  QCheck.Test.make ~count:40 ~name:"MS p-agreement bound on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      QCheck.assume (Tree.n_runs tree <= 120);
+      let fact = Gen.past_based_fact tree ~seed in
+      List.for_all
+        (fun (pn, pd) ->
+          Aumann.p_disagreements fact ~group:[ 0; 1 ] ~p:(q pn pd) = [])
+        [ (3, 4); (9, 10); (1, 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Belief distribution at action                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_belief_distribution () =
+  let t = fs () in
+  let fireb = Firing_squad.fire_b_fact t in
+  let dist = Belief.distribution_at_action fireb ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_int "three information states" 3 (List.length dist);
+  check_q "weights sum to 1" Q.one (Q.sum (List.map (fun (_, w, _) -> w) dist));
+  (* Σ w·β reconstructs Definition 6.1's expectation. *)
+  check_q "expectation reconstructed" (q 99 100)
+    (Q.sum (List.map (fun (_, w, b) -> Q.mul w b) dist));
+  let weight_of label =
+    List.find_map
+      (fun (k, w, _) -> if Tree.lkey_label k = label then Some w else None)
+      dist
+    |> Option.get
+  in
+  check_q "P(heard yes | fire)" (q 891 1000) (weight_of "go1_heard_yes");
+  check_q "P(heard nothing | fire)" (q 1 10) (weight_of "go1_heard_none");
+  check_q "P(heard no | fire)" (q 9 1000) (weight_of "go1_heard_no")
+
+(* ------------------------------------------------------------------ *)
+(* Aumann's agreement theorem                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_aumann_trivial_fact () =
+  let t = fs () in
+  (* Beliefs in a valid fact are 1 for everyone, which is trivially
+     common knowledge: the premise holds at every point and agreement
+     follows. *)
+  let reports = Aumann.check (Fact.tt t) ~group:[ 0; 1 ] in
+  check_int "premise everywhere" (Tree.n_points t) (List.length reports);
+  check_bool "all agree" true (List.for_all (fun r -> r.Aumann.equal) reports)
+
+let test_aumann_premise_fails () =
+  (* In T̂, agent 1 knows the bit while agent 0's prior is 3/4; the
+     belief values are not common knowledge at time 0, so no agreement
+     claim is made there. *)
+  let b = Tree.Builder.create ~n_agents:2 in
+  let s0 = Tree.Builder.add_initial b ~prob:(q 1 4) (Gstate.of_labels "e" [ "i0"; "bit0" ]) in
+  let s1 = Tree.Builder.add_initial b ~prob:(q 3 4) (Gstate.of_labels "e" [ "i0"; "bit1" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:s0 ~prob:Q.one ~acts:[| "e"; "n"; "n" |]
+       (Gstate.of_labels "e" [ "i1"; "bit0" ]));
+  ignore
+    (Tree.Builder.add_child b ~parent:s1 ~prob:Q.one ~acts:[| "e"; "n"; "n" |]
+       (Gstate.of_labels "e" [ "i1"; "bit1" ]));
+  let t = Tree.Builder.finalize b in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  check_bool "no CK of beliefs at t0" false
+    (Aumann.common_knowledge_of_beliefs bit1 ~group:[ 0; 1 ] ~run:0 ~time:0);
+  check_bool "check_point none" true
+    (Aumann.check_point bit1 ~group:[ 0; 1 ] ~run:0 ~time:0 = None);
+  (* The theorem is never violated. *)
+  check_bool "no disagreement" true (Aumann.disagreement_points bit1 ~group:[ 0; 1 ] = [])
+
+let test_aumann_full_information () =
+  (* A flat system where both agents' labels reveal the world: beliefs
+     are 0/1, commonly known, and equal at every point. *)
+  let t =
+    Monderer_samet.flat
+      [ ([ "x0"; "y0" ], Q.half); ([ "x1"; "y1" ], q 1 4); ([ "x2"; "y2" ], q 1 4) ]
+  in
+  let phi = Fact.of_state_pred t (fun g -> Gstate.local g 0 = "x1") in
+  let reports = Aumann.check phi ~group:[ 0; 1 ] in
+  check_int "premise at all three worlds" 3 (List.length reports);
+  check_bool "agreement everywhere" true (List.for_all (fun r -> r.Aumann.equal) reports)
+
+let prop_aumann_random =
+  QCheck.Test.make ~count:60 ~name:"no agreeing to disagree on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      let fact = Gen.past_based_fact t ~seed in
+      Aumann.disagreement_points fact ~group:[ 0; 1 ] = []
+      && Aumann.disagreement_points (Fact.tt t) ~group:[ 0; 1 ] = [])
+
+(* ------------------------------------------------------------------ *)
+(* Kripke extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_kripke_structure () =
+  let t = fs () in
+  let k = Kripke.of_tree t in
+  check_int "worlds = points" (Tree.n_points t) (Kripke.n_worlds k);
+  check_bool "S5 frame for Alice" true (Kripke.is_equivalence k ~agent:0);
+  check_bool "S5 frame for Bob" true (Kripke.is_equivalence k ~agent:1);
+  check_bool "synchronous classes" true (Kripke.synchronous k);
+  (* point <-> world round trip *)
+  let w = Kripke.point_world k ~run:3 ~time:1 in
+  check_bool "round trip" true (Kripke.world_point k w = (3, 1));
+  check_q "world measure" (Tree.run_measure t 3) (Kripke.world_measure k w)
+
+let test_kripke_agrees_with_layers () =
+  let t = fs () in
+  let k = Kripke.of_tree t in
+  let fireb = Firing_squad.fire_b_fact t in
+  let ok_knows = ref true and ok_post = ref true in
+  Tree.iter_points t (fun ~run ~time ->
+      let w = Kripke.point_world k ~run ~time in
+      for agent = 0 to 1 do
+        let expected_post = Belief.degree fireb ~agent ~run ~time in
+        if not (Q.equal expected_post (Kripke.posterior k ~agent fireb w)) then
+          ok_post := false;
+        let layer_knows =
+          Bitset.for_all
+            (fun run' -> Fact.holds fireb ~run:run' ~time)
+            (Tree.lstate_runs t (Tree.lkey t ~agent ~run ~time))
+        in
+        if layer_knows <> Kripke.knows k ~agent fireb w then ok_knows := false
+      done);
+  check_bool "posterior agrees with Belief.degree" true !ok_post;
+  check_bool "knows agrees with partition" true !ok_knows;
+  check_bool "dot mentions worlds" true
+    (String.length (Kripke.to_dot k ~agent:0) > 100)
+
+let prop_kripke_s5_random =
+  QCheck.Test.make ~count:80 ~name:"Kripke frames of random systems are synchronous S5"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      let k = Kripke.of_tree t in
+      Kripke.is_equivalence k ~agent:0
+      && Kripke.is_equivalence k ~agent:1
+      && Kripke.synchronous k
+      && List.for_all
+           (fun cls -> cls <> [])
+           (Kripke.equivalence_classes k ~agent:0))
+
+(* ------------------------------------------------------------------ *)
+(* Simulation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_simulate_deterministic () =
+  let t = fs () in
+  let a = Simulate.sample_runs t ~samples:50 ~seed:11 in
+  let b = Simulate.sample_runs t ~samples:50 ~seed:11 in
+  check_bool "same seed, same samples" true (a = b);
+  let c = Simulate.sample_runs t ~samples:50 ~seed:12 in
+  check_bool "different seed differs" true (a <> c);
+  check_int "sample count" 50 (Array.length a);
+  Array.iter (fun r -> check_bool "valid run index" true (r >= 0 && r < Tree.n_runs t)) a
+
+let test_simulate_converges () =
+  let t = fs () in
+  let ev = Action.runs_performing t ~agent:Firing_squad.bob ~act:Firing_squad.fire in
+  let exact = Tree.measure t ev in
+  let samples = 20_000 in
+  let est = Simulate.estimate t ~event:ev ~samples ~seed:7 in
+  let err = abs_float (Q.to_float est -. Q.to_float exact) in
+  let se = Simulate.standard_error ~p:exact ~samples in
+  check_bool
+    (Printf.sprintf "within 5 standard errors (err %.5f, se %.5f)" err se)
+    true (err < (5. *. se) +. 0.001)
+
+let test_simulate_conditional () =
+  let t = fs () in
+  let fire_a = Action.runs_performing t ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  let both = Fact.at_action (Firing_squad.phi_both t) ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  let exact = Tree.cond t both ~given:fire_a in
+  (match Simulate.estimate_cond t ~event:both ~given:fire_a ~samples:20_000 ~seed:3 with
+   | None -> Alcotest.fail "no conditional samples"
+   | Some est ->
+     let err = abs_float (Q.to_float est -. Q.to_float exact) in
+     check_bool (Printf.sprintf "conditional converges (err %.5f)" err) true (err < 0.02));
+  (* Impossible conditioning yields None. *)
+  check_bool "empty given" true
+    (Simulate.estimate_cond t ~event:both ~given:(Tree.empty_event t) ~samples:100 ~seed:1
+     = None)
+
+let prop_simulate_random_trees =
+  QCheck.Test.make ~count:20 ~name:"simulation matches measure on random systems"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      let fact = Gen.run_fact t ~seed in
+      let ev = Fact.event_of_run_fact fact in
+      let exact = Tree.measure t ev in
+      let samples = 4_000 in
+      let est = Simulate.estimate t ~event:ev ~samples ~seed in
+      abs_float (Q.to_float est -. Q.to_float exact)
+      < (5. *. Simulate.standard_error ~p:exact ~samples) +. 0.005)
+
+(* ------------------------------------------------------------------ *)
+(* Tree serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trees_observationally_equal t1 t2 =
+  Tree.n_agents t1 = Tree.n_agents t2
+  && Tree.n_nodes t1 = Tree.n_nodes t2
+  && Tree.n_runs t1 = Tree.n_runs t2
+  && List.for_all
+       (fun run ->
+         Tree.run_length t1 run = Tree.run_length t2 run
+         && Q.equal (Tree.run_measure t1 run) (Tree.run_measure t2 run)
+         && List.for_all
+              (fun time ->
+                Gstate.equal
+                  (Tree.node_state t1 (Tree.run_node t1 ~run ~time))
+                  (Tree.node_state t2 (Tree.run_node t2 ~run ~time))
+                && List.for_all
+                     (fun agent ->
+                       Tree.action_at t1 ~agent ~run ~time
+                       = Tree.action_at t2 ~agent ~run ~time)
+                     (List.init (Tree.n_agents t1) Fun.id))
+              (List.init (Tree.run_length t1 run) Fun.id))
+       (List.init (Tree.n_runs t1) Fun.id)
+
+let test_tree_io_roundtrip () =
+  let t = fs () in
+  let t2 = Tree_io.of_string (Tree_io.to_string t) in
+  check_bool "FS round trip" true (trees_observationally_equal t t2);
+  (* Labels with quotes and backslashes survive. *)
+  let b = Tree.Builder.create ~n_agents:1 in
+  ignore (Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e\"x\\y" [ "l \"quoted\"" ]));
+  let t3 = Tree.Builder.finalize b in
+  let t4 = Tree_io.of_string (Tree_io.to_string t3) in
+  check_bool "escapes round trip" true (trees_observationally_equal t3 t4)
+
+let test_tree_io_errors () =
+  let fails s =
+    match Tree_io.of_string s with
+    | exception Tree_io.Parse_error _ -> true
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "garbage" true (fails "nonsense");
+  check_bool "unterminated" true (fails "(pps (agents 1)");
+  check_bool "bad prob" true (fails "(pps (agents 1) (node (parent -1) (prob x) (acts) (env \"e\") (locals \"a\")))");
+  check_bool "missing fields" true (fails "(pps (agents 1) (node (parent -1)))");
+  check_bool "invariant violation (mass)" true
+    (fails "(pps (agents 1) (node (parent -1) (prob 1/2) (acts) (env \"e\") (locals \"a\")))")
+
+let prop_tree_io_random =
+  QCheck.Test.make ~count:60 ~name:"serialization round trip on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      trees_observationally_equal t (Tree_io.of_string (Tree_io.to_string t)))
+
+(* ------------------------------------------------------------------ *)
+(* Modal axioms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fs_valuation atom g =
+  match atom with
+  | "go" -> String.length (Gstate.local g 0) >= 3 && (Gstate.local g 0).[2] = '1'
+  | "bob_got" -> Gstate.local g 1 <> "got0"
+  | _ -> false
+
+let test_axioms_fs () =
+  let t = fs () in
+  List.iter
+    (fun base ->
+      let reports = Axioms.all t ~valuation:fs_valuation ~agent:0 ~base in
+      check_bool
+        (Printf.sprintf "all axioms valid on FS for %s" (Formula.to_string base))
+        true (Axioms.all_valid reports);
+      check_int "17 schemas" 17 (List.length reports))
+    [ Formula.Atom "go"; Formula.Atom "bob_got"; Parser.parse "go & F does[1](fire)" ]
+
+let prop_axioms_random =
+  QCheck.Test.make ~count:30 ~name:"axioms valid on random systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Gen.tree seed in
+      let valuation atom g =
+        atom = "p" && Hashtbl.hash (Gstate.local g 0) mod 2 = 0
+      in
+      Axioms.all_valid (Axioms.all t ~valuation ~agent:0 ~base:(Formula.Atom "p"))
+      && Axioms.all_valid (Axioms.all t ~valuation ~agent:1 ~base:(Formula.Atom "p")))
+
+(* ------------------------------------------------------------------ *)
+(* Formula simplification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_simplify_cases () =
+  let s text = Formula.to_string (Simplify.simplify (Parser.parse text)) in
+  Alcotest.(check string) "double negation" "x" (s "!!x");
+  Alcotest.(check string) "and true" "x" (s "x & true");
+  Alcotest.(check string) "or true" "true" (s "x | true");
+  Alcotest.(check string) "implies false antecedent" "true" (s "false -> x");
+  Alcotest.(check string) "implies false consequent" "!x" (s "x -> false");
+  Alcotest.(check string) "idempotent and" "x" (s "x & x");
+  Alcotest.(check string) "iff self" "true" (s "x <-> x");
+  Alcotest.(check string) "K true" "true" (s "K[0] true");
+  Alcotest.(check string) "K false" "false" (s "K[0] false");
+  Alcotest.(check string) "B geq 0" "true" (s "B[0]>=0 x");
+  Alcotest.(check string) "B of true" "true" (s "B[0]>=3/4 true");
+  Alcotest.(check string) "B of false" "false" (s "B[0]>=3/4 false");
+  Alcotest.(check string) "B leq of false" "true" (s "B[0]<=1/4 false");
+  Alcotest.(check string) "F false" "false" (s "F false");
+  Alcotest.(check string) "FF collapse" "F x" (s "F F x");
+  Alcotest.(check string) "X false" "false" (s "X false");
+  Alcotest.(check string) "X true survives" "X true" (s "X true");
+  Alcotest.(check string) "singleton E" "K[1] x" (s "E[1] x");
+  Alcotest.(check string) "nested" "true" (s "K[0] (x -> x) & (F false -> y)")
+
+let random_formula_gen =
+  (* reuse a compact generator: random nesting of a few shapes *)
+  let open QCheck.Gen in
+  let base = oneofl [ Formula.Atom "even0"; Formula.Atom "even1"; Formula.True; Formula.False ] in
+  let max_depth = 6 in
+  let gens = Array.make (max_depth + 1) base in
+  for n = 1 to max_depth do
+    let sub = gens.(n - 1) in
+    gens.(n) <-
+      frequency
+        [ (2, sub);
+          (2, map2 (fun a b -> Formula.And (a, b)) sub sub);
+          (2, map2 (fun a b -> Formula.Or (a, b)) sub sub);
+          (1, map2 (fun a b -> Formula.Implies (a, b)) sub sub);
+          (1, map (fun f -> Formula.Not f) sub);
+          (1, map (fun f -> Formula.Knows (0, f)) sub);
+          (1, map (fun f -> Formula.Believes (1, Formula.Geq, Q.of_ints 2 3, f)) sub);
+          (1, map (fun f -> Formula.Eventually f) sub);
+          (1, map (fun f -> Formula.Next f) sub);
+          (1, map (fun f -> Formula.Historically f) sub)
+        ]
+  done;
+  QCheck.make ~print:Formula.to_string gens.(max_depth)
+
+let gen_valuation atom g =
+  match atom with
+  | "even0" -> Hashtbl.hash (Gstate.local g 0) mod 2 = 0
+  | "even1" -> Hashtbl.hash (Gstate.local g 1) mod 2 = 0
+  | _ -> false
+
+let prop_simplify_preserves_semantics =
+  QCheck.Test.make ~count:200 ~name:"simplify preserves semantics"
+    QCheck.(pair (int_range 0 10_000) random_formula_gen)
+    (fun (seed, f) ->
+      let t = Gen.tree seed in
+      let a = Semantics.eval t ~valuation:gen_valuation f in
+      let b = Semantics.eval t ~valuation:gen_valuation (Simplify.simplify f) in
+      Tree.fold_points t ~init:true ~f:(fun acc ~run ~time ->
+          acc && Fact.holds a ~run ~time = Fact.holds b ~run ~time))
+
+let prop_simplify_shrinks =
+  QCheck.Test.make ~count:300 ~name:"simplify never grows and is idempotent"
+    random_formula_gen (fun f ->
+      let s = Simplify.simplify f in
+      Formula.size s <= Formula.size f && Formula.equal s (Simplify.simplify s))
+
+(* ------------------------------------------------------------------ *)
+(* ALOHA                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_aloha_two_agents () =
+  let a = Aloha.analyze ~n:2 ~slots:3 () in
+  (* Slot 0: the other agent transmits with probability 1/2; as it
+     drains, collision-freedom improves. *)
+  Alcotest.(check (list (pair int string)))
+    "µ_free by slot"
+    [ (0, "1/2"); (1, "2/3"); (2, "3/4") ]
+    (List.map (fun (s, v) -> (s, Q.to_string v)) a.Aloha.mu_free_by_slot);
+  check_bool "independent (own coin vs others)" true a.Aloha.independent;
+  check_q "throughput" (q 11 16) a.Aloha.throughput
+
+let test_aloha_ptx_tradeoff () =
+  (* Lower transmission probability raises per-transmission success. *)
+  let mu p = List.assoc 0 (Aloha.analyze ~p_tx:p ~n:2 ~slots:1 ()).Aloha.mu_free_by_slot in
+  check_q "p=1/2" Q.half (mu Q.half);
+  check_q "p=1/4" (q 3 4) (mu (q 1 4));
+  check_bool "monotone" true (Q.gt (mu (q 1 10)) (mu (q 1 2)));
+  Alcotest.check_raises "needs 2 agents"
+    (Invalid_argument "Aloha.tree: need at least two agents") (fun () ->
+      ignore (Aloha.tree ~n:1 ~slots:1 ()))
+
+let test_aloha_three_agents () =
+  let a = Aloha.analyze ~n:3 ~slots:2 () in
+  (* Slot 0 with two rivals at p = 1/2: free iff both idle = 1/4. *)
+  check_q "slot 0 with two rivals" (q 1 4) (List.assoc 0 a.Aloha.mu_free_by_slot);
+  check_bool "µ improves over slots" true
+    (Q.lt (List.assoc 0 a.Aloha.mu_free_by_slot) (List.assoc 1 a.Aloha.mu_free_by_slot));
+  (* Theorem 6.2 holds per slot. *)
+  let t = Aloha.tree ~n:3 ~slots:2 () in
+  List.iter
+    (fun slot ->
+      let r =
+        Theorems.expectation_identity (Aloha.phi_free t ~agent:0 ~slot) ~agent:0
+          ~act:(Aloha.tx ~slot)
+      in
+      check_bool (Printf.sprintf "Thm 6.2 slot %d" slot) true
+        (r.Theorems.independent && r.Theorems.identity))
+    [ 0; 1 ]
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_jeffrey_random;
+      prop_aumann_random;
+      prop_appendix_random;
+      prop_reference_beta;
+      prop_reference_engine;
+      prop_p_agreement_random;
+      prop_policy_improves;
+      prop_policy_bounded_by_best;
+      prop_kripke_s5_random;
+      prop_simulate_random_trees;
+      prop_tree_io_random;
+      prop_axioms_random;
+      prop_simplify_preserves_semantics;
+      prop_simplify_shrinks
+    ]
+
+let () =
+  Alcotest.run "pak_extensions"
+    [ ( "jeffrey",
+        [ Alcotest.test_case "partitions" `Quick test_jeffrey_partitions;
+          Alcotest.test_case "total probability" `Quick test_jeffrey_total_probability
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "reproduces section 8" `Quick test_policy_reproduces_section8;
+          Alcotest.test_case "frontier" `Quick test_policy_frontier;
+          Alcotest.test_case "drop all" `Quick test_policy_drop_all
+        ] );
+      ( "appendix",
+        [ Alcotest.test_case "lemma A.1" `Quick test_appendix_lemma_a1;
+          Alcotest.test_case "lemma B.1" `Quick test_appendix_lemma_b1;
+          Alcotest.test_case "theorem 6.2 chain" `Quick test_appendix_thm62_chain;
+          Alcotest.test_case "bridge breaks on figure 1" `Quick test_appendix_thm62_bridge_breaks
+        ] );
+      ( "reference engine",
+        [ Alcotest.test_case "firing squad" `Quick test_reference_fs ] );
+      ( "p-agreement",
+        [ Alcotest.test_case "full information" `Quick test_p_agreement_full_information;
+          Alcotest.test_case "guard" `Quick test_p_agreement_guard
+        ] );
+      ( "belief distribution",
+        [ Alcotest.test_case "at action" `Quick test_belief_distribution ] );
+      ( "aumann",
+        [ Alcotest.test_case "trivial fact" `Quick test_aumann_trivial_fact;
+          Alcotest.test_case "premise fails" `Quick test_aumann_premise_fails;
+          Alcotest.test_case "full information" `Quick test_aumann_full_information
+        ] );
+      ( "kripke",
+        [ Alcotest.test_case "structure" `Quick test_kripke_structure;
+          Alcotest.test_case "agrees with layers" `Quick test_kripke_agrees_with_layers
+        ] );
+      ( "simulate",
+        [ Alcotest.test_case "deterministic" `Quick test_simulate_deterministic;
+          Alcotest.test_case "converges" `Quick test_simulate_converges;
+          Alcotest.test_case "conditional" `Quick test_simulate_conditional
+        ] );
+      ( "tree_io",
+        [ Alcotest.test_case "round trip" `Quick test_tree_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_tree_io_errors
+        ] );
+      ( "axioms", [ Alcotest.test_case "fs" `Quick test_axioms_fs ] );
+      ( "simplify", [ Alcotest.test_case "cases" `Quick test_simplify_cases ] );
+      ( "aloha",
+        [ Alcotest.test_case "two agents" `Quick test_aloha_two_agents;
+          Alcotest.test_case "p_tx tradeoff" `Quick test_aloha_ptx_tradeoff;
+          Alcotest.test_case "three agents" `Quick test_aloha_three_agents
+        ] );
+      ("properties", qcheck_cases)
+    ]

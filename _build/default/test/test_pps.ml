@@ -1,0 +1,767 @@
+(* Tests for the pps core: bitsets, trees, facts, actions, beliefs,
+   independence, constraints and theorem checkers. *)
+
+open Pak_rational
+open Pak_pps
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let s = Bitset.of_list 10 [ 1; 3; 7 ] in
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  check_bool "mem 3" true (Bitset.mem s 3);
+  check_bool "mem 2" false (Bitset.mem s 2);
+  Alcotest.(check (list int)) "to_list sorted" [ 1; 3; 7 ] (Bitset.to_list s);
+  check_bool "empty" true (Bitset.is_empty (Bitset.create 10));
+  check_int "full" 10 (Bitset.cardinal (Bitset.full 10));
+  check_int "full across words" 100 (Bitset.cardinal (Bitset.full 100));
+  check_bool "remove" false (Bitset.mem (Bitset.remove s 3) 3);
+  check_int "add idempotent" 3 (Bitset.cardinal (Bitset.add s 7))
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 8 [ 0; 1; 2 ] and b = Bitset.of_list 8 [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 1 ] (Bitset.to_list (Bitset.diff a b));
+  Alcotest.(check (list int)) "complement" [ 3; 4; 5; 6; 7 ]
+    (Bitset.to_list (Bitset.complement a));
+  check_bool "subset yes" true (Bitset.subset (Bitset.of_list 8 [ 1 ]) a);
+  check_bool "subset no" false (Bitset.subset b a);
+  check_bool "for_all" true (Bitset.for_all (fun i -> i < 3) a);
+  check_bool "exists" true (Bitset.exists (fun i -> i = 3) b);
+  Alcotest.(check (list int)) "filter" [ 0; 2 ]
+    (Bitset.to_list (Bitset.filter (fun i -> i mod 2 = 0) a));
+  check_int "fold" 3 (Bitset.fold (fun i acc -> acc + i) a 0);
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset.union: capacity mismatch") (fun () ->
+      ignore (Bitset.union a (Bitset.create 9)))
+
+let test_bitset_word_boundary () =
+  (* Exercise indices straddling the 62-bit word boundary. *)
+  let s = Bitset.of_list 130 [ 0; 61; 62; 63; 123; 124; 129 ] in
+  check_int "cardinal" 7 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "roundtrip" [ 0; 61; 62; 63; 123; 124; 129 ]
+    (Bitset.to_list s);
+  check_int "complement cardinal" 123 (Bitset.cardinal (Bitset.complement s));
+  check_bool "complement no overflow bits" true
+    (Bitset.for_all (fun i -> i < 130) (Bitset.complement s))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built trees                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1 of the paper: one agent, one initial state, a fair mixed
+   choice between actions alpha and alpha'. *)
+let figure1 () =
+  let b = Tree.Builder.create ~n_agents:1 in
+  let g0 = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e0" [ "l0" ]) in
+  let _r =
+    Tree.Builder.add_child b ~parent:g0 ~prob:Q.half ~acts:[| "env"; "alpha" |]
+      (Gstate.of_labels "e1" [ "l1" ])
+  in
+  let _r' =
+    Tree.Builder.add_child b ~parent:g0 ~prob:Q.half ~acts:[| "env"; "alpha'" |]
+      (Gstate.of_labels "e1" [ "l1" ])
+  in
+  Tree.Builder.finalize b
+
+(* The T̂(p, ε) construction of Theorem 5.2 (Figure 2), hardwired at
+   p = 3/4, ε = 1/4. Agent 0 is "i" (receives a message, then fires α
+   unconditionally at time 1); agent 1 is "j" (holds the bit). *)
+let that () =
+  let b = Tree.Builder.create ~n_agents:2 in
+  let p = q 3 4 in
+  let s0 = Tree.Builder.add_initial b ~prob:(Q.one_minus p) (Gstate.of_labels "e" [ "i0"; "bit0" ]) in
+  let s1 = Tree.Builder.add_initial b ~prob:p (Gstate.of_labels "e" [ "i0"; "bit1" ]) in
+  (* Round 1: j sends m_j or m'_j; i's time-1 label records the message. *)
+  let n_r =
+    Tree.Builder.add_child b ~parent:s0 ~prob:Q.one ~acts:[| "env"; "recv"; "send_mj" |]
+      (Gstate.of_labels "e" [ "got_mj"; "bit0" ])
+  in
+  let n_r' =
+    Tree.Builder.add_child b ~parent:s1 ~prob:(q 2 3) ~acts:[| "env"; "recv"; "send_mj" |]
+      (Gstate.of_labels "e" [ "got_mj"; "bit1" ])
+  in
+  let n_r'' =
+    Tree.Builder.add_child b ~parent:s1 ~prob:(q 1 3) ~acts:[| "env"; "recv"; "send_mj'" |]
+      (Gstate.of_labels "e" [ "got_mj'"; "bit1" ])
+  in
+  (* Round 2: i performs alpha unconditionally. *)
+  List.iter
+    (fun (parent, bit) ->
+      ignore
+        (Tree.Builder.add_child b ~parent ~prob:Q.one ~acts:[| "env"; "alpha"; "noop" |]
+           (Gstate.of_labels "e" [ "done"; bit ])))
+    [ (n_r, "bit0"); (n_r', "bit1"); (n_r'', "bit1") ];
+  Tree.Builder.finalize b
+
+let test_tree_structure () =
+  let t = figure1 () in
+  check_int "n_agents" 1 (Tree.n_agents t);
+  check_int "n_nodes" 3 (Tree.n_nodes t);
+  check_int "n_runs" 2 (Tree.n_runs t);
+  check_int "n_points" 4 (Tree.n_points t);
+  check_int "run length" 2 (Tree.run_length t 0);
+  check_q "run 0 measure" Q.half (Tree.run_measure t 0);
+  check_q "run 1 measure" Q.half (Tree.run_measure t 1);
+  check_q "total measure" Q.one (Tree.measure t (Tree.all_runs t));
+  check_int "initial nodes" 1 (List.length (Tree.initial_nodes t));
+  check_int "children of root child" 2 (List.length (Tree.node_children t 0));
+  check_bool "parent of initial" true (Tree.node_parent t 0 = None);
+  check_bool "parent of child" true (Tree.node_parent t 1 = Some 0);
+  check_int "depth" 1 (Tree.node_depth t 1);
+  check_bool "runs agree at 0" true (Tree.runs_agree_upto t 0 1 ~time:0);
+  check_bool "runs disagree at 1" false (Tree.runs_agree_upto t 0 1 ~time:1)
+
+let test_tree_actions () =
+  let t = figure1 () in
+  check_bool "action at t=0 run 0" true
+    (Tree.action_at t ~agent:0 ~run:0 ~time:0 = Some "alpha");
+  check_bool "action at t=0 run 1" true
+    (Tree.action_at t ~agent:0 ~run:1 ~time:0 = Some "alpha'");
+  check_bool "no action at final point" true (Tree.action_at t ~agent:0 ~run:0 ~time:1 = None);
+  check_bool "env action" true (Tree.env_action_at t ~run:0 ~time:0 = Some "env");
+  Alcotest.(check (list string)) "agent actions" [ "alpha"; "alpha'" ]
+    (Tree.agent_actions t ~agent:0)
+
+let test_tree_lstates () =
+  let t = figure1 () in
+  let k0 = Tree.lkey t ~agent:0 ~run:0 ~time:0 in
+  check_int "lkey time" 0 (Tree.lkey_time k0);
+  Alcotest.(check string) "lkey label" "l0" (Tree.lkey_label k0);
+  check_int "l0 occurs in both runs" 2 (Bitset.cardinal (Tree.lstate_runs t k0));
+  (* Both runs share the time-1 label "l1", so i cannot distinguish them. *)
+  let k1 = Tree.lkey t ~agent:0 ~run:0 ~time:1 in
+  check_int "l1 shared" 2 (Bitset.cardinal (Tree.lstate_runs t k1));
+  check_int "two lstates total" 2 (List.length (Tree.lstates t ~agent:0));
+  let missing = Tree.lkey_make ~agent:0 ~time:0 ~label:"nope" in
+  check_bool "missing lstate empty" true (Bitset.is_empty (Tree.lstate_runs t missing))
+
+let test_tree_validation () =
+  let b = Tree.Builder.create ~n_agents:1 in
+  Alcotest.check_raises "no initial" (Invalid_argument "Tree.finalize: no initial states")
+    (fun () -> ignore (Tree.Builder.finalize b));
+  let b = Tree.Builder.create ~n_agents:1 in
+  ignore (Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "x" ]));
+  Alcotest.check_raises "initial mass"
+    (Invalid_argument "Tree.finalize: initial probabilities sum to 1/2, not 1") (fun () ->
+      ignore (Tree.Builder.finalize b));
+  let b = Tree.Builder.create ~n_agents:1 in
+  let n = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e" [ "x" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:n ~prob:(q 1 3) ~acts:[| "e"; "a" |]
+       (Gstate.of_labels "e" [ "y" ]));
+  Alcotest.check_raises "internal mass"
+    (Invalid_argument "Tree.finalize: node 0 edge probabilities sum to 1/3, not 1")
+    (fun () -> ignore (Tree.Builder.finalize b));
+  let b = Tree.Builder.create ~n_agents:1 in
+  let n = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e" [ "x" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:n ~prob:Q.half ~acts:[| "e"; "a" |]
+       (Gstate.of_labels "e" [ "y" ]));
+  Alcotest.check_raises "duplicate joint action"
+    (Invalid_argument "Tree.Builder.add_child: duplicate joint action at this node")
+    (fun () ->
+      ignore
+        (Tree.Builder.add_child b ~parent:n ~prob:Q.half ~acts:[| "e"; "a" |]
+           (Gstate.of_labels "e" [ "z" ])));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Tree.Builder: edge probability must be in (0,1]") (fun () ->
+      ignore (Tree.Builder.add_initial b ~prob:Q.zero (Gstate.of_labels "e" [ "x" ])));
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Tree.Builder.add_child: acts must have length n_agents + 1")
+    (fun () ->
+      ignore
+        (Tree.Builder.add_child b ~parent:n ~prob:Q.half ~acts:[| "e" |]
+           (Gstate.of_labels "e" [ "w" ])))
+
+let test_tree_synchrony_check () =
+  let t = figure1 () in
+  Alcotest.(check (list (pair int string))) "no label reuse" []
+    (Tree.check_labels_synchronous t);
+  (* Build a tree reusing label "x" at two depths. *)
+  let b = Tree.Builder.create ~n_agents:1 in
+  let n = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e" [ "x" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:n ~prob:Q.one ~acts:[| "e"; "a" |]
+       (Gstate.of_labels "e" [ "x" ]));
+  let t2 = Tree.Builder.finalize b in
+  Alcotest.(check (list (pair int string))) "reuse reported" [ (0, "x") ]
+    (Tree.check_labels_synchronous t2)
+
+let test_tree_protocol_consistency () =
+  (* figure1 and that() are protocol-generated: consistent. *)
+  check_int "figure1 consistent" 0 (List.length (Tree.check_protocol_consistency (figure1 ())));
+  check_int "that consistent" 0 (List.length (Tree.check_protocol_consistency (that ())));
+  (* A tree where the same local state performs alpha with different
+     probabilities at two nodes (distinguished only by agent 1's state):
+     not realizable by any protocol P_0. *)
+  let b = Tree.Builder.create ~n_agents:2 in
+  let n0 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "same"; "x" ]) in
+  let n1 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "same"; "y" ]) in
+  let grow parent p_alpha =
+    ignore
+      (Tree.Builder.add_child b ~parent ~prob:p_alpha ~acts:[| "e"; "alpha"; "n" |]
+         (Gstate.of_labels "e" [ "d"; "d" ]));
+    ignore
+      (Tree.Builder.add_child b ~parent ~prob:(Q.one_minus p_alpha) ~acts:[| "e"; "beta"; "n" |]
+         (Gstate.of_labels "e" [ "d"; "d" ]))
+  in
+  grow n0 (q 1 3);
+  grow n1 (q 2 3);
+  let t = Tree.Builder.finalize b in
+  let violations = Tree.check_protocol_consistency t in
+  check_bool "inconsistency detected" true (violations <> []);
+  check_bool "agent 0 flagged" true (List.exists (fun (ag, _, _) -> ag = 0) violations);
+  (* Generated protocol-consistent trees pass the check. *)
+  for seed = 0 to 20 do
+    check_int
+      (Printf.sprintf "Gen.tree %d consistent" seed)
+      0
+      (List.length (Tree.check_protocol_consistency (Gen.tree seed)))
+  done
+
+let contains_substr haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_tree_dot () =
+  let t = figure1 () in
+  let dot = Tree.to_dot t in
+  check_bool "mentions lambda" true (contains_substr dot "lambda");
+  check_bool "mentions alpha" true (contains_substr dot "alpha")
+
+(* ------------------------------------------------------------------ *)
+(* Facts                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fact_basics () =
+  let t = figure1 () in
+  let psi = Fact.not_ (Fact.does t ~agent:0 ~act:"alpha") in
+  (* psi = "i is not performing alpha": false at (r,0), true elsewhere *)
+  check_bool "(r,0)" false (Fact.holds psi ~run:0 ~time:0);
+  check_bool "(r,1)" true (Fact.holds psi ~run:0 ~time:1);
+  check_bool "(r',0)" true (Fact.holds psi ~run:1 ~time:0);
+  check_bool "tt" true (Fact.holds (Fact.tt t) ~run:0 ~time:0);
+  check_bool "ff" false (Fact.holds (Fact.ff t) ~run:0 ~time:0);
+  let conj = Fact.and_ psi (Fact.tt t) in
+  check_bool "and with tt" false (Fact.holds conj ~run:0 ~time:0);
+  check_bool "implies" true
+    (Fact.holds (Fact.implies (Fact.ff t) psi) ~run:0 ~time:0);
+  check_bool "iff" true
+    (Fact.holds (Fact.iff psi psi) ~run:0 ~time:0)
+
+let test_fact_cross_tree_guard () =
+  let t1 = figure1 () and t2 = figure1 () in
+  Alcotest.check_raises "cross-tree"
+    (Invalid_argument "Fact: combining facts from different trees") (fun () ->
+      ignore (Fact.and_ (Fact.tt t1) (Fact.tt t2)))
+
+let test_fact_temporal () =
+  let t = that () in
+  let fires = Fact.does t ~agent:0 ~act:"alpha" in
+  let ev = Fact.eventually fires in
+  check_bool "eventually true early" true (Fact.holds ev ~run:0 ~time:0);
+  check_bool "eventually is run fact" true (Fact.is_about_runs ev);
+  let glob = Fact.globally fires in
+  check_bool "globally false" false (Fact.holds glob ~run:0 ~time:0);
+  let onc = Fact.once fires in
+  check_bool "once before" false (Fact.holds onc ~run:0 ~time:0);
+  check_bool "once at" true (Fact.holds onc ~run:0 ~time:1);
+  check_bool "once after" true (Fact.holds onc ~run:0 ~time:2);
+  let hist = Fact.historically (Fact.not_ fires) in
+  check_bool "historically true then" true (Fact.holds hist ~run:0 ~time:0);
+  check_bool "historically falsified" false (Fact.holds hist ~run:0 ~time:2);
+  let nxt = Fact.next fires in
+  check_bool "next true at 0" true (Fact.holds nxt ~run:0 ~time:0);
+  check_bool "next false at final" false (Fact.holds nxt ~run:0 ~time:2);
+  let att = Fact.at_time t 1 fires in
+  check_bool "at_time run fact" true (Fact.is_about_runs att);
+  check_bool "at_time value" true (Fact.holds att ~run:0 ~time:0)
+
+let test_fact_run_facts () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  check_bool "bit1 about runs" true (Fact.is_about_runs bit1);
+  check_bool "bit1 past based" true (Fact.is_past_based bit1);
+  let ev = Fact.event_of_run_fact bit1 in
+  check_q "µ(bit1) = p" (q 3 4) (Tree.measure t ev);
+  let fires_now = Fact.does t ~agent:0 ~act:"alpha" in
+  check_bool "does not about runs" false (Fact.is_about_runs fires_now);
+  Alcotest.check_raises "event_of_run_fact guard"
+    (Invalid_argument "Fact.event_of_run_fact: fact is not a fact about runs") (fun () ->
+      ignore (Fact.event_of_run_fact fires_now))
+
+let test_fact_past_based () =
+  let t = figure1 () in
+  (* "does alpha" at time 0 differs across the two runs although they
+     share the time-0 node: not past-based. *)
+  let f = Fact.does t ~agent:0 ~act:"alpha" in
+  check_bool "does is future-dependent" false (Fact.is_past_based f);
+  let g = Fact.of_state_pred t (fun st -> Gstate.local st 0 = "l0") in
+  check_bool "state pred past-based" true (Fact.is_past_based g)
+
+let test_fact_at_operators () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  (* i's time-1 local state "got_mj" occurs in runs 0 (bit0) and 1 (bit1). *)
+  let k = Tree.lkey_make ~agent:0 ~time:1 ~label:"got_mj" in
+  check_int "occurrences" 2 (Bitset.cardinal (Tree.lstate_runs t k));
+  check_q "µ(bit1@got_mj)" Q.half (Tree.measure t (Fact.at_lstate bit1 k));
+  let ev = Fact.at_action bit1 ~agent:0 ~act:"alpha" in
+  check_q "µ(ϕ@α)" (q 3 4) (Tree.measure t ev)
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_action_properness () =
+  let t = that () in
+  check_bool "alpha proper" true (Action.is_proper t ~agent:0 ~act:"alpha");
+  check_bool "unperformed not proper" false (Action.is_proper t ~agent:0 ~act:"nothing");
+  check_int "occurrences" 3 (List.length (Action.occurrences t ~agent:0 ~act:"alpha"));
+  check_int "R_alpha is everything" 3
+    (Bitset.cardinal (Action.runs_performing t ~agent:0 ~act:"alpha"));
+  check_bool "time_performed" true
+    (Action.time_performed t ~agent:0 ~act:"alpha" ~run:0 = Some 1);
+  check_int "count_in_run" 1 (Action.count_in_run t ~agent:0 ~act:"alpha" ~run:2);
+  (* An action repeated in one run is not proper. *)
+  let b = Tree.Builder.create ~n_agents:1 in
+  let n0 = Tree.Builder.add_initial b ~prob:Q.one (Gstate.of_labels "e" [ "x0" ]) in
+  let n1 =
+    Tree.Builder.add_child b ~parent:n0 ~prob:Q.one ~acts:[| "e"; "a" |]
+      (Gstate.of_labels "e" [ "x1" ])
+  in
+  ignore
+    (Tree.Builder.add_child b ~parent:n1 ~prob:Q.one ~acts:[| "e"; "a" |]
+       (Gstate.of_labels "e" [ "x2" ]));
+  let t2 = Tree.Builder.finalize b in
+  check_bool "repeated not proper" false (Action.is_proper t2 ~agent:0 ~act:"a");
+  Alcotest.check_raises "check_proper raises" (Action.Not_proper "agent 0, action a")
+    (fun () -> Action.check_proper t2 ~agent:0 ~act:"a")
+
+let test_action_determinism () =
+  let t1 = figure1 () in
+  (* alpha is chosen by a coin flip at l0: mixed, not deterministic. *)
+  check_bool "mixed not deterministic" false (Action.is_deterministic t1 ~agent:0 ~act:"alpha");
+  let t = that () in
+  (* i fires unconditionally at time 1: deterministic. *)
+  check_bool "unconditional deterministic" true (Action.is_deterministic t ~agent:0 ~act:"alpha");
+  (* j's send_mj' happens only from bit1, probabilistically: mixed. *)
+  check_bool "j send mixed" false (Action.is_deterministic t ~agent:1 ~act:"send_mj")
+
+let test_action_lstates () =
+  let t = that () in
+  let ls = Action.performing_lstates t ~agent:0 ~act:"alpha" in
+  check_int "Li[alpha] size" 2 (List.length ls);
+  Alcotest.(check (list string)) "Li[alpha] labels" [ "got_mj"; "got_mj'" ]
+    (List.map Tree.lkey_label ls);
+  let k = Tree.lkey_make ~agent:0 ~time:1 ~label:"got_mj" in
+  check_int "alpha@got_mj" 2 (Bitset.cardinal (Action.performed_at_lstate t ~agent:0 ~act:"alpha" k))
+
+(* ------------------------------------------------------------------ *)
+(* Beliefs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_belief_figure1 () =
+  let t = figure1 () in
+  let psi = Fact.not_ (Fact.does t ~agent:0 ~act:"alpha") in
+  (* beta_i(psi) at the initial state is 1/2 in both runs. *)
+  check_q "beta at (r,0)" Q.half (Belief.degree psi ~agent:0 ~run:0 ~time:0);
+  check_q "beta at (r',0)" Q.half (Belief.degree psi ~agent:0 ~run:1 ~time:0);
+  (* beta@alpha: 1/2 in the run performing alpha, 0 by convention in r'. *)
+  check_q "beta@alpha in r" Q.half (Belief.at_action psi ~agent:0 ~act:"alpha" ~run:0);
+  check_q "beta@alpha in r'" Q.zero (Belief.at_action psi ~agent:0 ~act:"alpha" ~run:1);
+  (* mu(psi@alpha | alpha) = 0 while beliefs meet 1/2: Thm 4.2 premise
+     fails to transfer because independence fails. *)
+  check_q "mu(psi@alpha|alpha)" Q.zero (Constr.mu_given_action psi ~agent:0 ~act:"alpha")
+
+let test_belief_that () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  (* At "got_mj" the belief is (p-ε)/(1-ε) = 2/3; at "got_mj'" it is 1. *)
+  check_q "pooled belief" (q 2 3)
+    (Belief.degree_at_lstate bit1 (Tree.lkey_make ~agent:0 ~time:1 ~label:"got_mj"));
+  check_q "revealing belief" Q.one
+    (Belief.degree_at_lstate bit1 (Tree.lkey_make ~agent:0 ~time:1 ~label:"got_mj'"));
+  check_q "mu = p" (q 3 4) (Constr.mu_given_action bit1 ~agent:0 ~act:"alpha");
+  (* Theorem 5.2's quantities: µ(β ≥ p | α) = ε = 1/4. *)
+  let strong = Belief.threshold_event bit1 ~agent:0 ~act:"alpha" ~cmp:`Geq (q 3 4) in
+  check_q "µ(β≥p|α) = ε" (q 1 4)
+    (Tree.cond t strong ~given:(Action.runs_performing t ~agent:0 ~act:"alpha"));
+  (* Expected belief equals µ (Theorem 6.2): 3/4·(2/3) + 1/4·1 = 3/4. *)
+  check_q "expected belief" (q 3 4) (Belief.expected_at_action bit1 ~agent:0 ~act:"alpha");
+  check_bool "min belief" true
+    (Belief.min_at_action bit1 ~agent:0 ~act:"alpha" = Some (q 2 3))
+
+(* ------------------------------------------------------------------ *)
+(* Independence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_independence () =
+  let t1 = figure1 () in
+  let psi = Fact.not_ (Fact.does t1 ~agent:0 ~act:"alpha") in
+  check_bool "figure 1 fails" false (Independence.holds psi ~agent:0 ~act:"alpha");
+  let fails = Independence.failures psi ~agent:0 ~act:"alpha" in
+  check_int "one failing lstate" 1 (List.length fails);
+  (match fails with
+   | [ f ] ->
+     check_q "belief side" Q.half f.Independence.belief;
+     check_q "act prob side" Q.half f.Independence.act_prob;
+     check_q "joint side" Q.zero f.Independence.joint
+   | _ -> Alcotest.fail "expected exactly one failure");
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  check_bool "past-based fact independent" true (Independence.holds bit1 ~agent:0 ~act:"alpha")
+
+(* ------------------------------------------------------------------ *)
+(* Constraints and theorems                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_constraint_report () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  let c = Constr.make ~agent:0 ~act:"alpha" ~fact:bit1 ~threshold:(q 7 10) in
+  check_bool "holds at 0.7" true (Constr.holds c);
+  let r = Constr.report c in
+  check_q "report mu" (q 3 4) r.Constr.mu;
+  check_q "report action measure" Q.one r.Constr.action_measure;
+  check_bool "report satisfied" true r.Constr.satisfied;
+  check_bool "report independent" true r.Constr.independent;
+  let c2 = Constr.make ~agent:0 ~act:"alpha" ~fact:bit1 ~threshold:(q 4 5) in
+  check_bool "fails at 0.8" false (Constr.holds c2);
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Constr.make: threshold must be a probability") (fun () ->
+      ignore (Constr.make ~agent:0 ~act:"alpha" ~fact:bit1 ~threshold:(q 3 2)))
+
+let test_theorem_62_counterexample () =
+  (* Figure 1 with ϕ = does(α): µ = 1 but E[β] = 1/2; independence
+     fails, so Theorem 6.2 is not contradicted. *)
+  let t = figure1 () in
+  let phi = Fact.does t ~agent:0 ~act:"alpha" in
+  let r = Theorems.expectation_identity phi ~agent:0 ~act:"alpha" in
+  check_q "mu" Q.one r.Theorems.mu;
+  check_q "expected" Q.half r.Theorems.expected_belief;
+  check_bool "not independent" false r.Theorems.independent;
+  check_bool "identity fails" false r.Theorems.identity;
+  check_bool "theorem respected" true r.Theorems.respected
+
+let test_theorem_62_that () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  let r = Theorems.expectation_identity bit1 ~agent:0 ~act:"alpha" in
+  check_bool "independent" true r.Theorems.independent;
+  check_bool "identity holds" true r.Theorems.identity;
+  check_q "both sides 3/4" (q 3 4) r.Theorems.expected_belief
+
+let test_theorem_42 () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  (* p = 2/3: beliefs are 2/3 and 1, so the premise holds; µ = 3/4 ≥ 2/3. *)
+  let r = Theorems.sufficiency bit1 ~agent:0 ~act:"alpha" ~p:(q 2 3) in
+  check_bool "premise" true r.Theorems.premise;
+  check_bool "conclusion" true r.Theorems.conclusion;
+  check_bool "respected" true r.Theorems.respected;
+  check_q "min belief" (q 2 3) r.Theorems.min_belief;
+  (* p = 3/4: premise fails (min belief 2/3), nothing is claimed. *)
+  let r2 = Theorems.sufficiency bit1 ~agent:0 ~act:"alpha" ~p:(q 3 4) in
+  check_bool "premise fails" false r2.Theorems.premise;
+  check_bool "still respected" true r2.Theorems.respected;
+  (* Figure 1: premise holds at p=1/2 but µ=0 — independence is false,
+     so the implication is vacuous and respected. *)
+  let t1 = figure1 () in
+  let psi = Fact.not_ (Fact.does t1 ~agent:0 ~act:"alpha") in
+  let r3 = Theorems.sufficiency psi ~agent:0 ~act:"alpha" ~p:Q.half in
+  check_bool "fig1 premise" true r3.Theorems.premise;
+  check_bool "fig1 conclusion fails" false r3.Theorems.conclusion;
+  check_bool "fig1 not independent" false r3.Theorems.independent;
+  check_bool "fig1 respected" true r3.Theorems.respected
+
+let test_lemma_43 () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  let r = Theorems.lemma43 bit1 ~agent:0 ~act:"alpha" in
+  check_bool "alpha deterministic" true r.Theorems.deterministic;
+  check_bool "bit1 past based" true r.Theorems.past_based;
+  check_bool "independent" true r.Theorems.independent;
+  check_bool "respected" true r.Theorems.respected;
+  let t1 = figure1 () in
+  let psi = Fact.not_ (Fact.does t1 ~agent:0 ~act:"alpha") in
+  let r2 = Theorems.lemma43 psi ~agent:0 ~act:"alpha" in
+  check_bool "fig1 neither hypothesis" true
+    ((not r2.Theorems.deterministic) && not r2.Theorems.past_based);
+  check_bool "fig1 respected (vacuous)" true r2.Theorems.respected
+
+let test_lemma_51 () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  let r = Theorems.necessity_exists bit1 ~agent:0 ~act:"alpha" ~p:(q 3 4) in
+  check_bool "constraint holds" true r.Theorems.constraint_holds;
+  check_bool "witness exists" true (r.Theorems.witness <> None);
+  (* The witness must be the m'_j run (belief 1 ≥ 3/4). *)
+  (match r.Theorems.witness with
+   | Some (run, time) ->
+     check_q "witness belief" Q.one (Belief.degree bit1 ~agent:0 ~run ~time)
+   | None -> Alcotest.fail "no witness");
+  check_bool "respected" true r.Theorems.respected
+
+let test_theorem_71_corollary_72 () =
+  let t = that () in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  (* µ = 3/4 = 1 - 1/4 ≥ 1 - δε needs δε ≥ 1/4, e.g. δ = 1/2, ε = 1/2. *)
+  let r = Theorems.pak bit1 ~agent:0 ~act:"alpha" ~eps:Q.half ~delta:Q.half in
+  check_bool "premise" true r.Theorems.premise;
+  check_bool "conclusion" true r.Theorems.conclusion;
+  check_bool "respected" true r.Theorems.respected;
+  check_q "µ(β ≥ 1/2 | α)" Q.one r.Theorems.strong_belief_measure;
+  let r2 = Theorems.pak_corollary bit1 ~agent:0 ~act:"alpha" ~eps:Q.half in
+  check_bool "corollary respected" true r2.Theorems.respected;
+  Alcotest.check_raises "bad eps" (Invalid_argument "Theorems.pak: eps and delta must lie in (0,1)")
+    (fun () -> ignore (Theorems.pak bit1 ~agent:0 ~act:"alpha" ~eps:Q.one ~delta:Q.half))
+
+let test_kop () =
+  (* A reliable variant: i performs alpha only when bit = 1 surely
+     holds. Tree: two initial states; alpha performed only from bit1. *)
+  let b = Tree.Builder.create ~n_agents:2 in
+  let s0 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i_idle"; "bit0" ]) in
+  let s1 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i_go"; "bit1" ]) in
+  ignore
+    (Tree.Builder.add_child b ~parent:s0 ~prob:Q.one ~acts:[| "e"; "skip"; "noop" |]
+       (Gstate.of_labels "e" [ "i_idle1"; "bit0" ]));
+  ignore
+    (Tree.Builder.add_child b ~parent:s1 ~prob:Q.one ~acts:[| "e"; "alpha"; "noop" |]
+       (Gstate.of_labels "e" [ "i_done"; "bit1" ]));
+  let t = Tree.Builder.finalize b in
+  let bit1 = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "bit1") in
+  let r = Theorems.kop bit1 ~agent:0 ~act:"alpha" in
+  check_q "mu = 1" Q.one r.Theorems.mu;
+  check_bool "premise" true r.Theorems.premise;
+  check_q "certainty measure" Q.one r.Theorems.certain_measure;
+  check_bool "conclusion" true r.Theorems.conclusion;
+  check_bool "respected" true r.Theorems.respected
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests on generated systems                           *)
+(* ------------------------------------------------------------------ *)
+
+let seeds = QCheck.int_range 0 1_000_000
+
+let with_proper_action ?params seed k =
+  let tree = Gen.tree ?params seed in
+  match Gen.pick_proper_action tree ~seed with
+  | None -> QCheck.assume_fail ()
+  | Some (agent, act) -> k tree agent act
+
+let prop_total_measure_one =
+  QCheck.Test.make ~count:100 ~name:"generated tree has total measure 1" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      Q.equal Q.one (Tree.measure tree (Tree.all_runs tree)))
+
+let prop_run_measures_positive =
+  QCheck.Test.make ~count:100 ~name:"every run has positive measure" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      let ok = ref true in
+      for r = 0 to Tree.n_runs tree - 1 do
+        if Q.sign (Tree.run_measure tree r) <> 1 then ok := false
+      done;
+      !ok)
+
+let prop_generated_actions_proper =
+  QCheck.Test.make ~count:100 ~name:"generated action labels are proper" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      (* Depth-tagged labels can occur at most once per run. *)
+      List.for_all
+        (fun (agent, act) -> Action.is_proper tree ~agent ~act)
+        (Gen.proper_actions tree))
+
+let prop_past_based_fact_is_past_based =
+  QCheck.Test.make ~count:100 ~name:"Gen.past_based_fact is past-based" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      Fact.is_past_based (Gen.past_based_fact tree ~seed))
+
+let prop_lemma43_past_based =
+  QCheck.Test.make ~count:120 ~name:"Lemma 4.3(b): past-based => independent" seeds
+    (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          let r = Theorems.lemma43 fact ~agent ~act in
+          r.Theorems.past_based && r.Theorems.independent))
+
+let det_params = { Gen.default_params with deterministic_acts = true }
+
+let prop_lemma43_deterministic =
+  QCheck.Test.make ~count:120 ~name:"Lemma 4.3(a): deterministic => independent" seeds
+    (fun seed ->
+      with_proper_action ~params:det_params seed (fun tree agent act ->
+          QCheck.assume (Action.is_deterministic tree ~agent ~act);
+          (* Even an arbitrary future-dependent fact must be independent
+             of a deterministic action. *)
+          let fact = Gen.transient_fact tree ~seed in
+          Independence.holds fact ~agent ~act))
+
+let prop_theorem62_random =
+  QCheck.Test.make ~count:120 ~name:"Theorem 6.2 on random systems (past-based facts)"
+    seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          let r = Theorems.expectation_identity fact ~agent ~act in
+          r.Theorems.independent && r.Theorems.identity))
+
+let prop_theorem62_transient =
+  QCheck.Test.make ~count:120
+    ~name:"Theorem 6.2 on random systems (any fact, conditional on independence)" seeds
+    (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.transient_fact tree ~seed in
+          (Theorems.expectation_identity fact ~agent ~act).Theorems.respected))
+
+let prop_theorem42_random =
+  QCheck.Test.make ~count:120 ~name:"Theorem 4.2 on random systems" seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          (* Use the minimum belief itself as threshold: premise holds
+             by construction; conclusion must follow. *)
+          match Belief.min_at_action fact ~agent ~act with
+          | None -> false
+          | Some p -> (Theorems.sufficiency fact ~agent ~act ~p).Theorems.respected))
+
+let prop_lemma51_random =
+  QCheck.Test.make ~count:120 ~name:"Lemma 5.1 on random systems" seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          let p = Constr.mu_given_action fact ~agent ~act in
+          (* Constraint holds with threshold = µ itself. *)
+          (Theorems.necessity_exists fact ~agent ~act ~p).Theorems.respected))
+
+let prop_theorem71_random =
+  QCheck.Test.make ~count:120 ~name:"Theorem 7.1 on random systems (grid of eps, delta)"
+    seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          List.for_all
+            (fun (e, d) ->
+              (Theorems.pak fact ~agent ~act ~eps:(q 1 e) ~delta:(q 1 d)).Theorems.respected)
+            [ (2, 2); (2, 5); (5, 2); (10, 10); (3, 7) ]))
+
+let prop_corollary72_random =
+  QCheck.Test.make ~count:120 ~name:"Corollary 7.2 on random systems" seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          List.for_all
+            (fun e ->
+              (Theorems.pak_corollary fact ~agent ~act ~eps:(q 1 e)).Theorems.respected)
+            [ 2; 3; 5; 10 ]))
+
+let prop_kop_random =
+  QCheck.Test.make ~count:120 ~name:"Lemma F.1 (KoP) on random systems" seeds (fun seed ->
+      with_proper_action seed (fun tree agent act ->
+          let fact = Gen.past_based_fact tree ~seed in
+          (Theorems.kop fact ~agent ~act).Theorems.respected))
+
+let prop_run_facts_constant =
+  QCheck.Test.make ~count:100 ~name:"run facts are about runs" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      Fact.is_about_runs (Gen.run_fact tree ~seed))
+
+let prop_belief_is_probability =
+  QCheck.Test.make ~count:100 ~name:"beliefs are probabilities" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      let fact = Gen.transient_fact tree ~seed in
+      Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+          acc
+          && (let ok = ref true in
+              for agent = 0 to Tree.n_agents tree - 1 do
+                if not (Q.is_probability (Belief.degree fact ~agent ~run ~time)) then
+                  ok := false
+              done;
+              !ok)))
+
+let prop_belief_complement =
+  QCheck.Test.make ~count:100 ~name:"beta(phi) + beta(not phi) = 1" seeds (fun seed ->
+      let tree = Gen.tree seed in
+      let fact = Gen.transient_fact tree ~seed in
+      let neg = Fact.not_ fact in
+      Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+          acc
+          && Q.equal Q.one
+               (Q.add
+                  (Belief.degree fact ~agent:0 ~run ~time)
+                  (Belief.degree neg ~agent:0 ~run ~time))))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_total_measure_one;
+      prop_run_measures_positive;
+      prop_generated_actions_proper;
+      prop_past_based_fact_is_past_based;
+      prop_lemma43_past_based;
+      prop_lemma43_deterministic;
+      prop_theorem62_random;
+      prop_theorem62_transient;
+      prop_theorem42_random;
+      prop_lemma51_random;
+      prop_theorem71_random;
+      prop_corollary72_random;
+      prop_kop_random;
+      prop_run_facts_constant;
+      prop_belief_is_probability;
+      prop_belief_complement
+    ]
+
+let () =
+  Alcotest.run "pak_pps"
+    [ ( "bitset",
+        [ Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "set operations" `Quick test_bitset_ops;
+          Alcotest.test_case "word boundaries" `Quick test_bitset_word_boundary
+        ] );
+      ( "tree",
+        [ Alcotest.test_case "structure" `Quick test_tree_structure;
+          Alcotest.test_case "actions" `Quick test_tree_actions;
+          Alcotest.test_case "local states" `Quick test_tree_lstates;
+          Alcotest.test_case "validation" `Quick test_tree_validation;
+          Alcotest.test_case "synchrony check" `Quick test_tree_synchrony_check;
+          Alcotest.test_case "protocol consistency check" `Quick test_tree_protocol_consistency;
+          Alcotest.test_case "dot export" `Quick test_tree_dot
+        ] );
+      ( "fact",
+        [ Alcotest.test_case "basics" `Quick test_fact_basics;
+          Alcotest.test_case "cross-tree guard" `Quick test_fact_cross_tree_guard;
+          Alcotest.test_case "temporal operators" `Quick test_fact_temporal;
+          Alcotest.test_case "run facts" `Quick test_fact_run_facts;
+          Alcotest.test_case "past-based" `Quick test_fact_past_based;
+          Alcotest.test_case "@-operators" `Quick test_fact_at_operators
+        ] );
+      ( "action",
+        [ Alcotest.test_case "properness" `Quick test_action_properness;
+          Alcotest.test_case "determinism" `Quick test_action_determinism;
+          Alcotest.test_case "Li[alpha]" `Quick test_action_lstates
+        ] );
+      ( "belief",
+        [ Alcotest.test_case "figure 1" `Quick test_belief_figure1;
+          Alcotest.test_case "T-hat" `Quick test_belief_that
+        ] );
+      ( "independence",
+        [ Alcotest.test_case "definition 4.1" `Quick test_independence ] );
+      ( "constraints",
+        [ Alcotest.test_case "report" `Quick test_constraint_report ] );
+      ( "theorems",
+        [ Alcotest.test_case "6.2 counterexample (fig 1)" `Quick test_theorem_62_counterexample;
+          Alcotest.test_case "6.2 on T-hat" `Quick test_theorem_62_that;
+          Alcotest.test_case "4.2 sufficiency" `Quick test_theorem_42;
+          Alcotest.test_case "4.3 lemma" `Quick test_lemma_43;
+          Alcotest.test_case "5.1 necessity" `Quick test_lemma_51;
+          Alcotest.test_case "7.1 and 7.2 PAK" `Quick test_theorem_71_corollary_72;
+          Alcotest.test_case "F.1 KoP" `Quick test_kop
+        ] );
+      ("properties", qcheck_cases)
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the protocol layer: lossy network substrate and the
+   joint-protocol-to-pps compiler. *)
+
+open Pak_rational
+open Pak_dist
+open Pak_pps
+open Pak_protocol
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_patterns () =
+  let m1 = Network.msg ~src:0 ~dst:1 "m1" in
+  let m2 = Network.msg ~src:0 ~dst:1 "m2" in
+  let d = Network.delivery_patterns ~loss:(q 1 10) [ m1; m2 ] in
+  check_int "four patterns" 4 (Dist.size d);
+  check_q "both delivered" (q 81 100) (Dist.prob d [ m1; m2 ]);
+  check_q "both lost" (q 1 100) (Dist.prob d []);
+  check_q "first only" (q 9 100) (Dist.prob d [ m1 ]);
+  check_q "at least one" (q 99 100) (Dist.prob_pred d (fun p -> p <> []));
+  (* Example 1's numbers drop out of the substrate directly. *)
+  check_q "mass" Q.one (Dist.total_mass d)
+
+let test_network_edge_cases () =
+  let m = Network.msg ~src:1 ~dst:0 "ack" in
+  check_bool "no loss is dirac" true
+    (Dist.is_deterministic (Network.delivery_patterns ~loss:Q.zero [ m ]));
+  check_bool "certain loss is dirac" true
+    (Dist.is_deterministic (Network.delivery_patterns ~loss:Q.one [ m ]));
+  check_bool "no messages" true
+    (Dist.is_deterministic (Network.delivery_patterns ~loss:(q 1 10) []));
+  Alcotest.check_raises "bad loss"
+    (Invalid_argument "Network.delivery_patterns: loss must be a probability") (fun () ->
+      ignore (Network.delivery_patterns ~loss:(q 3 2) [ m ]))
+
+let test_network_labels () =
+  let m1 = Network.msg ~src:0 ~dst:1 "m1" in
+  let ack = Network.msg ~src:1 ~dst:0 "ack" in
+  Alcotest.(check string) "label" "deliver{0>1:m1,1>0:ack}"
+    (Network.pattern_label [ m1; ack ]);
+  Alcotest.(check string) "empty label" "deliver{}" (Network.pattern_label []);
+  check_int "delivered filter" 1 (List.length (Network.delivered [ m1; ack ] ~dst:0))
+
+(* ------------------------------------------------------------------ *)
+(* Compiler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny two-round, one-agent coin protocol: the agent flips a fair
+   coin each round and records the history of outcomes. *)
+let coin_spec ~horizon : (unit, string, string) Protocol.spec =
+  { n_agents = 1;
+    horizon;
+    init = [ (((), [| "" |]), Q.one) ];
+    env_protocol = (fun ~time:_ () -> Dist.return "tick");
+    agent_protocol = (fun ~agent:_ ~time:_ _ -> Dist.uniform [ "heads"; "tails" ]);
+    transition =
+      (fun ~time:_ ((), locals) _ acts -> ((), [| locals.(0) ^ String.make 1 acts.(0).[0] |]));
+    halts = (fun ~time:_ _ -> false);
+    env_label = (fun () -> "e");
+    agent_label = (fun ~agent:_ s -> if s = "" then "start" else s);
+    act_label = Fun.id
+  }
+
+let test_compile_coin () =
+  let t = Protocol.compile (coin_spec ~horizon:2) in
+  check_int "agents" 1 (Tree.n_agents t);
+  check_int "runs" 4 (Tree.n_runs t);
+  check_q "uniform runs" (q 1 4) (Tree.run_measure t 0);
+  check_q "total" Q.one (Tree.measure t (Tree.all_runs t));
+  check_int "nodes 1 + 2 + 4" 7 (Tree.n_nodes t);
+  check_int "count_nodes agrees" 7 (Protocol.count_nodes (coin_spec ~horizon:2));
+  (* The history local state distinguishes all outcomes at time 2. *)
+  check_int "four time-2 lstates" 4
+    (List.length
+       (List.filter (fun k -> Tree.lkey_time k = 2) (Tree.lstates t ~agent:0)));
+  (* Protocol-compiled trees are protocol-consistent by construction. *)
+  check_int "consistent" 0 (List.length (Tree.check_protocol_consistency t))
+
+let test_compile_halting () =
+  (* Halt as soon as the first flip is heads. *)
+  let spec =
+    { (coin_spec ~horizon:3) with
+      halts = (fun ~time:_ ((), locals) -> String.length locals.(0) > 0 && locals.(0).[0] = 'h')
+    }
+  in
+  let t = Protocol.compile spec in
+  (* Runs: h (length 2), t-h, t-t-h, t-t-t... heads after the first
+     tails keeps going to horizon: t then anything (4 runs of length 4
+     truncated by halts on heads at time >= 1? The halt checks the
+     prefix's first char only, so only runs starting with h stop. *)
+  let lengths = List.init (Tree.n_runs t) (fun r -> Tree.run_length t r) in
+  check_bool "some run halted early" true (List.mem 2 lengths);
+  check_bool "some run full length" true (List.mem 4 lengths);
+  check_q "measure preserved" Q.one (Tree.measure t (Tree.all_runs t))
+
+let test_compile_validation () =
+  Alcotest.check_raises "bad init mass"
+    (Invalid_argument "Protocol.compile: initial probabilities sum to 1/2, not 1")
+    (fun () ->
+      ignore
+        (Protocol.compile { (coin_spec ~horizon:1) with init = [ (((), [| "" |]), Q.half) ] }));
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Protocol.compile: horizon must be at least 1") (fun () ->
+      ignore (Protocol.compile (coin_spec ~horizon:0)));
+  (* Colliding action labels within a support are rejected by the
+     builder as duplicate joint actions. *)
+  let bad =
+    { (coin_spec ~horizon:1) with
+      act_label = (fun _ -> "same")
+    }
+  in
+  Alcotest.check_raises "label collision"
+    (Invalid_argument "Tree.Builder.add_child: duplicate joint action at this node")
+    (fun () -> ignore (Protocol.compile bad))
+
+let test_compile_mixed_beliefs () =
+  (* Two agents: agent 0 flips a coin; agent 1 observes nothing. Agent
+     1's belief in "agent 0 flipped heads" must be 1/2 at time 1, while
+     agent 0 knows the outcome. *)
+  let spec : (unit, string, string) Protocol.spec =
+    { n_agents = 2;
+      horizon = 1;
+      init = [ (((), [| "a"; "b" |]), Q.one) ];
+      env_protocol = (fun ~time:_ () -> Dist.return "tick");
+      agent_protocol =
+        (fun ~agent ~time:_ _ ->
+          if agent = 0 then Dist.uniform [ "heads"; "tails" ] else Dist.return "wait");
+      transition = (fun ~time:_ ((), _) _ acts -> ((), [| acts.(0); "b" |]));
+      halts = (fun ~time:_ _ -> false);
+      env_label = (fun () -> "e");
+      agent_label = (fun ~agent:_ s -> s);
+      act_label = Fun.id
+    }
+  in
+  let t = Protocol.compile spec in
+  let heads = Fact.of_state_pred t (fun g -> Gstate.local g 0 = "heads") in
+  check_q "observer belief 1/2" Q.half (Belief.degree heads ~agent:1 ~run:0 ~time:1);
+  let flipper_belief run = Belief.degree heads ~agent:0 ~run ~time:1 in
+  check_bool "flipper certain" true
+    ((Q.equal (flipper_belief 0) Q.one && Q.is_zero (flipper_belief 1))
+     || (Q.equal (flipper_belief 1) Q.one && Q.is_zero (flipper_belief 0)))
+
+(* Cross-validation: the compiled FS tree and a hand-built T̂-style
+   model agree with closed-form formulas on a parameter grid. *)
+let test_compile_formula_agreement () =
+  List.iter
+    (fun (ln, ld) ->
+      let loss = q ln ld in
+      let deliver = Q.one_minus loss in
+      let a = Pak_systems.Firing_squad.analyze ~loss Pak_systems.Firing_squad.Original in
+      (* µ(both | fireA) = 1 - loss² (Bob misses both messages) *)
+      check_q
+        (Printf.sprintf "FS mu at loss %d/%d" ln ld)
+        (Q.one_minus (Q.mul loss loss))
+        a.Pak_systems.Firing_squad.mu_both_given_fire_a;
+      (* threshold-met measure = 1 - loss²·deliver when beliefs at
+         'nothing' meet 0.95, i.e. for small loss *)
+      if Q.geq (Q.one_minus (Q.mul loss loss)) (q 19 20) then
+        check_q
+          (Printf.sprintf "FS met measure at loss %d/%d" ln ld)
+          (Q.one_minus (Q.mul (Q.mul loss loss) deliver))
+          a.Pak_systems.Firing_squad.threshold_met_measure)
+    [ (1, 10); (1, 20); (1, 4); (1, 100) ]
+
+let () =
+  Alcotest.run "pak_protocol"
+    [ ( "network",
+        [ Alcotest.test_case "delivery patterns" `Quick test_network_patterns;
+          Alcotest.test_case "edge cases" `Quick test_network_edge_cases;
+          Alcotest.test_case "labels" `Quick test_network_labels
+        ] );
+      ( "compile",
+        [ Alcotest.test_case "coin protocol" `Quick test_compile_coin;
+          Alcotest.test_case "halting" `Quick test_compile_halting;
+          Alcotest.test_case "validation" `Quick test_compile_validation;
+          Alcotest.test_case "mixed beliefs" `Quick test_compile_mixed_beliefs;
+          Alcotest.test_case "closed-form agreement" `Quick test_compile_formula_agreement
+        ] )
+    ]

@@ -1,0 +1,374 @@
+(* Tests for the exact-arithmetic substrate: Bignat, Bigint, Q. *)
+
+open Pak_rational
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Bignat unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let nat = Bignat.of_int
+let nat_s = Bignat.of_string
+
+let test_nat_of_to_string () =
+  check_string "zero" "0" (Bignat.to_string Bignat.zero);
+  check_string "one" "1" (Bignat.to_string Bignat.one);
+  check_string "small" "12345" (Bignat.to_string (nat 12345));
+  check_string "max-ish" "4611686018427387903" (Bignat.to_string (nat 4611686018427387903));
+  let big = "123456789012345678901234567890123456789012345678901234567890" in
+  check_string "roundtrip big" big (Bignat.to_string (nat_s big));
+  check_string "leading zeros normalize" "42" (Bignat.to_string (nat_s "000042"));
+  check_string "underscores" "1000000" (Bignat.to_string (nat_s "1_000_000"))
+
+let test_nat_of_string_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Bignat.of_string: empty") (fun () ->
+      ignore (nat_s ""));
+  Alcotest.check_raises "letters" (Invalid_argument "Bignat.of_string: non-digit") (fun () ->
+      ignore (nat_s "12a3"))
+
+let test_nat_add_sub () =
+  let a = nat_s "99999999999999999999999999" in
+  let b = nat_s "1" in
+  check_string "carry chain" "100000000000000000000000000" (Bignat.to_string (Bignat.add a b));
+  check_string "sub inverse" (Bignat.to_string a)
+    (Bignat.to_string (Bignat.sub (Bignat.add a b) b));
+  check_string "a-a=0" "0" (Bignat.to_string (Bignat.sub a a));
+  Alcotest.check_raises "negative" (Invalid_argument "Bignat.sub: negative result") (fun () ->
+      ignore (Bignat.sub b a))
+
+let test_nat_mul () =
+  check_string "0*x" "0" (Bignat.to_string (Bignat.mul Bignat.zero (nat 7)));
+  check_string "small" "56088" (Bignat.to_string (Bignat.mul (nat 123) (nat 456)));
+  let a = nat_s "123456789123456789" in
+  let b = nat_s "987654321987654321" in
+  check_string "big schoolbook" "121932631356500531347203169112635269"
+    (Bignat.to_string (Bignat.mul a b));
+  (* commutativity on a known pair *)
+  check_bool "commutes" true (Bignat.equal (Bignat.mul a b) (Bignat.mul b a))
+
+let test_nat_divmod () =
+  let a = nat_s "121932631356500531347203169112635269" in
+  let b = nat_s "987654321987654321" in
+  let q, r = Bignat.divmod a b in
+  check_string "exact quotient" "123456789123456789" (Bignat.to_string q);
+  check_string "exact remainder" "0" (Bignat.to_string r);
+  let q, r = Bignat.divmod (nat 17) (nat 5) in
+  check_string "17/5" "3" (Bignat.to_string q);
+  check_string "17 mod 5" "2" (Bignat.to_string r);
+  let q, r = Bignat.divmod (nat 3) (nat 5) in
+  check_string "3/5" "0" (Bignat.to_string q);
+  check_string "3 mod 5" "3" (Bignat.to_string r);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bignat.divmod (nat 3) Bignat.zero))
+
+let test_nat_gcd () =
+  check_string "gcd(12,18)" "6" (Bignat.to_string (Bignat.gcd (nat 12) (nat 18)));
+  check_string "gcd(0,n)" "7" (Bignat.to_string (Bignat.gcd Bignat.zero (nat 7)));
+  check_string "gcd(n,0)" "7" (Bignat.to_string (Bignat.gcd (nat 7) Bignat.zero));
+  check_string "coprime" "1" (Bignat.to_string (Bignat.gcd (nat 35) (nat 64)));
+  let a = Bignat.mul (nat_s "123456789") (nat_s "1000003") in
+  let b = Bignat.mul (nat_s "123456789") (nat_s "999983") in
+  check_string "big common factor" "123456789" (Bignat.to_string (Bignat.gcd a b))
+
+let test_nat_pow () =
+  check_string "10^20" "100000000000000000000" (Bignat.to_string (Bignat.pow (nat 10) 20));
+  check_string "x^0" "1" (Bignat.to_string (Bignat.pow (nat 99) 0));
+  check_string "0^0" "1" (Bignat.to_string (Bignat.pow Bignat.zero 0));
+  check_string "0^5" "0" (Bignat.to_string (Bignat.pow Bignat.zero 5));
+  check_string "2^100" "1267650600228229401496703205376" (Bignat.to_string (Bignat.pow Bignat.two 100))
+
+let test_nat_compare_bits () =
+  check_int "num_bits 0" 0 (Bignat.num_bits Bignat.zero);
+  check_int "num_bits 1" 1 (Bignat.num_bits Bignat.one);
+  check_int "num_bits 2^100" 101 (Bignat.num_bits (Bignat.pow Bignat.two 100));
+  check_bool "cmp lt" true (Bignat.compare (nat 3) (nat 5) < 0);
+  check_bool "cmp across limbs" true (Bignat.compare (nat 32767) (nat 32768) < 0);
+  check_bool "shift_left" true
+    (Bignat.equal (Bignat.shift_left (nat 3) 20) (nat (3 * (1 lsl 20))))
+
+let test_nat_to_int_opt () =
+  Alcotest.(check (option int)) "roundtrip" (Some 123456) (Bignat.to_int_opt (nat 123456));
+  Alcotest.(check (option int)) "zero" (Some 0) (Bignat.to_int_opt Bignat.zero);
+  Alcotest.(check (option int)) "too big" None
+    (Bignat.to_int_opt (Bignat.pow Bignat.two 80))
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let int_ = Bigint.of_int
+
+let test_int_basics () =
+  check_string "neg" "-42" (Bigint.to_string (int_ (-42)));
+  check_string "neg of pos" "-7" (Bigint.to_string (Bigint.neg (int_ 7)));
+  check_string "neg of zero" "0" (Bigint.to_string (Bigint.neg Bigint.zero));
+  check_int "sign -" (-1) (Bigint.sign (int_ (-3)));
+  check_int "sign 0" 0 (Bigint.sign Bigint.zero);
+  check_int "sign +" 1 (Bigint.sign (int_ 3));
+  check_string "abs" "5" (Bigint.to_string (Bigint.abs (int_ (-5))));
+  check_string "of_string -" "-123" (Bigint.to_string (Bigint.of_string "-123"));
+  check_string "of_string +" "123" (Bigint.to_string (Bigint.of_string "+123"))
+
+let test_int_min_int () =
+  (* of_int must not overflow on min_int. *)
+  let m = Bigint.of_int min_int in
+  check_string "min_int" (string_of_int min_int) (Bigint.to_string m)
+
+let test_int_arith () =
+  check_string "3 + -5" "-2" (Bigint.to_string (Bigint.add (int_ 3) (int_ (-5))));
+  check_string "-3 + -5" "-8" (Bigint.to_string (Bigint.add (int_ (-3)) (int_ (-5))));
+  check_string "5 - 3" "2" (Bigint.to_string (Bigint.sub (int_ 5) (int_ 3)));
+  check_string "3 - 5" "-2" (Bigint.to_string (Bigint.sub (int_ 3) (int_ 5)));
+  check_string "(-3)*(-5)" "15" (Bigint.to_string (Bigint.mul (int_ (-3)) (int_ (-5))));
+  check_string "(-3)*5" "-15" (Bigint.to_string (Bigint.mul (int_ (-3)) (int_ 5)));
+  check_string "x + -x" "0" (Bigint.to_string (Bigint.add (int_ 12345) (int_ (-12345))))
+
+let test_int_divmod_euclidean () =
+  (* Euclidean convention: 0 <= r < |b| in all sign combinations. *)
+  let cases = [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (-6, 3) ] in
+  List.iter
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (int_ a) (int_ b) in
+      let qi = Option.get (Bigint.to_int_opt q) in
+      let ri = Option.get (Bigint.to_int_opt r) in
+      check_int (Printf.sprintf "a=%d b=%d reconstruct" a b) a ((qi * b) + ri);
+      check_bool (Printf.sprintf "a=%d b=%d rem range" a b) true (ri >= 0 && ri < abs b))
+    cases;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod (int_ 3) Bigint.zero))
+
+let test_int_pow_compare () =
+  check_string "(-2)^3" "-8" (Bigint.to_string (Bigint.pow (int_ (-2)) 3));
+  check_string "(-2)^4" "16" (Bigint.to_string (Bigint.pow (int_ (-2)) 4));
+  check_bool "-5 < 3" true (Bigint.compare (int_ (-5)) (int_ 3) < 0);
+  check_bool "-5 < -3" true (Bigint.compare (int_ (-5)) (int_ (-3)) < 0);
+  check_bool "gcd magnitudes" true (Bignat.equal (Bigint.gcd (int_ (-12)) (int_ 18)) (nat 6))
+
+(* ------------------------------------------------------------------ *)
+(* Q unit tests                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let q = Q.of_ints
+let q_s = Q.of_string
+
+let test_q_normalization () =
+  check_string "6/8 -> 3/4" "3/4" (Q.to_string (q 6 8));
+  check_string "-6/8" "-3/4" (Q.to_string (q (-6) 8));
+  check_string "6/-8" "-3/4" (Q.to_string (q 6 (-8)));
+  check_string "-6/-8" "3/4" (Q.to_string (q (-6) (-8)));
+  check_string "0/7" "0" (Q.to_string (q 0 7));
+  check_string "int" "5" (Q.to_string (q 5 1));
+  check_bool "structural equality after normalize" true (Q.equal (q 2 4) (q 1 2));
+  Alcotest.check_raises "zero den" Division_by_zero (fun () -> ignore (q 1 0))
+
+let test_q_of_string () =
+  check_string "fraction" "3/4" (Q.to_string (q_s "3/4"));
+  check_string "unnormalized fraction" "3/4" (Q.to_string (q_s "75/100"));
+  check_string "negative fraction" "-3/4" (Q.to_string (q_s "-3/4"));
+  check_string "integer" "42" (Q.to_string (q_s "42"));
+  check_string "decimal 0.95" "19/20" (Q.to_string (q_s "0.95"));
+  check_string "decimal .5" "1/2" (Q.to_string (q_s "0.5"));
+  check_string "decimal -1.25" "-5/4" (Q.to_string (q_s "-1.25"));
+  check_string "decimal 0.009" "9/1000" (Q.to_string (q_s "0.009"));
+  check_string "decimal 0.99899" "99899/100000" (Q.to_string (q_s "0.99899"));
+  check_string "whitespace" "1/2" (Q.to_string (q_s " 1/2 "))
+
+let test_q_arith () =
+  check_string "1/2 + 1/3" "5/6" (Q.to_string (Q.add (q 1 2) (q 1 3)));
+  check_string "1/2 - 1/3" "1/6" (Q.to_string (Q.sub (q 1 2) (q 1 3)));
+  check_string "2/3 * 3/4" "1/2" (Q.to_string (Q.mul (q 2 3) (q 3 4)));
+  check_string "(1/2)/(1/4)" "2" (Q.to_string (Q.div (q 1 2) (q 1 4)));
+  check_string "inv -2/3" "-3/2" (Q.to_string (Q.inv (q (-2) 3)));
+  check_string "pow (2/3)^3" "8/27" (Q.to_string (Q.pow (q 2 3) 3));
+  check_string "pow (2/3)^-2" "9/4" (Q.to_string (Q.pow (q 2 3) (-2)));
+  check_string "pow x^0" "1" (Q.to_string (Q.pow (q 5 7) 0));
+  check_string "sum" "1" (Q.to_string (Q.sum [ q 1 2; q 1 3; q 1 6 ]));
+  check_string "one_minus 0.95" "1/20" (Q.to_string (Q.one_minus (q_s "0.95")));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_q_compare () =
+  check_bool "1/3 < 1/2" true (Q.lt (q 1 3) (q 1 2));
+  check_bool "-1/2 < 1/3" true (Q.lt (q (-1) 2) (q 1 3));
+  check_bool "leq refl" true (Q.leq (q 2 4) (q 1 2));
+  check_bool "geq" true (Q.geq (q 3 4) (q 1 2));
+  check_bool "min" true (Q.equal (Q.min (q 1 3) (q 1 2)) (q 1 3));
+  check_bool "max" true (Q.equal (Q.max (q 1 3) (q 1 2)) (q 1 2));
+  check_bool "probability yes" true (Q.is_probability (q 19 20));
+  check_bool "probability edge 0" true (Q.is_probability Q.zero);
+  check_bool "probability edge 1" true (Q.is_probability Q.one);
+  check_bool "probability no (neg)" false (Q.is_probability (q (-1) 2));
+  check_bool "probability no (>1)" false (Q.is_probability (q 3 2))
+
+let test_q_decimal_string () =
+  check_string "exact terminating" "0.95" (Q.to_decimal_string (q_s "0.95"));
+  check_string "integer" "3" (Q.to_decimal_string (q 3 1));
+  check_string "negative" "-0.25" (Q.to_decimal_string (q (-1) 4));
+  check_string "nonterminating truncated" "0.333333\xe2\x80\xa6"
+    (Q.to_decimal_string ~digits:6 (q 1 3));
+  check_string "custom digits" "0.66\xe2\x80\xa6" (Q.to_decimal_string ~digits:2 (q 2 3))
+
+let test_q_to_float () =
+  Alcotest.(check (float 1e-12)) "3/4" 0.75 (Q.to_float (q 3 4));
+  Alcotest.(check (float 1e-12)) "-1/8" (-0.125) (Q.to_float (q (-1) 8));
+  Alcotest.(check (float 1e-9)) "0.99 power"
+    (0.9 ** 20.)
+    (Q.to_float (Q.pow (q 9 10) 20))
+
+let test_q_example1_numbers () =
+  (* The exact numbers from Example 1 of the paper, as arithmetic checks:
+     0.9*0.9 + 2*0.9*0.1 = 0.99 and 0.1*0.1*0.9 = 0.009, 1 - 0.009 = 0.991. *)
+  let p_del = q 9 10 and p_loss = q 1 10 in
+  let both_got =
+    Q.sum
+      [ Q.mul p_del p_del; Q.mul p_del p_loss; Q.mul p_loss p_del ]
+  in
+  check_string "P(Bob got >=1 msg)" "99/100" (Q.to_string both_got);
+  let violation = Q.mul (Q.mul p_loss p_loss) p_del in
+  check_string "P(No delivered)" "9/1000" (Q.to_string violation);
+  check_string "threshold met measure" "991/1000" (Q.to_string (Q.one_minus violation));
+  check_string "improved protocol" "990/991"
+    (Q.to_string (Q.div both_got (Q.one_minus violation)))
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_q : Q.t QCheck.arbitrary =
+  let open QCheck in
+  map
+    ~rev:(fun q -> (Option.get (Bigint.to_int_opt (Q.num q)), Option.get (Bignat.to_int_opt (Q.den q))))
+    (fun (n, d) -> Q.of_ints n (1 + abs d))
+    (pair (int_range (-10000) 10000) (int_range 0 9999))
+
+let gen_nat_pair =
+  QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+
+let prop_nat_add_commutative =
+  QCheck.Test.make ~count:500 ~name:"bignat add commutative" gen_nat_pair (fun (a, b) ->
+      Bignat.equal (Bignat.add (nat a) (nat b)) (Bignat.add (nat b) (nat a)))
+
+let prop_nat_mul_matches_int =
+  QCheck.Test.make ~count:500 ~name:"bignat mul matches native int"
+    QCheck.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (a, b) -> Bignat.to_int_opt (Bignat.mul (nat a) (nat b)) = Some (a * b))
+
+let prop_nat_divmod_reconstructs =
+  QCheck.Test.make ~count:500 ~name:"bignat divmod reconstructs"
+    QCheck.(pair (int_range 0 10_000_000) (int_range 1 50_000))
+    (fun (a, b) ->
+      let q, r = Bignat.divmod (nat a) (nat b) in
+      Bignat.equal (nat a) (Bignat.add (Bignat.mul q (nat b)) r)
+      && Bignat.compare r (nat b) < 0)
+
+let prop_nat_string_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"bignat string roundtrip"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let n = nat_s s in
+      Bignat.equal n (nat_s (Bignat.to_string n)))
+
+let prop_nat_gcd_divides =
+  QCheck.Test.make ~count:500 ~name:"bignat gcd divides both"
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let g = Bignat.gcd (nat a) (nat b) in
+      Bignat.is_zero (Bignat.rem (nat a) g) && Bignat.is_zero (Bignat.rem (nat b) g))
+
+let prop_q_add_assoc =
+  QCheck.Test.make ~count:300 ~name:"Q add associative"
+    QCheck.(triple gen_q gen_q gen_q)
+    (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)))
+
+let prop_q_mul_distributes =
+  QCheck.Test.make ~count:300 ~name:"Q mul distributes over add"
+    QCheck.(triple gen_q gen_q gen_q)
+    (fun (a, b, c) -> Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)))
+
+let prop_q_add_neg_zero =
+  QCheck.Test.make ~count:300 ~name:"Q x + (-x) = 0" gen_q (fun a ->
+      Q.is_zero (Q.add a (Q.neg a)))
+
+let prop_q_mul_inv_one =
+  QCheck.Test.make ~count:300 ~name:"Q x * x^-1 = 1" gen_q (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Q.equal (Q.mul a (Q.inv a)) Q.one)
+
+let prop_q_string_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"Q string roundtrip" gen_q (fun a ->
+      Q.equal a (Q.of_string (Q.to_string a)))
+
+let prop_q_compare_consistent_with_float =
+  QCheck.Test.make ~count:300 ~name:"Q compare consistent with float on small values"
+    QCheck.(pair gen_q gen_q)
+    (fun (a, b) ->
+      let c = Q.compare a b in
+      let fa = Q.to_float a and fb = Q.to_float b in
+      (* floats are exact for these small fractions' comparisons unless
+         very close; skip near-ties *)
+      QCheck.assume (abs_float (fa -. fb) > 1e-9);
+      (c < 0) = (fa < fb))
+
+let prop_q_compare_antisym =
+  QCheck.Test.make ~count:300 ~name:"Q compare antisymmetric"
+    QCheck.(pair gen_q gen_q)
+    (fun (a, b) -> Q.compare a b = -Q.compare b a)
+
+let prop_q_normalized_gcd_one =
+  QCheck.Test.make ~count:300 ~name:"Q always in lowest terms" gen_q (fun a ->
+      QCheck.assume (not (Q.is_zero a));
+      Bignat.is_one (Bignat.gcd (Bigint.to_bignat (Q.num a)) (Q.den a)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_nat_add_commutative;
+      prop_nat_mul_matches_int;
+      prop_nat_divmod_reconstructs;
+      prop_nat_string_roundtrip;
+      prop_nat_gcd_divides;
+      prop_q_add_assoc;
+      prop_q_mul_distributes;
+      prop_q_add_neg_zero;
+      prop_q_mul_inv_one;
+      prop_q_string_roundtrip;
+      prop_q_compare_consistent_with_float;
+      prop_q_compare_antisym;
+      prop_q_normalized_gcd_one
+    ]
+
+let () =
+  Alcotest.run "pak_rational"
+    [ ( "bignat",
+        [ Alcotest.test_case "string conversions" `Quick test_nat_of_to_string;
+          Alcotest.test_case "of_string invalid" `Quick test_nat_of_string_invalid;
+          Alcotest.test_case "add/sub" `Quick test_nat_add_sub;
+          Alcotest.test_case "mul" `Quick test_nat_mul;
+          Alcotest.test_case "divmod" `Quick test_nat_divmod;
+          Alcotest.test_case "gcd" `Quick test_nat_gcd;
+          Alcotest.test_case "pow" `Quick test_nat_pow;
+          Alcotest.test_case "compare/bits/shift" `Quick test_nat_compare_bits;
+          Alcotest.test_case "to_int_opt" `Quick test_nat_to_int_opt
+        ] );
+      ( "bigint",
+        [ Alcotest.test_case "basics" `Quick test_int_basics;
+          Alcotest.test_case "min_int" `Quick test_int_min_int;
+          Alcotest.test_case "arithmetic" `Quick test_int_arith;
+          Alcotest.test_case "euclidean divmod" `Quick test_int_divmod_euclidean;
+          Alcotest.test_case "pow/compare/gcd" `Quick test_int_pow_compare
+        ] );
+      ( "q",
+        [ Alcotest.test_case "normalization" `Quick test_q_normalization;
+          Alcotest.test_case "of_string" `Quick test_q_of_string;
+          Alcotest.test_case "arithmetic" `Quick test_q_arith;
+          Alcotest.test_case "comparisons" `Quick test_q_compare;
+          Alcotest.test_case "decimal rendering" `Quick test_q_decimal_string;
+          Alcotest.test_case "to_float" `Quick test_q_to_float;
+          Alcotest.test_case "example 1 numbers" `Quick test_q_example1_numbers
+        ] );
+      ("properties", qcheck_cases)
+    ]

@@ -1,0 +1,414 @@
+(* Tests for the paper's example systems: every number in Example 1,
+   Figures 1 and 2, the Section 8 improvement, and the theorem checkers
+   applied to each system family. *)
+
+open Pak_rational
+open Pak_pps
+open Pak_systems
+
+let q = Q.of_ints
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+let check_qo msg expected actual =
+  match actual with
+  | Some v -> check_q msg expected v
+  | None -> Alcotest.failf "%s: expected %s, got None" msg (Q.to_string expected)
+
+(* ------------------------------------------------------------------ *)
+(* Example 1: the firing squad                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fs_paper_numbers () =
+  let a = Firing_squad.analyze Firing_squad.Original in
+  check_q "µ(ϕ_both@fire_A | fire_A) = 0.99" (q 99 100) a.Firing_squad.mu_both_given_fire_a;
+  check_bool "spec (≥ 0.95) satisfied" true a.Firing_squad.spec_satisfied;
+  check_qo "belief on 'Yes' = 1" Q.one a.Firing_squad.belief_heard_yes;
+  check_qo "belief on nothing = 0.99" (q 99 100) a.Firing_squad.belief_heard_nothing;
+  check_qo "belief on 'No' = 0" Q.zero a.Firing_squad.belief_heard_no;
+  check_q "threshold met in measure 0.991" (q 991 1000) a.Firing_squad.threshold_met_measure;
+  check_q "expected belief = µ (Thm 6.2)" (q 99 100) a.Firing_squad.expected_belief;
+  check_bool "ϕ_both independent of fire_A" true a.Firing_squad.independent
+
+let test_fs_improved () =
+  (* Section 8: refraining from firing on 'No' yields 0.99899... *)
+  let a = Firing_squad.analyze Firing_squad.Improved in
+  check_q "µ = 990/991" (q 990 991) a.Firing_squad.mu_both_given_fire_a;
+  check_bool "improved beats original" true
+    (Q.gt a.Firing_squad.mu_both_given_fire_a (q 99 100));
+  (* Alice never fires at the 'No' state in the improved protocol. *)
+  check_bool "no belief at 'No'" true (a.Firing_squad.belief_heard_no = None);
+  check_q "expected belief tracks µ" (q 990 991) a.Firing_squad.expected_belief
+
+let test_fs_structure () =
+  let t = Firing_squad.tree Firing_squad.Original in
+  check_int "two agents" 2 (Tree.n_agents t);
+  check_q "total measure" Q.one (Tree.measure t (Tree.all_runs t));
+  check_bool "fire_A proper" true (Action.is_proper t ~agent:Firing_squad.alice ~act:Firing_squad.fire);
+  check_bool "fire_B proper" true (Action.is_proper t ~agent:Firing_squad.bob ~act:Firing_squad.fire);
+  check_bool "fire_A deterministic" true
+    (Action.is_deterministic t ~agent:Firing_squad.alice ~act:Firing_squad.fire);
+  check_int "protocol consistent" 0 (List.length (Tree.check_protocol_consistency t));
+  (* Never fires when go = 0: µ(fire_A) = p_go. *)
+  check_q "µ(R_fireA) = 1/2" Q.half
+    (Tree.measure t (Action.runs_performing t ~agent:Firing_squad.alice ~act:Firing_squad.fire))
+
+let test_fs_parametric () =
+  (* Spec threshold 0.95 requires 1 - loss² ≥ 0.95: holds at 1/10 and
+     1/20, fails at 1/4. *)
+  let sat loss =
+    (Firing_squad.analyze ~loss Firing_squad.Original).Firing_squad.spec_satisfied
+  in
+  check_bool "loss 1/10 ok" true (sat (q 1 10));
+  check_bool "loss 1/20 ok" true (sat (q 1 20));
+  check_bool "loss 1/4 violates" false (sat (q 1 4));
+  (* p_go only scales R_fireA, not the conditional probability. *)
+  let a = Firing_squad.analyze ~p_go:(q 1 5) Firing_squad.Original in
+  check_q "µ unchanged by p_go" (q 99 100) a.Firing_squad.mu_both_given_fire_a;
+  Alcotest.check_raises "p_go = 0 rejected"
+    (Invalid_argument "Firing_squad.tree: p_go = 0 makes fire_A improper (never performed)")
+    (fun () -> ignore (Firing_squad.tree ~p_go:Q.zero Firing_squad.Original))
+
+let test_fs_theorems () =
+  let t = Firing_squad.tree Firing_squad.Original in
+  let both = Firing_squad.phi_both t in
+  let r = Theorems.expectation_identity both ~agent:Firing_squad.alice ~act:Firing_squad.fire in
+  check_bool "Thm 6.2 identity" true (r.Theorems.independent && r.Theorems.identity);
+  (* Corollary 7.2 with ε = 1/10: µ = 0.99 ≥ 1 − ε², so
+     µ(β ≥ 9/10 | fire_A) must be ≥ 9/10; it is 0.991. *)
+  let pak = Theorems.pak_corollary both ~agent:Firing_squad.alice ~act:Firing_squad.fire ~eps:(q 1 10) in
+  check_bool "PAK premise" true pak.Theorems.premise;
+  check_bool "PAK conclusion" true pak.Theorems.conclusion;
+  check_q "strong-belief measure" (q 991 1000) pak.Theorems.strong_belief_measure;
+  (* Lemma 5.1: some firing point believes ≥ 0.99. *)
+  let nec = Theorems.necessity_exists both ~agent:Firing_squad.alice ~act:Firing_squad.fire ~p:(q 99 100) in
+  check_bool "witness exists" true (nec.Theorems.witness <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure_one () =
+  let a = Figure_one.analyze () in
+  check_q "β_i(ψ)@α = 1/2" Q.half a.Figure_one.belief_psi_at_alpha;
+  check_q "µ(ψ@α|α) = 0" Q.zero a.Figure_one.mu_psi;
+  check_bool "ψ not independent" false a.Figure_one.psi_independent;
+  check_q "µ(ϕ@α|α) = 1" Q.one a.Figure_one.mu_phi;
+  check_q "E[β_i(ϕ)@α|α] = 1/2" Q.half a.Figure_one.expected_belief_phi;
+  check_bool "ϕ not independent" false a.Figure_one.phi_independent;
+  check_bool "Thm 6.2 vacuously respected" true a.Figure_one.theorem62_vacuous
+
+let test_figure_one_parametric () =
+  let a = Figure_one.analyze ~p_alpha:(q 1 5) () in
+  check_q "belief ψ = 1 − p" (q 4 5) a.Figure_one.belief_psi_at_alpha;
+  check_q "E[β(ϕ)] = p" (q 1 5) a.Figure_one.expected_belief_phi;
+  Alcotest.check_raises "degenerate p rejected"
+    (Invalid_argument "Figure_one.tree: p_alpha must lie strictly between 0 and 1")
+    (fun () -> ignore (Figure_one.tree ~p_alpha:Q.one ()))
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 / Theorem 5.2                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_threshold_gap_exact () =
+  let a = Threshold_gap.analyze ~p:(q 3 4) ~eps:(q 1 4) in
+  check_q "µ = p" (q 3 4) a.Threshold_gap.mu;
+  check_q "pooled = (p−ε)/(1−ε)" (q 2 3) a.Threshold_gap.pooled_belief;
+  check_q "revealing = 1" Q.one a.Threshold_gap.revealing_belief;
+  check_q "µ(β ≥ p | α) = ε" (q 1 4) a.Threshold_gap.threshold_met_measure;
+  check_q "expected = p (Thm 6.2)" (q 3 4) a.Threshold_gap.expected_belief;
+  check_bool "independent" true a.Threshold_gap.independent
+
+let test_threshold_gap_grid () =
+  (* Theorem 5.2: for every ε > 0 and p, the met-measure is exactly ε
+     — arbitrarily small. *)
+  List.iter
+    (fun (pn, pd, en, ed) ->
+      let p = q pn pd and eps = q en ed in
+      let a = Threshold_gap.analyze ~p ~eps in
+      check_q
+        (Printf.sprintf "µ = p at p=%d/%d ε=%d/%d" pn pd en ed)
+        p a.Threshold_gap.mu;
+      check_q
+        (Printf.sprintf "met measure = ε at p=%d/%d ε=%d/%d" pn pd en ed)
+        eps a.Threshold_gap.threshold_met_measure;
+      check_q "pooled belief closed form"
+        (Q.div (Q.sub p eps) (Q.one_minus eps))
+        a.Threshold_gap.pooled_belief;
+      check_bool "pooled < p (threshold missed)" true
+        (Q.lt a.Threshold_gap.pooled_belief p))
+    [ (1, 2, 1, 100); (9, 10, 1, 10); (19, 20, 1, 1000); (2, 3, 1, 3) ];
+  Alcotest.check_raises "needs ε < p"
+    (Invalid_argument "Threshold_gap.tree: need 0 < eps < p < 1") (fun () ->
+      ignore (Threshold_gap.tree ~p:(q 1 4) ~eps:(q 1 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Coordinated attack                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_coordinated_attack () =
+  List.iter
+    (fun rounds ->
+      let a = Coordinated_attack.analyze ~rounds () in
+      (* µ(both | attack_A) = 1 − loss^rounds *)
+      check_q
+        (Printf.sprintf "µ at k=%d" rounds)
+        (Q.one_minus (Q.pow (q 1 10) rounds))
+        a.Coordinated_attack.mu_both_given_attack_a;
+      check_q "Thm 6.2 identity" a.Coordinated_attack.mu_both_given_attack_a
+        a.Coordinated_attack.expected_belief;
+      check_bool "independent" true a.Coordinated_attack.independent;
+      (* With a single round no acknowledgement can arrive (B only acks
+         after first hearing), so the ack states exist only for k ≥ 2. *)
+      check_bool "ack certainty" true
+        (a.Coordinated_attack.belief_with_ack = if rounds = 1 then None else Some Q.one);
+      check_bool "no-ack belief < 1" true (Q.lt a.Coordinated_attack.belief_no_ack Q.one))
+    [ 1; 2; 3 ]
+
+let test_coordinated_attack_pak () =
+  (* k=2, loss=1/10: µ = 0.99 = 1 − (1/10)², so Corollary 7.2 with
+     ε = 1/10 applies. *)
+  let t = Coordinated_attack.tree ~rounds:2 () in
+  let both = Coordinated_attack.phi_both t in
+  let r =
+    Theorems.pak_corollary both ~agent:Coordinated_attack.general_a
+      ~act:Coordinated_attack.attack ~eps:(q 1 10)
+  in
+  check_bool "premise (µ ≥ 1 − ε²)" true r.Theorems.premise;
+  check_bool "conclusion (µ(β≥0.9|α) ≥ 0.9)" true r.Theorems.conclusion
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutex () =
+  let a = Mutex.analyze () in
+  (* Closed form: P(other not granted | I'm granted) with p = 1/2,
+     err = 1/100: grant₀ = (1−p) + p·(err + (1−err)/2); alone excludes
+     the both-granted error branch. *)
+  let p = Q.half and err = q 1 100 in
+  let grant0 =
+    Q.add (Q.one_minus p) (Q.mul p (Q.add err (Q.div (Q.one_minus err) (Q.of_int 2))))
+  in
+  let alone = Q.add (Q.one_minus p) (Q.mul p (Q.div (Q.one_minus err) (Q.of_int 2))) in
+  check_q "µ closed form" (Q.div alone grant0) a.Mutex.mu_alone_given_enter;
+  check_q "belief = µ (single entering state)" a.Mutex.mu_alone_given_enter a.Mutex.belief_granted;
+  check_q "expected = µ" a.Mutex.mu_alone_given_enter a.Mutex.expected_belief;
+  check_bool "enter deterministic" true a.Mutex.enter_deterministic;
+  check_bool "independent (Lemma 4.3a)" true a.Mutex.independent
+
+let test_mutex_parametric () =
+  (* err = 0: perfect arbiter, exclusion certain; the KoP limit holds. *)
+  let t = Mutex.tree ~err:Q.zero () in
+  let phi = Mutex.phi_alone t ~agent:0 in
+  let r = Theorems.kop phi ~agent:0 ~act:Mutex.enter in
+  check_q "µ = 1" Q.one r.Theorems.mu;
+  check_bool "KoP: certain belief a.s." true r.Theorems.conclusion;
+  (* err = 1: both always granted on contention. *)
+  let a = Mutex.analyze ~err:Q.one () in
+  check_bool "exclusion degraded" true (Q.lt a.Mutex.mu_alone_given_enter Q.one)
+
+(* ------------------------------------------------------------------ *)
+(* Judge                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_judge () =
+  let a = Judge.analyze ~rounds:3 ~convict_at:2 () in
+  check_q "µ(guilty | convict)" (q 243 250) a.Judge.mu_guilty_given_convict;
+  check_q "Thm 6.2" a.Judge.mu_guilty_given_convict a.Judge.expected_belief;
+  check_bool "independent" true a.Judge.independent;
+  (* Posteriors: inc=2 gives 0.9, inc=3 gives 729/730. *)
+  Alcotest.(check (list (pair int string)))
+    "posteriors"
+    [ (2, "9/10"); (3, "729/730") ]
+    (List.map (fun (c, b) -> (c, Q.to_string b)) a.Judge.posterior_by_count)
+
+let test_judge_threshold_tradeoff () =
+  (* Raising the conviction bar raises the conditional guilt
+     probability (and lowers conviction frequency). *)
+  let mu m = (Judge.analyze ~rounds:3 ~convict_at:m ()).Judge.mu_guilty_given_convict in
+  check_bool "monotone in convict_at" true (Q.lt (mu 1) (mu 2) && Q.lt (mu 2) (mu 3));
+  Alcotest.check_raises "convict_at range"
+    (Invalid_argument "Judge.tree: convict_at must lie in 0..rounds") (fun () ->
+      ignore (Judge.tree ~rounds:2 ~convict_at:5 ()))
+
+let test_judge_pak () =
+  (* A judge convicting on unanimous evidence: µ = 729/730 ≥ 1 − ε²
+     for ε = 1/27+: use ε = 1/25. *)
+  let t = Judge.tree ~rounds:3 ~convict_at:3 () in
+  let guilty = Judge.guilty_fact t in
+  let r = Theorems.pak_corollary guilty ~agent:Judge.judge ~act:Judge.convict ~eps:(q 1 25) in
+  check_bool "premise" true r.Theorems.premise;
+  check_bool "PAK conclusion" true r.Theorems.conclusion
+
+(* ------------------------------------------------------------------ *)
+(* Monderer–Samet flat systems                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_monderer_samet_flat () =
+  (* Two agents; agent 0's label pools two worlds. *)
+  let t =
+    Monderer_samet.flat
+      [ ([ "x"; "u" ], Q.half); ([ "x"; "v" ], q 1 4); ([ "y"; "v" ], q 1 4) ]
+  in
+  check_int "three one-point runs" 3 (Tree.n_runs t);
+  check_int "flat runs have length 1" 1 (Tree.run_length t 0);
+  let phi = Fact.of_state_pred t (fun g -> Gstate.local g 1 = "v") in
+  let r = Monderer_samet.check phi ~agent:0 in
+  check_q "prior" Q.half r.Monderer_samet.prior;
+  check_bool "expected posterior = prior" true r.Monderer_samet.identity;
+  (* Agent 0 at "x": posterior of v = (1/4)/(3/4) = 1/3; at "y": 1. *)
+  check_q "posterior at x" (q 1 3) (Belief.degree phi ~agent:0 ~run:0 ~time:0);
+  check_q "posterior at y" Q.one (Belief.degree phi ~agent:0 ~run:2 ~time:0)
+
+let prop_monderer_samet_random =
+  QCheck.Test.make ~count:200 ~name:"MS identity on random flat systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Monderer_samet.random_flat ~n_agents:2 ~n_states:6 ~label_alphabet:3 ~seed in
+      let phi = Pak_pps.Gen.past_based_fact t ~seed in
+      let r0 = Monderer_samet.check phi ~agent:0 in
+      let r1 = Monderer_samet.check phi ~agent:1 in
+      r0.Monderer_samet.identity && r1.Monderer_samet.identity)
+
+(* The MS identity also holds on arbitrary deep systems at time 0 — it
+   is the action-free shadow of Theorem 6.2. *)
+let prop_monderer_samet_deep =
+  QCheck.Test.make ~count:100 ~name:"MS identity on deep systems"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let t = Pak_pps.Gen.tree seed in
+      let phi = Pak_pps.Gen.past_based_fact t ~seed in
+      (Monderer_samet.check phi ~agent:0).Monderer_samet.identity)
+
+(* ------------------------------------------------------------------ *)
+(* Consensus                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_consensus () =
+  let a = Consensus.analyze ~rounds:2 () in
+  (* Agreement fails only when the bits differ and every message is
+     lost: µ(agree | decide_v) = 1 − p_other·loss². With p = 1/2:
+     1 − (1/2)(1/100) = 199/200 for either decided value. *)
+  List.iter
+    (fun (v, mu) -> check_q (Printf.sprintf "µ agree | decide%d" v) (q 199 200) mu)
+    a.Consensus.mu_agree_given_decide;
+  List.iter
+    (fun (v, e) ->
+      check_q
+        (Printf.sprintf "Thm 6.2 for decide%d" v)
+        (List.assoc v a.Consensus.mu_agree_given_decide)
+        e)
+    a.Consensus.expected_belief;
+  check_bool "independent" true a.Consensus.independent
+
+let test_consensus_rounds_help () =
+  let mu rounds =
+    List.assoc 1 (Consensus.analyze ~rounds ()).Consensus.mu_agree_given_decide
+  in
+  check_bool "more rounds, higher agreement" true (Q.lt (mu 1) (mu 2) && Q.lt (mu 2) (mu 3))
+
+(* ------------------------------------------------------------------ *)
+(* Interactive proof                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_interactive_proof_soundness () =
+  (* µ(true | accept) = p / (p + (1-p)·c^k); with p = c = 1/2:
+     k=1 -> 2/3, k=2 -> 4/5, k=3 -> 8/9, k=10 -> 1024/1025. *)
+  List.iter
+    (fun (rounds, expected) ->
+      let a = Interactive_proof.analyze ~rounds () in
+      check_q
+        (Printf.sprintf "soundness at k=%d" rounds)
+        (Q.of_string expected)
+        a.Interactive_proof.mu_true_given_accept;
+      check_q "Thm 6.2" a.Interactive_proof.mu_true_given_accept
+        a.Interactive_proof.expected_belief;
+      (* Single accepting information state: belief = µ exactly. *)
+      check_q "belief at accept" a.Interactive_proof.mu_true_given_accept
+        a.Interactive_proof.belief_at_accept;
+      check_bool "independent" true a.Interactive_proof.independent)
+    [ (1, "2/3"); (2, "4/5"); (3, "8/9"); (10, "1024/1025") ];
+  (* Acceptance measure: p + (1-p)·c^k. *)
+  let a = Interactive_proof.analyze ~rounds:3 () in
+  check_q "accept measure" (q 9 16) a.Interactive_proof.accept_measure
+
+let test_interactive_proof_exponential_pak () =
+  (* Section 7's remark: thresholds exponentially close to 1 force
+     beliefs exponentially close to 1, with exponentially small failure
+     probability. With cheat = 1/4 and even k, 1 - µ is a square and
+     Corollary 7.2 applies at ε = sqrt(1-µ). *)
+  let a = Interactive_proof.analyze ~cheat:(q 1 4) ~rounds:2 () in
+  (* µ = (1/2)/(1/2 + 1/2·(1/16)) = 16/17; 1-µ = 1/17 — not a square. *)
+  check_q "µ at cheat=1/4,k=2" (q 16 17) a.Interactive_proof.mu_true_given_accept;
+  check_bool "eps not rational here" true (a.Interactive_proof.pak_eps = None);
+  (* Engineer a perfect square: p_true = 8/9 with cheat 1/8, k = 1:
+     µ = (8/9)/(8/9 + (1/9)(1/8)) = 64/65... use the checker directly
+     with a chosen eps instead. *)
+  let t = Interactive_proof.tree ~rounds:6 () in
+  let phi = Interactive_proof.true_fact t in
+  let r =
+    Theorems.pak_corollary phi ~agent:Interactive_proof.verifier
+      ~act:Interactive_proof.accept ~eps:(q 1 8)
+  in
+  (* µ = 64/65 ≥ 1 - 1/64 = 63/64 and µ(β ≥ 7/8 | accept) = 1. *)
+  check_bool "PAK premise at ε=1/8" true r.Theorems.premise;
+  check_q "strong belief surely" Q.one r.Theorems.strong_belief_measure;
+  check_bool "PAK conclusion" true r.Theorems.conclusion
+
+let test_interactive_proof_guards () =
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Interactive_proof.tree: acceptance impossible (improper action)")
+    (fun () -> ignore (Interactive_proof.tree ~p_true:Q.zero ~cheat:Q.zero ~rounds:1 ()));
+  (* honest-only world: verifier always accepts, belief 1 *)
+  let a = Interactive_proof.analyze ~p_true:Q.one ~rounds:2 () in
+  check_q "always sound" Q.one a.Interactive_proof.mu_true_given_accept
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_monderer_samet_random; prop_monderer_samet_deep ]
+
+let () =
+  Alcotest.run "pak_systems"
+    [ ( "firing squad",
+        [ Alcotest.test_case "paper numbers" `Quick test_fs_paper_numbers;
+          Alcotest.test_case "improved (section 8)" `Quick test_fs_improved;
+          Alcotest.test_case "structure" `Quick test_fs_structure;
+          Alcotest.test_case "parametric" `Quick test_fs_parametric;
+          Alcotest.test_case "theorems" `Quick test_fs_theorems
+        ] );
+      ( "figure one",
+        [ Alcotest.test_case "counterexamples" `Quick test_figure_one;
+          Alcotest.test_case "parametric" `Quick test_figure_one_parametric
+        ] );
+      ( "threshold gap",
+        [ Alcotest.test_case "exact quantities" `Quick test_threshold_gap_exact;
+          Alcotest.test_case "grid" `Quick test_threshold_gap_grid
+        ] );
+      ( "coordinated attack",
+        [ Alcotest.test_case "closed forms" `Quick test_coordinated_attack;
+          Alcotest.test_case "PAK corollary" `Quick test_coordinated_attack_pak
+        ] );
+      ( "mutex",
+        [ Alcotest.test_case "analysis" `Quick test_mutex;
+          Alcotest.test_case "parametric / KoP" `Quick test_mutex_parametric
+        ] );
+      ( "judge",
+        [ Alcotest.test_case "posteriors" `Quick test_judge;
+          Alcotest.test_case "threshold tradeoff" `Quick test_judge_threshold_tradeoff;
+          Alcotest.test_case "PAK" `Quick test_judge_pak
+        ] );
+      ( "monderer-samet",
+        [ Alcotest.test_case "flat system" `Quick test_monderer_samet_flat ] );
+      ( "consensus",
+        [ Alcotest.test_case "agreement" `Quick test_consensus;
+          Alcotest.test_case "rounds monotone" `Quick test_consensus_rounds_help
+        ] );
+      ( "interactive proof",
+        [ Alcotest.test_case "soundness amplification" `Quick test_interactive_proof_soundness;
+          Alcotest.test_case "exponential PAK" `Quick test_interactive_proof_exponential_pak;
+          Alcotest.test_case "guards" `Quick test_interactive_proof_guards
+        ] );
+      ("properties", qcheck_cases)
+    ]
