@@ -318,6 +318,77 @@ let scaling_series () =
     [ 2; 4; 6; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Observability export: per-scenario wall time plus every pak_obs
+   counter, written to BENCH_obs.json. This is the machine-readable
+   perf trajectory: counters are deterministic (exact work counts), so
+   a future PR that changes the cost profile of an engine shows up as
+   a counter diff even when wall times are too noisy to compare.       *)
+(* ------------------------------------------------------------------ *)
+
+let obs_scenarios () =
+  let fs_tree = FS.tree FS.Original in
+  let fs_both = FS.phi_both fs_tree in
+  let valuation atom g =
+    atom = "go" && String.length (Gstate.local g 0) >= 3 && (Gstate.local g 0).[2] = '1'
+  in
+  let formula = Parser.parse "K[0] go & B[0]>=9/10 F does[1](fire)" in
+  let cb_formula = Parser.parse "CB[0,1]>=3/4 go" in
+  let ca_tree = CA.tree ~rounds:3 () in
+  let ca_both = CA.phi_both ca_tree in
+  [ ("modelcheck_kb_fs", fun () -> ignore (Semantics.eval fs_tree ~valuation formula));
+    ( "common_belief_fixpoint_fs",
+      fun () -> ignore (Semantics.eval fs_tree ~valuation cb_formula) );
+    ( "theorem62_fs",
+      fun () -> ignore (Theorems.expectation_identity fs_both ~agent:FS.alice ~act:FS.fire) );
+    ( "belief_expectation_fs",
+      fun () -> ignore (Belief.expected_at_action fs_both ~agent:FS.alice ~act:FS.fire) );
+    ( "analyze_attack_k3",
+      fun () ->
+        ignore
+          (analyze_constraint ~fact:ca_both ~agent:CA.general_a ~act:CA.attack
+             ~threshold:(Q.of_ints 19 20)) );
+    ("simulate_2k_fs", fun () -> ignore (Simulate.sample_runs fs_tree ~samples:2_000 ~seed:1))
+  ]
+
+let export_obs () =
+  let scenarios = obs_scenarios () in
+  let was_enabled = Obs.enabled () in
+  Obs.enable ();
+  let rows =
+    List.map
+      (fun (name, f) ->
+        Obs.reset ();
+        let t0 = Sys.time () in
+        f ();
+        let ms = (Sys.time () -. t0) *. 1000. in
+        (name, ms, List.filter (fun (_, v) -> v <> 0) (Obs.counters ())))
+      scenarios
+  in
+  Obs.reset ();
+  if not was_enabled then Obs.disable ();
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ms, counters) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" name);
+      Buffer.add_string buf (Printf.sprintf "      \"wall_ms\": %.3f,\n" ms);
+      Buffer.add_string buf "      \"counters\": {";
+      List.iteri
+        (fun j (cname, v) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf (Printf.sprintf "\n        \"%s\": %d" cname v))
+        counters;
+      Buffer.add_string buf "\n      }\n    }")
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let out = open_out "BENCH_obs.json" in
+  Buffer.output_buffer out buf;
+  close_out out;
+  Printf.printf "\n== Observability export: BENCH_obs.json (%d scenarios) ==\n"
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: timing benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -414,6 +485,7 @@ let () =
   exp_ms ();
   exp_aux_systems ();
   scaling_series ();
+  export_obs ();
   Printf.printf "\n== Reproduction summary: %s ==\n"
     (if !failures = 0 then "ALL CLAIMS REPRODUCED EXACTLY"
      else Printf.sprintf "%d MISMATCHES" !failures);

@@ -51,18 +51,16 @@ type params = {
 }
 
 let default_valuation atom g =
-  (* generic atoms: "a0_<label>" tests agent 0's label, etc. *)
-  let prefix i = Printf.sprintf "a%d_" i in
-  let rec check i =
-    if i > 9 then false
-    else
-      let p = prefix i in
-      if String.length atom > String.length p && String.sub atom 0 (String.length p) = p
-      then i < Gstate.n_agents g
-           && Gstate.local g i = String.sub atom (String.length p) (String.length atom - String.length p)
-      else check (i + 1)
-  in
-  check 0
+  (* generic atoms: "a<i>_<label>" tests agent i's label. The agent
+     index is every digit up to the first underscore, so the valuation
+     works for systems with any number of agents. *)
+  match String.index_opt atom '_' with
+  | Some sep when sep > 1 && atom.[0] = 'a' ->
+    (match int_of_string_opt (String.sub atom 1 (sep - 1)) with
+     | Some i when i >= 0 && i < Gstate.n_agents g ->
+       Gstate.local g i = String.sub atom (sep + 1) (String.length atom - sep - 1)
+     | _ -> false)
+  | _ -> false
 
 let systems : (string * (params -> instance)) list =
   [ ( "firing-squad",
@@ -210,12 +208,43 @@ let system_arg =
 
 let handle f = match f () with Ok () -> 0 | Error msg -> prerr_endline ("pak: " ^ msg); 1
 
+(* Observability options, shared by every subcommand. The term's value
+   is (), evaluated for its effect: configuring the pak_obs sinks
+   before the command body runs. *)
+let obs_t =
+  let metrics_t =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect counters and span timings, and print a summary table to \
+                   stderr on exit.")
+  and trace_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a Chrome trace_event-format JSON file, loadable in \
+                   about:tracing or Perfetto. Implies metric collection.")
+  in
+  let setup metrics trace =
+    (match trace with
+     | None -> ()
+     | Some file ->
+       (try Obs.trace_to file
+        with Sys_error msg ->
+          Printf.eprintf "pak: cannot open trace file: %s\n" msg;
+          exit 1);
+       at_exit Obs.trace_stop);
+    if metrics then begin
+      Obs.enable ();
+      at_exit (fun () -> Obs.print_summary stderr)
+    end
+  in
+  Term.(const setup $ metrics_t $ trace_t)
+
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
+  let run () () =
     List.iter
       (fun (name, f) ->
         let prm =
@@ -228,10 +257,10 @@ let list_cmd =
       systems;
     0
   in
-  Cmd.v (Cmd.info "list" ~doc:"List built-in systems") Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc:"List built-in systems") Term.(const run $ obs_t $ const ())
 
 let analyze_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -247,10 +276,10 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a system's canonical probabilistic constraint")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let theorems_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -266,13 +295,13 @@ let theorems_cmd =
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Run every theorem checker on a system")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let eval_cmd =
   let formula_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA" ~doc:"Formula text.")
   in
-  let run name text prm =
+  let run () name text prm =
     handle (fun () ->
         Result.bind (find_system name prm) (fun inst ->
             match Parser.parse text with
@@ -295,34 +324,76 @@ let eval_cmd =
        ~man:
          [ `S Manpage.s_description;
            `P "Atoms of the form a0_LABEL hold when agent 0's local label is LABEL \
-               (similarly a1_..., up to a9_...)."
+               (similarly a1_..., for every agent index of the system)."
          ])
-    Term.(const run $ system_arg $ formula_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ formula_arg $ params_t)
+
+let profile_cmd =
+  let formula_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA" ~doc:"Formula text.")
+  in
+  let run () name text prm =
+    handle (fun () ->
+        Result.bind (find_system name prm) (fun inst ->
+            match Parser.parse text with
+            | exception Parser.Parse_error msg -> Error ("parse error " ^ msg)
+            | f ->
+              Obs.enable ();
+              Obs.reset ();
+              let t0 = Sys.time () in
+              let fact = Semantics.eval inst.tree ~valuation:inst.valuation f in
+              let eval_ms = (Sys.time () -. t0) *. 1000. in
+              let sat_points =
+                Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
+                    if Fact.holds fact ~run ~time then acc + 1 else acc)
+              in
+              Printf.printf "%s — %s\n" name inst.description;
+              Printf.printf "pps     : %d nodes, %d runs, %d points\n"
+                (Tree.n_nodes inst.tree) (Tree.n_runs inst.tree) (Tree.n_points inst.tree);
+              Printf.printf "formula : %s\n" (Formula.to_string f);
+              Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
+              Printf.printf "eval    : %.3f ms\n\n" eval_ms;
+              Obs.print_summary stdout;
+              Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Model-check a formula with full metric collection and print the counter \
+             and span tables"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Evaluates FORMULA on SYSTEM with every pak_obs counter and span timer \
+               enabled, then prints the metrics table: memoization hits and misses, \
+               fixpoint iteration counts, tree points visited, measure calls, bitset \
+               set operations, and per-operator evaluation spans. Combine with \
+               $(b,--trace) to also record a Chrome trace-event file."
+         ])
+    Term.(const run $ obs_t $ system_arg $ formula_arg $ params_t)
 
 let dot_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map (fun inst -> print_string (Tree.to_dot inst.tree)) (find_system name prm))
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit a system's pps as graphviz")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let dump_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map (fun inst -> print_string (Tree_io.to_string inst.tree)) (find_system name prm))
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Serialize a system's pps as an s-expression document")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let simulate_cmd =
   let samples_t =
     Arg.(value & opt int 10_000 & info [ "samples" ] ~doc:"Number of sampled runs.")
   in
   let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Sampling seed.") in
-  let run name samples seed prm =
+  let run () name samples seed prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -343,10 +414,10 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo estimate of a system's constraint vs the exact value")
-    Term.(const run $ system_arg $ samples_t $ seed_t $ params_t)
+    Term.(const run $ obs_t $ system_arg $ samples_t $ seed_t $ params_t)
 
 let axioms_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -362,10 +433,10 @@ let axioms_cmd =
   in
   Cmd.v
     (Cmd.info "axioms" ~doc:"Check the S5/KD45/graded-coherence axioms on a system")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let frontier_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -384,10 +455,10 @@ let frontier_cmd =
   in
   Cmd.v
     (Cmd.info "frontier" ~doc:"Belief-threshold policy-improvement frontier (Section 8)")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let appendix_cmd =
-  let run name prm =
+  let run () name prm =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -405,11 +476,11 @@ let appendix_cmd =
   in
   Cmd.v
     (Cmd.info "appendix" ~doc:"Evaluate the paper's Appendix D proof chain on a system")
-    Term.(const run $ system_arg $ params_t)
+    Term.(const run $ obs_t $ system_arg $ params_t)
 
 let random_cmd =
   let seed_arg = Arg.(value & pos 0 int 1 & info [] ~docv:"SEED" ~doc:"Generator seed.") in
-  let run seed =
+  let run () seed =
     let tree = Gen.tree seed in
     Printf.printf "random pps (seed %d): %d nodes, %d runs, %d points\n" seed
       (Tree.n_nodes tree) (Tree.n_runs tree) (Tree.n_points tree);
@@ -426,7 +497,7 @@ let random_cmd =
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Generate a random pps and verify the main theorems on it")
-    Term.(const run $ seed_arg)
+    Term.(const run $ obs_t $ seed_arg)
 
 let () =
   let doc = "Probably Approximately Knowing: probabilistic beliefs at action time" in
@@ -434,5 +505,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; dot_cmd; dump_cmd;
-            simulate_cmd; axioms_cmd; frontier_cmd; appendix_cmd; random_cmd ]))
+          [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; profile_cmd; dot_cmd;
+            dump_cmd; simulate_cmd; axioms_cmd; frontier_cmd; appendix_cmd;
+            random_cmd ]))

@@ -2,6 +2,7 @@ module Q = Pak_rational.Q
 module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint
 module Dist = Pak_dist.Dist
+module Obs = Pak_obs.Obs
 module Bitset = Pak_pps.Bitset
 module Gstate = Pak_pps.Gstate
 module Tree = Pak_pps.Tree

@@ -7,6 +7,8 @@
     Layers (bottom-up):
     - {!Q}, {!Bignat}, {!Bigint}: exact rational arithmetic;
     - {!Dist}: finite distributions with rational weights;
+    - {!Obs}: counters, span timers and trace sinks threaded through
+      the checker, measure and constraint engines;
     - {!Gstate}, {!Tree}, {!Bitset}: purely probabilistic systems;
     - {!Fact}, {!Action}, {!Belief}, {!Independence}, {!Constr},
       {!Theorems}, {!Gen}: the paper's Sections 3–7, executable;
@@ -19,6 +21,7 @@ module Q = Pak_rational.Q
 module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint
 module Dist = Pak_dist.Dist
+module Obs = Pak_obs.Obs
 module Bitset = Pak_pps.Bitset
 module Gstate = Pak_pps.Gstate
 module Tree = Pak_pps.Tree

@@ -1,6 +1,38 @@
 open Pak_rational
 open Pak_pps
 
+module Obs = Pak_obs.Obs
+
+let c_memo_hits = Obs.counter "semantics.memo_hits"
+let c_memo_misses = Obs.counter "semantics.memo_misses"
+let c_gfp_iters = Obs.counter "semantics.gfp_iters"
+let c_gfp_iters_ck = Obs.counter "semantics.gfp_iters.common_knowledge"
+let c_gfp_iters_cb = Obs.counter "semantics.gfp_iters.common_belief"
+
+(* Span label per syntactic operator, so traces show where evaluation
+   time goes by connective rather than by (unbounded) formula text. *)
+let op_tag : Formula.t -> string = function
+  | True -> "true"
+  | False -> "false"
+  | Atom _ -> "atom"
+  | Not _ -> "not"
+  | And _ -> "and"
+  | Or _ -> "or"
+  | Implies _ -> "implies"
+  | Iff _ -> "iff"
+  | Does _ -> "does"
+  | Eventually _ -> "eventually"
+  | Globally _ -> "globally"
+  | Next _ -> "next"
+  | Once _ -> "once"
+  | Historically _ -> "historically"
+  | Knows _ -> "K"
+  | Believes _ -> "B"
+  | EveryoneKnows _ -> "E"
+  | CommonKnows _ -> "C"
+  | EveryoneBelieves _ -> "Ep"
+  | CommonBelief _ -> "CB"
+
 type valuation = string -> Gstate.t -> bool
 
 (* A fact from a per-local-state boolean: true at (r,t) iff the bit for
@@ -47,8 +79,10 @@ let facts_equal tree a b =
   Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
       acc && Fact.holds a ~run ~time = Fact.holds b ~run ~time)
 
-let gfp tree step =
+let gfp tree ~counter step =
   let rec iterate x =
+    Obs.incr c_gfp_iters;
+    Obs.incr counter;
     let x' = step x in
     if facts_equal tree x x' then x else iterate x'
   in
@@ -62,9 +96,13 @@ let eval tree ~valuation formula =
   in
   let rec go (f : Formula.t) =
     match Hashtbl.find_opt memo f with
-    | Some fact -> fact
+    | Some fact ->
+      Obs.incr c_memo_hits;
+      fact
     | None ->
+      Obs.incr c_memo_misses;
       let fact =
+        Obs.span ("semantics.eval." ^ op_tag f) @@ fun () ->
         match f with
         | True -> Fact.tt tree
         | False -> Fact.ff tree
@@ -98,7 +136,7 @@ let eval tree ~valuation formula =
           List.iter check_agent grp;
           let inner = go g in
           (* gfp X. E_G(inner ∧ X) *)
-          gfp tree (fun x ->
+          gfp tree ~counter:c_gfp_iters_ck (fun x ->
               let body = Fact.and_ inner x in
               Fact.conj tree (List.map (fun i -> knows_fact tree ~agent:i body) grp))
         | EveryoneBelieves (grp, threshold, g) ->
@@ -123,12 +161,12 @@ let eval tree ~valuation formula =
                  grp)
           in
           let base = ep inner in
-          gfp tree (fun x -> Fact.and_ base (ep x))
+          gfp tree ~counter:c_gfp_iters_cb (fun x -> Fact.and_ base (ep x))
       in
       Hashtbl.add memo f fact;
       fact
   in
-  go formula
+  Obs.span "semantics.eval" (fun () -> go formula)
 
 let sat tree ~valuation formula ~run ~time =
   Fact.holds (eval tree ~valuation formula) ~run ~time

@@ -1,0 +1,349 @@
+(* Process-global observability state. The null sink is the [on = false]
+   state: every instrumentation site reduces to one load and branch, so
+   hot paths keep their uninstrumented cost profile. *)
+
+let on = ref false
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counter_registry name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counter_registry name c;
+    c
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counter_registry []
+  |> List.sort compare
+
+let counter_value name =
+  match Hashtbl.find_opt counter_registry name with Some c -> c.c_value | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_stat = { mutable s_count : int; mutable s_total : float }
+
+let span_registry : (string, span_stat) Hashtbl.t = Hashtbl.create 32
+
+let span_stat name =
+  match Hashtbl.find_opt span_registry name with
+  | Some s -> s
+  | None ->
+    let s = { s_count = 0; s_total = 0. } in
+    Hashtbl.add span_registry name s;
+    s
+
+let spans () =
+  Hashtbl.fold (fun name s acc -> (name, s.s_count, s.s_total) :: acc) span_registry []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counter_registry;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_count <- 0;
+      s.s_total <- 0.)
+    span_registry
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink (Chrome trace_event JSON array)                          *)
+(* ------------------------------------------------------------------ *)
+
+type trace = { ch : out_channel; mutable first : bool; t0 : float }
+
+let trace_state : trace option ref = ref None
+
+let tracing () = !trace_state <> None
+
+let now () = Sys.time ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_raw tr json =
+  if tr.first then tr.first <- false else output_string tr.ch ",\n";
+  output_string tr.ch json
+
+(* Timestamps are microseconds since the trace opened, from [Sys.time]
+   (processor time): monotone within a process, which is all the trace
+   viewer needs. *)
+let usec tr t = (t -. tr.t0) *. 1e6
+
+let emit_complete name ~t_start ~t_end =
+  match !trace_state with
+  | None -> ()
+  | Some tr ->
+    emit_raw tr
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+         (json_escape name) (usec tr t_start) (usec tr (max t_end t_start)))
+
+let emit_counter_sample tr name v =
+  emit_raw tr
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"value\":%d}}"
+       (json_escape name) (usec tr (now ())) v)
+
+let trace_stop () =
+  match !trace_state with
+  | None -> ()
+  | Some tr ->
+    List.iter (fun (name, v) -> emit_counter_sample tr name v) (counters ());
+    output_string tr.ch "\n]\n";
+    close_out tr.ch;
+    trace_state := None
+
+let trace_to file =
+  trace_stop ();
+  let ch = open_out file in
+  output_string ch "[\n";
+  trace_state := Some { ch; first = true; t0 = now () };
+  enable ()
+
+(* ------------------------------------------------------------------ *)
+(* Span timing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let stat = span_stat name in
+    let t0 = now () in
+    let finish () =
+      let t1 = now () in
+      stat.s_count <- stat.s_count + 1;
+      stat.s_total <- stat.s_total +. (t1 -. t0);
+      emit_complete name ~t_start:t0 ~t_end:t1
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Summary sink                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_summary fmt () =
+  Format.fprintf fmt "== pak metrics ==@\n";
+  Format.fprintf fmt "counters:@\n";
+  (match counters () with
+   | [] -> Format.fprintf fmt "  (none registered)@\n"
+   | cs ->
+     List.iter (fun (name, v) -> Format.fprintf fmt "  %-42s %12d@\n" name v) cs);
+  Format.fprintf fmt "spans:@\n";
+  match spans () with
+  | [] -> Format.fprintf fmt "  (none recorded)@\n"
+  | ss ->
+    Format.fprintf fmt "  %-42s %10s %12s %12s@\n" "" "calls" "total ms" "mean us";
+    List.iter
+      (fun (name, count, total) ->
+        let mean_us = if count = 0 then 0. else total /. float_of_int count *. 1e6 in
+        Format.fprintf fmt "  %-42s %10d %12.3f %12.3f@\n" name count (total *. 1e3) mean_us)
+      ss
+
+let print_summary ch =
+  let fmt = Format.formatter_of_out_channel ch in
+  pp_summary fmt ();
+  Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace validation: a minimal JSON reader, enough to check that an
+   emitted trace is well-formed trace_event data.                      *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let skip_ws st =
+    while
+      st.pos < String.length st.src
+      && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> st.pos <- st.pos + 1
+    | _ -> raise (Bad (Printf.sprintf "expected %c at offset %d" c st.pos))
+
+  let literal st word v =
+    let n = String.length word in
+    if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+      st.pos <- st.pos + n;
+      v
+    end
+    else raise (Bad (Printf.sprintf "bad literal at offset %d" st.pos))
+
+  let string st =
+    expect st '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if st.pos >= String.length st.src then raise (Bad "unterminated string");
+      let c = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if st.pos >= String.length st.src then raise (Bad "unterminated escape");
+         let e = st.src.[st.pos] in
+         st.pos <- st.pos + 1;
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if st.pos + 4 > String.length st.src then raise (Bad "short \\u escape");
+           (* Decoded only far enough for validation purposes. *)
+           st.pos <- st.pos + 4;
+           Buffer.add_char buf '?'
+         | _ -> raise (Bad "unknown escape"));
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+
+  let number st =
+    let start = st.pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while st.pos < String.length st.src && is_num_char st.src.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+    match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad number at offset %d" start))
+
+  let rec value st =
+    skip_ws st;
+    match peek st with
+    | None -> raise (Bad "unexpected end of input")
+    | Some '"' -> Str (string st)
+    | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then (expect st '}'; Obj [])
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = string st in
+          skip_ws st;
+          expect st ':';
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> expect st ','; members ((k, v) :: acc)
+          | Some '}' -> expect st '}'; Obj (List.rev ((k, v) :: acc))
+          | _ -> raise (Bad (Printf.sprintf "expected , or } at offset %d" st.pos))
+        in
+        members []
+      end
+    | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then (expect st ']'; Arr [])
+      else begin
+        let rec elements acc =
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> expect st ','; elements (v :: acc)
+          | Some ']' -> expect st ']'; Arr (List.rev (v :: acc))
+          | _ -> raise (Bad (Printf.sprintf "expected , or ] at offset %d" st.pos))
+        in
+        elements []
+      end
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> Num (number st)
+
+  let parse src =
+    let st = { src; pos = 0 } in
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length src then raise (Bad "trailing data after JSON value");
+    v
+end
+
+let validate_trace_file file =
+  let read_all file =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse (read_all file) with
+  | exception Json.Bad msg -> Error ("invalid JSON: " ^ msg)
+  | exception Sys_error msg -> Error msg
+  | Json.Arr events ->
+    let check i = function
+      | Json.Obj fields ->
+        let field k = List.assoc_opt k fields in
+        (match (field "name", field "ph", field "ts") with
+         | Some (Json.Str _), Some (Json.Str _), Some (Json.Num _) -> Ok ()
+         | None, _, _ -> Error (Printf.sprintf "event %d: missing \"name\"" i)
+         | _, None, _ -> Error (Printf.sprintf "event %d: missing \"ph\"" i)
+         | _, _, None -> Error (Printf.sprintf "event %d: missing \"ts\"" i)
+         | _ -> Error (Printf.sprintf "event %d: wrong field types" i))
+      | _ -> Error (Printf.sprintf "event %d: not an object" i)
+    in
+    let rec go i = function
+      | [] -> Ok (List.length events)
+      | e :: rest -> (match check i e with Ok () -> go (i + 1) rest | Error _ as err -> err)
+    in
+    go 0 events
+  | _ -> Error "top-level JSON value is not an array"

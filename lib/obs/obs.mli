@@ -1,0 +1,101 @@
+(** pak_obs — zero-dependency observability: counters, span timers and
+    structured trace events with pluggable sinks.
+
+    The library is deliberately tiny and dependency-free so that every
+    layer of pak can be instrumented without widening the build. Three
+    sinks are provided:
+
+    - the {e null sink} (default): instrumentation compiles to a single
+      load-and-branch on {!on}, so the uninstrumented fast path is
+      preserved;
+    - a {e summary sink}: accumulated counters and span statistics,
+      printable as a human-readable table ({!print_summary});
+    - a {e trace sink}: Chrome [trace_event]-format JSON written
+      incrementally to a file ({!trace_to}), loadable in
+      [about:tracing] / Perfetto.
+
+    Counters and spans are process-global. Instrumented code must not
+    change observable results: enabling or disabling any sink leaves
+    every computation bit-identical (tested by the qcheck suite). *)
+
+val on : bool ref
+(** Master switch read on every instrumentation fast path. Treat as
+    read-only; flip it via {!enable} / {!disable}. *)
+
+val enable : unit -> unit
+(** Start accumulating counters and span statistics. *)
+
+val disable : unit -> unit
+(** Return to the null sink. Accumulated values are kept until
+    {!reset}; a running trace sink keeps recording only if re-enabled. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter and span statistic. Does not touch sinks. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] returns the process-global counter registered under
+    [name], creating it on first use. Dotted names ([engine.metric])
+    group related counters in summaries. *)
+
+val incr : counter -> unit
+(** Add one; a no-op unless {!on}. *)
+
+val add : counter -> int -> unit
+(** Add [n]; a no-op unless {!on}. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val counter_value : string -> int
+(** Value of a counter by name; [0] if it was never registered. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]. When {!on}, its inclusive wall time is
+    accumulated under [name] and, if a trace sink is active, a complete
+    ("ph":"X") trace event is emitted. Exceptions still close the
+    span. When off, [span name f] is exactly [f ()]. *)
+
+val spans : unit -> (string * int * float) list
+(** [(name, calls, total_seconds)] per span name, sorted by name. *)
+
+(** {1 Trace sink} *)
+
+val trace_to : string -> unit
+(** Open [file] and start recording span events as a Chrome
+    trace-event JSON array. Implies {!enable}. Raises [Sys_error] if
+    the file cannot be opened; calling while a trace is already open
+    closes the previous one first. *)
+
+val trace_stop : unit -> unit
+(** Emit one final "ph":"C" counter sample per registered counter,
+    close the JSON array and the file. A no-op if no trace is open. *)
+
+val tracing : unit -> bool
+
+(** {1 Reporting} *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable table of all counters and span statistics. *)
+
+val print_summary : out_channel -> unit
+
+(** {1 Trace validation}
+
+    A minimal JSON reader used by CI to sanity-check emitted traces
+    without external tooling. *)
+
+val validate_trace_file : string -> (int, string) result
+(** Parse [file] as JSON and check it is an array of objects each
+    carrying a string ["name"], a string ["ph"] and a numeric ["ts"].
+    Returns the number of events, or a description of the first
+    violation. *)

@@ -1,8 +1,13 @@
 open Pak_rational
 
+module Obs = Pak_obs.Obs
+
+let c_posterior_evals = Obs.counter "belief.posterior_evals"
+
 type cmp = [ `Geq | `Gt | `Leq | `Lt | `Eq ]
 
 let degree_at_lstate fact key =
+  Obs.incr c_posterior_evals;
   let tree = Fact.tree fact in
   Tree.cond tree (Fact.at_lstate fact key) ~given:(Tree.lstate_runs tree key)
 

@@ -4,6 +4,13 @@
 
 let word_bits = 62
 
+module Obs = Pak_obs.Obs
+
+(* Word-wise combinators vs whole-set scans: the two shapes of work an
+   event-set workload is made of. *)
+let c_set_ops = Obs.counter "bitset.set_ops"
+let c_scans = Obs.counter "bitset.scans"
+
 type t = { cap : int; words : int array }
 
 let n_words cap = (cap + word_bits - 1) / word_bits
@@ -50,6 +57,7 @@ let of_list cap is = List.fold_left add (create cap) is
 
 let map2 name f a b =
   check_same a b name;
+  Obs.incr c_set_ops;
   { cap = a.cap; words = Array.init (Array.length a.words) (fun k -> f a.words.(k) b.words.(k)) }
 
 let union a b = map2 "Bitset.union" ( lor ) a b
@@ -76,6 +84,7 @@ let is_empty t = Array.for_all (fun w -> w = 0) t.words
 let capacity t = t.cap
 
 let iter f t =
+  Obs.incr c_scans;
   for k = 0 to Array.length t.words - 1 do
     let w = ref t.words.(k) in
     while !w <> 0 do

@@ -1,5 +1,9 @@
 open Pak_rational
 
+module Obs = Pak_obs.Obs
+
+let c_mu_queries = Obs.counter "constr.mu_queries"
+
 type t = {
   agent : int;
   act : string;
@@ -8,6 +12,7 @@ type t = {
 }
 
 let mu_given_action fact ~agent ~act =
+  Obs.incr c_mu_queries;
   let tree = Fact.tree fact in
   Tree.cond tree
     (Fact.at_action fact ~agent ~act)
@@ -30,14 +35,16 @@ type report = {
 }
 
 let report c =
-  let tree = Fact.tree c.fact in
-  let mu = mu_given_action c.fact ~agent:c.agent ~act:c.act in
-  { constr = c;
-    mu;
-    action_measure = Tree.measure tree (Action.runs_performing tree ~agent:c.agent ~act:c.act);
-    satisfied = Q.geq mu c.threshold;
-    independent = Independence.holds c.fact ~agent:c.agent ~act:c.act
-  }
+  Obs.span "constr.report" (fun () ->
+      let tree = Fact.tree c.fact in
+      let mu = mu_given_action c.fact ~agent:c.agent ~act:c.act in
+      { constr = c;
+        mu;
+        action_measure =
+          Tree.measure tree (Action.runs_performing tree ~agent:c.agent ~act:c.act);
+        satisfied = Q.geq mu c.threshold;
+        independent = Independence.holds c.fact ~agent:c.agent ~act:c.act
+      })
 
 let pp_report fmt r =
   Format.fprintf fmt

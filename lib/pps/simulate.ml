@@ -1,5 +1,10 @@
 open Pak_rational
 
+module Obs = Pak_obs.Obs
+
+let c_samples = Obs.counter "simulate.samples"
+let c_accepted = Obs.counter "simulate.accepted"
+
 (* Same SplitMix-style generator as Gen; duplicated locally to keep the
    modules' streams independent. *)
 module Prng = struct
@@ -60,12 +65,14 @@ let walk tree rng leaves =
 
 let sample_run tree ~seed =
   let rng = Prng.create seed in
+  Obs.incr c_samples;
   walk tree rng (leaf_index tree)
 
 let sample_runs tree ~samples ~seed =
   if samples < 0 then invalid_arg "Simulate.sample_runs: negative sample count";
   let rng = Prng.create seed in
   let leaves = leaf_index tree in
+  Obs.add c_samples samples;
   Array.init samples (fun _ -> walk tree rng leaves)
 
 let estimate tree ~event ~samples ~seed =
@@ -85,6 +92,7 @@ let estimate_cond tree ~event ~given ~samples ~seed =
         if Bitset.mem event r then incr hits
       end)
     runs;
+  Obs.add c_accepted !given_hits;
   if !given_hits = 0 then None else Some (Q.of_ints !hits !given_hits)
 
 let standard_error ~p ~samples =

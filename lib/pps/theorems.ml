@@ -1,5 +1,7 @@
 open Pak_rational
 
+module Obs = Pak_obs.Obs
+
 (* Each checker computes hypothesis and conclusion separately and then
    records the material implication, so that the test suite can assert
    [respected = true] on arbitrary generated systems without first
@@ -14,11 +16,12 @@ type expectation_report = {
 }
 
 let expectation_identity fact ~agent ~act =
-  let mu = Constr.mu_given_action fact ~agent ~act in
-  let expected_belief = Belief.expected_at_action fact ~agent ~act in
-  let independent = Independence.holds fact ~agent ~act in
-  let identity = Q.equal mu expected_belief in
-  { mu; expected_belief; independent; identity; respected = (not independent) || identity }
+  Obs.span "theorems.expectation_identity" @@ fun () ->
+    let mu = Constr.mu_given_action fact ~agent ~act in
+    let expected_belief = Belief.expected_at_action fact ~agent ~act in
+    let independent = Independence.holds fact ~agent ~act in
+    let identity = Q.equal mu expected_belief in
+    { mu; expected_belief; independent; identity; respected = (not independent) || identity }
 
 type sufficiency_report = {
   threshold : Q.t;
@@ -31,25 +34,26 @@ type sufficiency_report = {
 }
 
 let sufficiency fact ~agent ~act ~p =
-  let tree = Fact.tree fact in
-  Action.check_proper tree ~agent ~act;
-  let min_belief =
-    match Belief.min_at_action fact ~agent ~act with
-    | Some m -> m
-    | None -> Q.one (* unreachable for proper actions *)
-  in
-  let premise = Q.geq min_belief p in
-  let mu = Constr.mu_given_action fact ~agent ~act in
-  let independent = Independence.holds fact ~agent ~act in
-  let conclusion = Q.geq mu p in
-  { threshold = p;
-    independent;
-    min_belief;
-    premise;
-    mu;
-    conclusion;
-    respected = (not (independent && premise)) || conclusion
-  }
+  Obs.span "theorems.sufficiency" @@ fun () ->
+    let tree = Fact.tree fact in
+    Action.check_proper tree ~agent ~act;
+    let min_belief =
+      match Belief.min_at_action fact ~agent ~act with
+      | Some m -> m
+      | None -> Q.one (* unreachable for proper actions *)
+    in
+    let premise = Q.geq min_belief p in
+    let mu = Constr.mu_given_action fact ~agent ~act in
+    let independent = Independence.holds fact ~agent ~act in
+    let conclusion = Q.geq mu p in
+    { threshold = p;
+      independent;
+      min_belief;
+      premise;
+      mu;
+      conclusion;
+      respected = (not (independent && premise)) || conclusion
+    }
 
 type lemma43_report = {
   deterministic : bool;
@@ -59,16 +63,17 @@ type lemma43_report = {
 }
 
 let lemma43 fact ~agent ~act =
-  let tree = Fact.tree fact in
-  Action.check_proper tree ~agent ~act;
-  let deterministic = Action.is_deterministic tree ~agent ~act in
-  let past_based = Fact.is_past_based fact in
-  let independent = Independence.holds fact ~agent ~act in
-  { deterministic;
-    past_based;
-    independent;
-    respected = (not (deterministic || past_based)) || independent
-  }
+  Obs.span "theorems.lemma43" @@ fun () ->
+    let tree = Fact.tree fact in
+    Action.check_proper tree ~agent ~act;
+    let deterministic = Action.is_deterministic tree ~agent ~act in
+    let past_based = Fact.is_past_based fact in
+    let independent = Independence.holds fact ~agent ~act in
+    { deterministic;
+      past_based;
+      independent;
+      respected = (not (deterministic || past_based)) || independent
+    }
 
 type necessity_report = {
   threshold : Q.t;
@@ -79,22 +84,23 @@ type necessity_report = {
 }
 
 let necessity_exists fact ~agent ~act ~p =
-  let tree = Fact.tree fact in
-  Action.check_proper tree ~agent ~act;
-  let mu = Constr.mu_given_action fact ~agent ~act in
-  let constraint_holds = Q.geq mu p in
-  let independent = Independence.holds fact ~agent ~act in
-  let witness =
-    List.find_opt
-      (fun (run, time) -> Q.geq (Belief.degree fact ~agent ~run ~time) p)
-      (Action.occurrences tree ~agent ~act)
-  in
-  { threshold = p;
-    independent;
-    constraint_holds;
-    witness;
-    respected = (not (independent && constraint_holds)) || witness <> None
-  }
+  Obs.span "theorems.necessity_exists" @@ fun () ->
+    let tree = Fact.tree fact in
+    Action.check_proper tree ~agent ~act;
+    let mu = Constr.mu_given_action fact ~agent ~act in
+    let constraint_holds = Q.geq mu p in
+    let independent = Independence.holds fact ~agent ~act in
+    let witness =
+      List.find_opt
+        (fun (run, time) -> Q.geq (Belief.degree fact ~agent ~run ~time) p)
+        (Action.occurrences tree ~agent ~act)
+    in
+    { threshold = p;
+      independent;
+      constraint_holds;
+      witness;
+      respected = (not (independent && constraint_holds)) || witness <> None
+    }
 
 type pak_report = {
   eps : Q.t;
@@ -108,26 +114,27 @@ type pak_report = {
 }
 
 let pak_general fact ~agent ~act ~eps ~delta =
-  let tree = Fact.tree fact in
-  Action.check_proper tree ~agent ~act;
-  let mu = Constr.mu_given_action fact ~agent ~act in
-  let independent = Independence.holds fact ~agent ~act in
-  let premise = Q.geq mu (Q.one_minus (Q.mul delta eps)) in
-  let strong_belief_measure =
-    Tree.cond tree
-      (Belief.threshold_event fact ~agent ~act ~cmp:`Geq (Q.one_minus eps))
-      ~given:(Action.runs_performing tree ~agent ~act)
-  in
-  let conclusion = Q.geq strong_belief_measure (Q.one_minus delta) in
-  { eps;
-    delta;
-    independent;
-    mu;
-    premise;
-    strong_belief_measure;
-    conclusion;
-    respected = (not (independent && premise)) || conclusion
-  }
+  Obs.span "theorems.pak" @@ fun () ->
+    let tree = Fact.tree fact in
+    Action.check_proper tree ~agent ~act;
+    let mu = Constr.mu_given_action fact ~agent ~act in
+    let independent = Independence.holds fact ~agent ~act in
+    let premise = Q.geq mu (Q.one_minus (Q.mul delta eps)) in
+    let strong_belief_measure =
+      Tree.cond tree
+        (Belief.threshold_event fact ~agent ~act ~cmp:`Geq (Q.one_minus eps))
+        ~given:(Action.runs_performing tree ~agent ~act)
+    in
+    let conclusion = Q.geq strong_belief_measure (Q.one_minus delta) in
+    { eps;
+      delta;
+      independent;
+      mu;
+      premise;
+      strong_belief_measure;
+      conclusion;
+      respected = (not (independent && premise)) || conclusion
+    }
 
 let pak fact ~agent ~act ~eps ~delta =
   let open_unit q = Q.gt q Q.zero && Q.lt q Q.one in
@@ -149,23 +156,24 @@ type kop_report = {
 }
 
 let kop fact ~agent ~act =
-  let tree = Fact.tree fact in
-  Action.check_proper tree ~agent ~act;
-  let mu = Constr.mu_given_action fact ~agent ~act in
-  let independent = Independence.holds fact ~agent ~act in
-  let premise = Q.equal mu Q.one in
-  let certain_measure =
-    Tree.cond tree
-      (Belief.threshold_event fact ~agent ~act ~cmp:`Eq Q.one)
-      ~given:(Action.runs_performing tree ~agent ~act)
-  in
-  let conclusion = Q.equal certain_measure Q.one in
-  { mu;
-    premise;
-    certain_measure;
-    conclusion;
-    respected = (not (independent && premise)) || conclusion
-  }
+  Obs.span "theorems.kop" @@ fun () ->
+    let tree = Fact.tree fact in
+    Action.check_proper tree ~agent ~act;
+    let mu = Constr.mu_given_action fact ~agent ~act in
+    let independent = Independence.holds fact ~agent ~act in
+    let premise = Q.equal mu Q.one in
+    let certain_measure =
+      Tree.cond tree
+        (Belief.threshold_event fact ~agent ~act ~cmp:`Eq Q.one)
+        ~given:(Action.runs_performing tree ~agent ~act)
+    in
+    let conclusion = Q.equal certain_measure Q.one in
+    { mu;
+      premise;
+      certain_measure;
+      conclusion;
+      respected = (not (independent && premise)) || conclusion
+    }
 
 let pp_expectation fmt (r : expectation_report) =
   Format.fprintf fmt

@@ -1,5 +1,12 @@
 open Pak_rational
 
+module Obs = Pak_obs.Obs
+
+let c_measure_calls = Obs.counter "tree.measure_calls"
+let c_measure_runs = Obs.counter "tree.measure_runs"
+let c_points_visited = Obs.counter "tree.points_visited"
+let c_node_lookups = Obs.counter "tree.node_lookups"
+
 (* Nodes store their incoming edge (probability and joint action), so a
    finalized tree is a flat array. Runs are enumerated at finalize time
    as root-to-leaf node paths, and local states are indexed into events
@@ -199,6 +206,7 @@ let run_length t r = check_run t r "Tree.run_length"; Array.length t.runs.(r).no
 let run_measure t r = check_run t r "Tree.run_measure"; t.runs.(r).meas
 
 let run_node t ~run ~time =
+  Obs.incr c_node_lookups;
   check_run t run "Tree.run_node";
   let nodes = t.runs.(run).nodes in
   if time < 0 || time >= Array.length nodes then
@@ -212,6 +220,7 @@ let runs_agree_upto t r1 r2 ~time =
   time < Array.length n1 && time < Array.length n2 && n1.(time) = n2.(time)
 
 let iter_points t f =
+  Obs.add c_points_visited t.n_points;
   Array.iteri
     (fun run (r : run) ->
       for time = 0 to Array.length r.nodes - 1 do
@@ -230,6 +239,8 @@ let empty_event t = Bitset.create (Array.length t.runs)
 let measure t ev =
   if Bitset.capacity ev <> Array.length t.runs then
     invalid_arg "Tree.measure: event capacity does not match run count";
+  Obs.incr c_measure_calls;
+  if !Obs.on then Obs.add c_measure_runs (Bitset.cardinal ev);
   Bitset.fold (fun r acc -> Q.add acc t.runs.(r).meas) ev Q.zero
 
 let cond t a ~given =

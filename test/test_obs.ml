@@ -1,0 +1,214 @@
+(* Tests for pak_obs and the instrumentation threaded through the
+   checker/measure/constraint engines: counter identities on the
+   Semantics memo table, determinism of fixpoint iteration counts, the
+   trace sink's output format, and the core invariant that
+   instrumentation never changes results (null sink or not). *)
+
+open Pak_rational
+open Pak_pps
+open Pak_logic
+module Obs = Pak_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run [f] with metrics enabled and counters zeroed; always restore the
+   null sink so tests cannot leak global state into each other. *)
+let with_metrics f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* A three-node chain system with two agents: enough structure for
+   knowledge, graded belief and the group fixpoints. *)
+let toy () =
+  let b = Tree.Builder.create ~n_agents:2 in
+  let s0 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i"; "x0" ]) in
+  let s1 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i"; "x1" ]) in
+  List.iter
+    (fun (parent, bit) ->
+      ignore
+        (Tree.Builder.add_child b ~parent ~prob:Q.one ~acts:[| "env"; "go"; "noop" |]
+           (Gstate.of_labels "e" [ "done"; bit ])))
+    [ (s0, "x0"); (s1, "x1") ];
+  Tree.Builder.finalize b
+
+let valuation atom g =
+  match atom with
+  | "x1" -> Gstate.local g 1 = "x1"
+  | "done" -> Gstate.local g 0 = "done"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Counter mechanics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let c = Obs.counter "test.basics" in
+  check_bool "same name, same counter" true (c == Obs.counter "test.basics");
+  Obs.disable ();
+  Obs.incr c;
+  check_int "null sink: incr is a no-op" 0 (Obs.value c);
+  with_metrics (fun () ->
+      Obs.incr c;
+      Obs.add c 4;
+      check_int "enabled: counts" 5 (Obs.value c);
+      check_int "lookup by name" 5 (Obs.counter_value "test.basics");
+      check_int "unknown name reads 0" 0 (Obs.counter_value "test.no_such"));
+  check_int "reset zeroes" 0 (Obs.value c)
+
+let test_span_stats () =
+  with_metrics (fun () ->
+      let v = Obs.span "test.span" (fun () -> 41 + 1) in
+      check_int "span returns value" 42 v;
+      (try Obs.span "test.span" (fun () -> failwith "boom") with Failure _ -> ());
+      match List.filter (fun (n, _, _) -> n = "test.span") (Obs.spans ()) with
+      | [ (_, count, total) ] ->
+        check_int "both calls recorded (incl. raising one)" 2 count;
+        check_bool "total time non-negative" true (total >= 0.)
+      | _ -> Alcotest.fail "span stat missing")
+
+(* ------------------------------------------------------------------ *)
+(* Memo-table counters on a formula with shared structure              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memo_counters () =
+  let tree = toy () in
+  (* f = (x1 ∧ x1) ∧ K_0 (x1 ∧ x1): four distinct subformulas — x1,
+     x1∧x1, K_0(x1∧x1), f — visited six times in total. *)
+  let g = Formula.Atom "x1" in
+  let gg = Formula.And (g, g) in
+  let f = Formula.And (gg, Formula.Knows (0, gg)) in
+  with_metrics (fun () ->
+      ignore (Semantics.eval tree ~valuation f);
+      let hits = Obs.counter_value "semantics.memo_hits" in
+      let misses = Obs.counter_value "semantics.memo_misses" in
+      check_int "misses = distinct subformulas" 4 misses;
+      check_int "hits = shared visits" 2 hits;
+      check_int "hits + misses = total subformula evaluations" 6 (hits + misses))
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint iteration counters are deterministic                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fixpoint_determinism () =
+  let tree = toy () in
+  let ck = Parser.parse "C[0,1] true" in
+  let cb = Parser.parse "CB[0,1]>=1/2 x1" in
+  let iters formula =
+    with_metrics (fun () ->
+        ignore (Semantics.eval tree ~valuation formula);
+        ( Obs.counter_value "semantics.gfp_iters.common_knowledge",
+          Obs.counter_value "semantics.gfp_iters.common_belief",
+          Obs.counter_value "semantics.gfp_iters" ))
+  in
+  let ck1 = iters ck and ck2 = iters ck in
+  check_bool "C iteration counts repeat exactly" true (ck1 = ck2);
+  let cb1 = iters cb and cb2 = iters cb in
+  check_bool "CB iteration counts repeat exactly" true (cb1 = cb2);
+  let ck_iters, _, total_ck = ck1 in
+  check_bool "C evaluation iterates at least once" true (ck_iters >= 1);
+  check_int "total = per-operator sum (C)" total_ck ck_iters;
+  let _, cb_iters, total_cb = cb1 in
+  check_bool "CB evaluation iterates at least once" true (cb_iters >= 1);
+  check_int "total = per-operator sum (CB)" total_cb cb_iters
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink emits valid Chrome trace_event JSON                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_file () =
+  let file = Filename.temp_file "pak_obs_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Sys.remove file)
+    (fun () ->
+      Obs.trace_to file;
+      check_bool "trace_to implies enabled" true (Obs.enabled ());
+      check_bool "tracing is on" true (Obs.tracing ());
+      let tree = toy () in
+      ignore (Semantics.eval tree ~valuation (Parser.parse "B[0]>=1/2 x1"));
+      Obs.trace_stop ();
+      check_bool "tracing stopped" false (Obs.tracing ());
+      match Obs.validate_trace_file file with
+      | Ok n -> check_bool "trace has events" true (n > 0)
+      | Error msg -> Alcotest.fail ("emitted trace rejected: " ^ msg))
+
+let test_validate_rejects_garbage () =
+  let reject content =
+    let file = Filename.temp_file "pak_obs_bad" ".json" in
+    let ch = open_out file in
+    output_string ch content;
+    close_out ch;
+    let r = Obs.validate_trace_file file in
+    Sys.remove file;
+    match r with Ok _ -> false | Error _ -> true
+  in
+  check_bool "not JSON" true (reject "[{");
+  check_bool "not an array" true (reject "{\"a\":1}");
+  check_bool "event not an object" true (reject "[1,2]");
+  check_bool "event missing ph" true (reject "[{\"name\":\"x\",\"ts\":0}]");
+  check_bool "accepts a valid event" false
+    (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1}]")
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation never changes results                               *)
+(* ------------------------------------------------------------------ *)
+
+let facts_agree tree a b =
+  Tree.fold_points tree ~init:true ~f:(fun acc ~run ~time ->
+      acc && Fact.holds a ~run ~time = Fact.holds b ~run ~time)
+
+let prop_instrumentation_transparent =
+  QCheck.Test.make ~count:60 ~name:"metrics on/off leaves eval and measure bit-identical"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let tree = Gen.tree seed in
+      let formulas =
+        [ Parser.parse "B[0]>=1/2 a0_x | F a0_x";
+          Parser.parse "K[0] true & CB[0]>=1/3 true";
+          Formula.Believes (0, Formula.Geq, Q.of_ints 1 3, Formula.Atom "a0_x")
+        ]
+      in
+      let valuation atom g =
+        String.length atom > 3 && atom.[0] = 'a' && atom.[1] = '0' && atom.[2] = '_'
+        && Gstate.local g 0 = String.sub atom 3 (String.length atom - 3)
+      in
+      Obs.disable ();
+      let plain = List.map (Semantics.eval tree ~valuation) formulas in
+      let plain_mu =
+        List.map (fun f -> Semantics.probability tree ~valuation f) formulas
+      in
+      let instrumented, instr_mu =
+        with_metrics (fun () ->
+            ( List.map (Semantics.eval tree ~valuation) formulas,
+              List.map (fun f -> Semantics.probability tree ~valuation f) formulas ))
+      in
+      List.for_all2 (facts_agree tree) plain instrumented
+      && List.for_all2 Q.equal plain_mu instr_mu)
+
+let qcheck_cases =
+  List.map (QCheck_alcotest.to_alcotest ~verbose:false) [ prop_instrumentation_transparent ]
+
+let () =
+  Alcotest.run "pak_obs"
+    [ ( "counters",
+        [ Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "spans" `Quick test_span_stats
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "memo counters" `Quick test_memo_counters;
+          Alcotest.test_case "fixpoint determinism" `Quick test_fixpoint_determinism
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "emit + validate" `Quick test_trace_file;
+          Alcotest.test_case "validator rejects garbage" `Quick test_validate_rejects_garbage
+        ] );
+      ("properties", qcheck_cases)
+    ]

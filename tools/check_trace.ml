@@ -1,0 +1,20 @@
+(* check_trace FILE — validate a Chrome trace_event file emitted by
+   pak_obs. Exits 0 printing the event count, 1 with a diagnostic.
+   Used by CI as the smoke check behind `pak profile --trace`. *)
+
+let () =
+  match Sys.argv with
+  | [| _; file |] ->
+    (match Pak_obs.Obs.validate_trace_file file with
+     | Ok n ->
+       Printf.printf "%s: valid trace, %d events\n" file n;
+       if n = 0 then begin
+         prerr_endline "check_trace: trace contains no events";
+         exit 1
+       end
+     | Error msg ->
+       Printf.eprintf "check_trace: %s: %s\n" file msg;
+       exit 1)
+  | _ ->
+    prerr_endline "usage: check_trace FILE";
+    exit 2
