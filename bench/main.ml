@@ -347,7 +347,50 @@ let obs_scenarios () =
         ignore
           (analyze_constraint ~fact:ca_both ~agent:CA.general_a ~act:CA.attack
              ~threshold:(Q.of_ints 19 20)) );
-    ("simulate_2k_fs", fun () -> ignore (Simulate.sample_runs fs_tree ~samples:2_000 ~seed:1))
+    ("simulate_2k_fs", fun () -> ignore (Simulate.sample_runs fs_tree ~samples:2_000 ~seed:1));
+    (* Guard overhead: the same workload with no budget installed
+       (charges are one load-and-branch) vs under a never-exhausting
+       budget (full charge accounting + periodic deadline checks).
+       Comparing the wall_ms of the _off/_on pair in BENCH_obs.json is
+       the guardrails' measured cost; the counters must be identical. *)
+    ( "guard_off_cb_fixpoint_x50",
+      fun () ->
+        for _ = 1 to 50 do
+          ignore (Semantics.eval fs_tree ~valuation cb_formula)
+        done );
+    ( "guard_on_cb_fixpoint_x50",
+      fun () ->
+        let huge =
+          Budget.limits ~max_points:max_int ~max_nodes:max_int ~max_limbs:max_int
+            ~max_iters:max_int ~timeout_ms:(24 * 3600 * 1000) ()
+        in
+        match
+          Budget.with_budget huge (fun () ->
+              for _ = 1 to 50 do
+                ignore (Semantics.eval fs_tree ~valuation cb_formula)
+              done)
+        with
+        | Ok () -> ()
+        | Error _ -> assert false );
+    ( "guard_off_theorem62_x50",
+      fun () ->
+        for _ = 1 to 50 do
+          ignore (Theorems.expectation_identity fs_both ~agent:FS.alice ~act:FS.fire)
+        done );
+    ( "guard_on_theorem62_x50",
+      fun () ->
+        let huge =
+          Budget.limits ~max_points:max_int ~max_nodes:max_int ~max_limbs:max_int
+            ~max_iters:max_int ~timeout_ms:(24 * 3600 * 1000) ()
+        in
+        match
+          Budget.with_budget huge (fun () ->
+              for _ = 1 to 50 do
+                ignore (Theorems.expectation_identity fs_both ~agent:FS.alice ~act:FS.fire)
+              done)
+        with
+        | Ok () -> ()
+        | Error _ -> assert false )
   ]
 
 let export_obs () =

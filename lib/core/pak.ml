@@ -1,3 +1,6 @@
+module Error = Pak_guard.Error
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
 module Q = Pak_rational.Q
 module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint

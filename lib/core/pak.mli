@@ -5,6 +5,8 @@
     (fact, agent, action) triple at once.
 
     Layers (bottom-up):
+    - {!Error}, {!Budget}, {!Graded}: the guardrails — typed errors,
+      resource budgets, and graceful degradation to marked estimates;
     - {!Q}, {!Bignat}, {!Bigint}: exact rational arithmetic;
     - {!Dist}: finite distributions with rational weights;
     - {!Obs}: counters, span timers and trace sinks threaded through
@@ -17,6 +19,9 @@
     - {!Protocol}, {!Network}: joint protocols compiled to pps;
     - {!Systems}: every example system of the paper. *)
 
+module Error = Pak_guard.Error
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
 module Q = Pak_rational.Q
 module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint

@@ -1,0 +1,142 @@
+type limits = {
+  max_points : int option;
+  max_nodes : int option;
+  max_limbs : int option;
+  max_iters : int option;
+  timeout_ms : int option;
+}
+
+let unlimited =
+  { max_points = None; max_nodes = None; max_limbs = None; max_iters = None; timeout_ms = None }
+
+let limits ?max_points ?max_nodes ?max_limbs ?max_iters ?timeout_ms () =
+  { max_points; max_nodes; max_limbs; max_iters; timeout_ms }
+
+let is_unlimited l = l = unlimited
+
+(* One process-global mutable budget, mirroring the pak_obs sink
+   design: [active] is the single load-and-branch on the fast path. *)
+type state = {
+  lim : limits;
+  mutable points : int;
+  mutable nodes : int;
+  mutable limbs : int;
+  mutable iters : int;
+  deadline : float option; (* Sys.time seconds, absolute *)
+  mutable countdown : int; (* charges until the next deadline check *)
+}
+
+let active = ref false
+
+let fresh lim =
+  let deadline =
+    match lim.timeout_ms with
+    | None -> None
+    | Some ms -> Some (Sys.time () +. (float_of_int ms /. 1000.))
+  in
+  { lim; points = 0; nodes = 0; limbs = 0; iters = 0; deadline; countdown = 0 }
+
+let st = ref (fresh unlimited)
+
+(* How many charges may pass between two reads of the clock. Small
+   enough that a runaway loop overshoots its deadline by microseconds,
+   large enough that Bignat-level charging does not pay a clock read
+   per multiplication. *)
+let deadline_stride = 64
+
+let exceeded what limit used =
+  raise
+    (Error.Error
+       (Error.makef Error.Budget_exceeded "%s budget exceeded (limit %d, needed %d)" what
+          limit used))
+
+let check_deadline_now s =
+  match s.deadline with
+  | None -> ()
+  | Some d ->
+    if Sys.time () > d then
+      raise
+        (Error.Error
+           (Error.makef Error.Budget_exceeded "deadline of %d ms exceeded"
+              (match s.lim.timeout_ms with Some ms -> ms | None -> 0)))
+
+let tick s =
+  if s.countdown <= 0 then begin
+    s.countdown <- deadline_stride;
+    check_deadline_now s
+  end
+  else s.countdown <- s.countdown - 1
+
+let charge what limit used n =
+  (match limit with Some l when used + n > l -> exceeded what l (used + n) | _ -> ());
+  used + n
+
+let charge_points n =
+  if !active then begin
+    let s = !st in
+    tick s;
+    s.points <- charge "points" s.lim.max_points s.points n
+  end
+
+let charge_nodes n =
+  if !active then begin
+    let s = !st in
+    tick s;
+    s.nodes <- charge "nodes" s.lim.max_nodes s.nodes n
+  end
+
+let charge_limbs n =
+  if !active then begin
+    let s = !st in
+    tick s;
+    s.limbs <- charge "limbs" s.lim.max_limbs s.limbs n
+  end
+
+let charge_iters n =
+  if !active then begin
+    let s = !st in
+    check_deadline_now s;
+    s.iters <- charge "fixpoint-iteration" s.lim.max_iters s.iters n
+  end
+
+let check_deadline () = if !active then check_deadline_now !st
+
+let install lim =
+  st := fresh lim;
+  active := not (is_unlimited lim)
+
+let clear () =
+  active := false;
+  st := fresh unlimited
+
+let with_budget lim f =
+  let saved_st = !st and saved_active = !active in
+  install lim;
+  let restore () =
+    st := saved_st;
+    active := saved_active
+  in
+  match f () with
+  | v ->
+    restore ();
+    Ok v
+  | exception Error.Error ({ kind = Error.Budget_exceeded; _ } as e) ->
+    restore ();
+    Result.Error e
+  | exception e ->
+    restore ();
+    raise e
+
+let attempt f =
+  match f () with
+  | v -> Ok v
+  | exception Error.Error ({ kind = Error.Budget_exceeded; _ } as e) -> Result.Error e
+
+let exempt f =
+  let saved = !active in
+  active := false;
+  Fun.protect ~finally:(fun () -> active := saved) f
+
+let spent () =
+  let s = !st in
+  [ ("points", s.points); ("nodes", s.nodes); ("limbs", s.limbs); ("iters", s.iters) ]

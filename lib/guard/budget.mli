@@ -1,0 +1,97 @@
+(** Resource budgets: fuel counters and a deadline, enforced at the
+    engines' existing instrumentation sites.
+
+    A budget bounds four kinds of fuel plus wall time:
+
+    - {e points}: tree points visited by full sweeps
+      ([Tree.iter_points] / [fold_points]) and run-slots touched by
+      measure queries — the units the [pak_obs] counters
+      [tree.points_visited] and [tree.measure_runs] measure;
+    - {e nodes}: tree nodes constructed through [Tree.Builder] (the
+      horizon compiler, [Tree_io] loading, generators);
+    - {e limbs}: big-number limbs touched by [Bignat]
+      multiplication/division — bounds rational-arithmetic blowups;
+    - {e iters}: fixpoint iterations of the [C_G]/[CB_G^q] greatest
+      fixpoints in [Semantics.eval];
+    - {e deadline}: milliseconds of processor time from installation
+      (measured with [Sys.time], the same monotone-within-process
+      clock the trace sink uses).
+
+    Budgets are process-global, mirroring the [pak_obs] design: when
+    no budget is installed ({!active} false) every charge site reduces
+    to one load-and-branch. Exhaustion raises
+    [Error.Error] with kind {!Error.Budget_exceeded} — computations
+    never hang and never overflow the stack; callers catch it with
+    {!attempt} or {!with_budget}, or let it reach the CLI's top-level
+    handler (exit code 4). *)
+
+type limits = {
+  max_points : int option;
+  max_nodes : int option;
+  max_limbs : int option;
+  max_iters : int option;
+  timeout_ms : int option;
+}
+
+val unlimited : limits
+
+val limits :
+  ?max_points:int ->
+  ?max_nodes:int ->
+  ?max_limbs:int ->
+  ?max_iters:int ->
+  ?timeout_ms:int ->
+  unit ->
+  limits
+
+val is_unlimited : limits -> bool
+
+(** {1 Scoped and global enforcement} *)
+
+val with_budget : limits -> (unit -> 'a) -> ('a, Error.t) result
+(** [with_budget l f] runs [f] with [l] installed (fuel counters
+    zeroed, deadline started), restoring the previously-installed
+    budget afterwards. Returns [Error e] iff the budget was exceeded;
+    other exceptions propagate. *)
+
+val install : limits -> unit
+(** Install a process-global budget (the CLI's [--max-*] /
+    [--timeout-ms] flags). Fuel counters restart from zero and the
+    deadline clock starts now. *)
+
+val clear : unit -> unit
+(** Remove any installed budget; charges become no-ops again. *)
+
+val attempt : (unit -> 'a) -> ('a, Error.t) result
+(** [attempt f] runs [f] under the ambient budget, catching only
+    budget exhaustion. The degradation entry point: try exact, fall
+    back to estimation on [Error _]. *)
+
+val exempt : (unit -> 'a) -> 'a
+(** Run [f] with charging suspended (the ambient budget resumes
+    afterwards, with fuel spent so far intact). Used by the
+    degradation path so a bounded Monte-Carlo fallback cannot itself
+    be killed by the already-exhausted budget. *)
+
+(** {1 Charge points}
+
+    All are no-ops (one load and branch) unless a budget is active. *)
+
+val active : bool ref
+(** Read-only fast-path switch, true while a budget is installed. *)
+
+val charge_points : int -> unit
+val charge_nodes : int -> unit
+val charge_limbs : int -> unit
+
+val charge_iters : int -> unit
+(** Also forces a deadline check: fixpoint iterations are the
+    coarsest-grained loop the budget must interrupt. *)
+
+val check_deadline : unit -> unit
+(** Explicit deadline check, for long loops with no natural fuel. *)
+
+val spent : unit -> (string * int) list
+(** Fuel spent under the current budget, by charge-point name
+    ([points], [nodes], [limbs], [iters]) — for error messages and
+    the bench harness. *)

@@ -1,0 +1,45 @@
+type kind = Parse | Invalid_system | Budget_exceeded | Io
+
+type t = { kind : kind; msg : string; context : string list }
+
+let make kind msg = { kind; msg; context = [] }
+
+let makef kind fmt = Format.kasprintf (fun msg -> make kind msg) fmt
+
+let with_context layer e = { e with context = e.context @ [ layer ] }
+
+let kind_name = function
+  | Parse -> "parse"
+  | Invalid_system -> "invalid-system"
+  | Budget_exceeded -> "budget-exceeded"
+  | Io -> "io"
+
+let to_string e =
+  let flat s = String.map (function '\n' | '\r' -> ' ' | c -> c) s in
+  let base = kind_name e.kind ^ ": " ^ flat e.msg in
+  match e.context with
+  | [] -> base
+  | trail -> base ^ " (via " ^ String.concat " < " trail ^ ")"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+exception Division_by_zero of string
+
+exception Error of t
+
+let of_exn = function
+  | Error e -> Some e
+  | Division_by_zero ctx -> Some (make Invalid_system ("division by zero: " ^ ctx))
+  | Stdlib.Division_by_zero -> Some (make Invalid_system "division by zero")
+  | Invalid_argument msg -> Some (make Invalid_system msg)
+  | Failure msg -> Some (make Invalid_system msg)
+  | Sys_error msg -> Some (make Io msg)
+  | Stack_overflow -> Some (make Budget_exceeded "stack overflow (input nested too deeply)")
+  | Out_of_memory -> Some (make Budget_exceeded "out of memory")
+  | _ -> None
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Pak_guard.Error.Error(" ^ to_string e ^ ")")
+    | Division_by_zero ctx -> Some ("Pak_guard.Error.Division_by_zero(" ^ ctx ^ ")")
+    | _ -> None)

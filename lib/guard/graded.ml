@@ -1,0 +1,14 @@
+type 'a t = Exact of 'a | Estimated of { value : 'a; samples : int }
+
+let value = function Exact v -> v | Estimated { value; _ } -> value
+let is_estimated = function Exact _ -> false | Estimated _ -> true
+let samples = function Exact _ -> None | Estimated { samples; _ } -> Some samples
+
+let map f = function
+  | Exact v -> Exact (f v)
+  | Estimated { value; samples } -> Estimated { value = f value; samples }
+
+let pp pp_v fmt = function
+  | Exact v -> pp_v fmt v
+  | Estimated { value; samples } ->
+    Format.fprintf fmt "%a (estimated from %d samples)" pp_v value samples

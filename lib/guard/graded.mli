@@ -1,0 +1,23 @@
+(** Exact-or-estimated results — the degradation contract.
+
+    The paper's Section 7 theme, turned into an API: when an exact
+    computation exceeds its resource budget, engines may retry with a
+    bounded Monte-Carlo estimate and return it {e clearly marked} as
+    such, carrying the sample count, instead of failing. Callers can
+    always distinguish the two; nothing silently downgrades. *)
+
+type 'a t =
+  | Exact of 'a
+  | Estimated of { value : 'a; samples : int }
+      (** [value] was computed from [samples] Monte-Carlo samples
+          after the exact computation exhausted its budget. *)
+
+val value : 'a t -> 'a
+val is_estimated : 'a t -> bool
+val samples : 'a t -> int option
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** Prints the payload, suffixed with [" (estimated from N samples)"]
+    when estimated. *)

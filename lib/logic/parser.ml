@@ -1,4 +1,5 @@
 open Pak_rational
+module Error = Pak_guard.Error
 
 exception Parse_error of string
 
@@ -99,10 +100,23 @@ let lex input =
   List.rev !tokens
 
 (* Recursive-descent parser over the token list, threaded through a
-   mutable cursor. *)
-type state = { mutable toks : (token * int) list }
+   mutable cursor. [depth] tracks the live recursion depth (entered
+   minus exited frames): input is untrusted and recursion depth is
+   input-controlled, so without the cap a deeply nested formula
+   overflows the OCaml stack instead of failing with a typed error. *)
+type state = { mutable toks : (token * int) list; mutable depth : int }
+
+let max_depth = 5000
 
 let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+
+let enter st =
+  st.depth <- st.depth + 1;
+  if st.depth > max_depth then
+    let _, pos = peek st in
+    fail pos (Printf.sprintf "formula nested deeper than %d" max_depth)
+
+let leave st = st.depth <- st.depth - 1
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
 
@@ -155,6 +169,12 @@ let parse_geq_number st =
   | _ -> fail pos "'>=' expected for group belief"
 
 let rec parse_unary st : Formula.t =
+  enter st;
+  let f = parse_unary_body st in
+  leave st;
+  f
+
+and parse_unary_body st : Formula.t =
   match peek st with
   | NOT, _ ->
     advance st;
@@ -266,7 +286,10 @@ and parse_implies st =
   match peek st with
   | ARROW, _ ->
     advance st;
-    Formula.Implies (lhs, parse_implies st)
+    enter st;
+    let rhs = parse_implies st in
+    leave st;
+    Formula.Implies (lhs, rhs)
   | _ -> lhs
 
 and parse_formula st =
@@ -274,13 +297,45 @@ and parse_formula st =
   match peek st with
   | IFF_TOK, _ ->
     advance st;
-    Formula.Iff (lhs, parse_formula st)
+    enter st;
+    let rhs = parse_formula st in
+    leave st;
+    Formula.Iff (lhs, rhs)
   | _ -> lhs
 
-let parse input =
-  let st = { toks = lex input } in
+let parse_exn input =
+  let st = { toks = lex input; depth = 0 } in
   let f = parse_formula st in
   (match peek st with
    | EOF, _ -> ()
    | _, pos -> fail pos "trailing input after formula");
   f
+
+(* The typed boundary for untrusted formula text: never raises.
+   Rational-literal failures (e.g. the zero-denominator "B[0]>=1/0",
+   which historically escaped the lexer as a division-by-zero) are
+   parse errors here; budget exhaustion passes through typed. *)
+let parse_result input =
+  match parse_exn input with
+  | f -> Ok f
+  | exception Parse_error msg ->
+    Result.Error (Error.with_context "Parser.parse" (Error.make Error.Parse msg))
+  | exception Error.Division_by_zero ctx ->
+    Result.Error
+      (Error.with_context "Parser.parse" (Error.make Error.Parse ("invalid rational: " ^ ctx)))
+  | exception Invalid_argument msg ->
+    Result.Error
+      (Error.with_context "Parser.parse" (Error.make Error.Parse ("invalid literal: " ^ msg)))
+  | exception Error.Error e -> Result.Error (Error.with_context "Parser.parse" e)
+  | exception Stack_overflow ->
+    Result.Error
+      (Error.with_context "Parser.parse"
+         (Error.make Error.Budget_exceeded "stack overflow (formula nested too deeply)"))
+
+(* Deprecated shim: all parse-kind failures surface as [Parse_error];
+   budget exhaustion propagates as the typed error. *)
+let parse input =
+  match parse_result input with
+  | Ok f -> f
+  | Result.Error ({ Error.kind = Error.Budget_exceeded; _ } as e) -> raise (Error.Error e)
+  | Result.Error e -> raise (Parse_error e.Error.msg)

@@ -18,9 +18,20 @@
     [true], [false] and [does] are reserved words; atoms are other
     identifiers matching [\[A-Za-z_\]\[A-Za-z0-9_'\]*]. *)
 
+val parse_result : string -> (Formula.t, Pak_guard.Error.t) result
+(** The typed boundary for untrusted formula text: never raises.
+    Returns [Error] with kind [Parse] on malformed input (including
+    bad rational literals such as a zero denominator, and nesting
+    deeper than an internal cap) and [Budget_exceeded] when an
+    installed {!Pak_guard.Budget} runs out mid-parse. Messages include
+    the offending byte offset. *)
+
 exception Parse_error of string
 (** Raised on malformed input, with a human-readable description
-    including the offending position. *)
+    including the offending position. Deprecated shim retained for
+    source compatibility; prefer {!parse_result}. *)
 
 val parse : string -> Formula.t
-(** @raise Parse_error on malformed input. *)
+(** [parse s] is [parse_result s], unwrapped.
+    @raise Parse_error on malformed input.
+    @raise Pak_guard.Error.Error on budget exhaustion. *)

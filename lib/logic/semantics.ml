@@ -2,6 +2,7 @@ open Pak_rational
 open Pak_pps
 
 module Obs = Pak_obs.Obs
+module Budget = Pak_guard.Budget
 
 let c_memo_hits = Obs.counter "semantics.memo_hits"
 let c_memo_misses = Obs.counter "semantics.memo_misses"
@@ -83,6 +84,9 @@ let gfp tree ~counter step =
   let rec iterate x =
     Obs.incr c_gfp_iters;
     Obs.incr counter;
+    (* Fuel + deadline: the fixpoint is the coarsest loop the budget
+       must be able to interrupt (each step sweeps every point). *)
+    Budget.charge_iters 1;
     let x' = step x in
     if facts_equal tree x x' then x else iterate x'
   in

@@ -74,7 +74,8 @@ let theorem62 fact ~agent ~act =
   Action.check_proper tree ~agent ~act;
   let r_alpha = Action.runs_performing tree ~agent ~act in
   let mu_alpha = Tree.measure tree r_alpha in
-  if Q.is_zero mu_alpha then raise Division_by_zero;
+  if Q.is_zero mu_alpha then
+    raise (Pak_guard.Error.Division_by_zero "Appendix.theorem62: action is never performed");
   let lstates = Action.performing_lstates tree ~agent ~act in
   (* Equation (10): the raw Definition 6.1 sum over runs. *)
   let eq10 =

@@ -67,6 +67,6 @@ type thm62_derivation = {
 
 val theorem62 : Fact.t -> agent:int -> act:string -> thm62_derivation
 (** @raise Action.Not_proper if the action is not proper.
-    @raise Division_by_zero if the action is never performed. *)
+    @raise Pak_guard.Error.Division_by_zero if the action is never performed. *)
 
 val pp_thm62 : Format.formatter -> thm62_derivation -> unit

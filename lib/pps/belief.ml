@@ -1,6 +1,8 @@
 open Pak_rational
 
 module Obs = Pak_obs.Obs
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
 
 let c_posterior_evals = Obs.counter "belief.posterior_evals"
 
@@ -27,7 +29,9 @@ let expected_at_action fact ~agent ~act =
   Action.check_proper tree ~agent ~act;
   let r_alpha = Action.runs_performing tree ~agent ~act in
   let mass = Tree.measure tree r_alpha in
-  if Q.is_zero mass then raise Division_by_zero;
+  if Q.is_zero mass then
+    raise
+      (Pak_guard.Error.Division_by_zero "Belief.expected_at_action: action is never performed");
   (* Beliefs are constant per local state; group the runs of R_α by the
      local state at which α is performed so each belief is computed
      once. *)
@@ -42,6 +46,47 @@ let expected_at_action fact ~agent ~act =
        Q.zero
        (Action.performing_lstates tree ~agent ~act))
     mass
+
+(* Degradation path (ISSUE: graceful degradation; paper, Section 7).
+   When the exact computation exhausts the installed budget, retry as
+   a bounded Monte-Carlo estimate and mark the result as such. The
+   fallback runs budget-exempt: its cost is bounded by [samples] walks
+   of O(depth) each, so it cannot hang, and the exhausted budget must
+   not kill the recovery itself. *)
+
+let degree_graded ?(samples = 10_000) ?(seed = 1) fact ~agent ~run ~time =
+  match Budget.attempt (fun () -> degree fact ~agent ~run ~time) with
+  | Ok v -> Graded.Exact v
+  | Error _ ->
+    Budget.exempt (fun () ->
+        let tree = Fact.tree fact in
+        let key = Tree.lkey tree ~agent ~run ~time in
+        let event = Fact.at_lstate fact key in
+        let given = Tree.lstate_runs tree key in
+        let value =
+          match Simulate.estimate_cond tree ~event ~given ~samples ~seed with
+          | Some q -> q
+          | None -> Q.zero
+        in
+        Graded.Estimated { value; samples })
+
+let expected_at_action_graded ?(samples = 10_000) ?(seed = 1) fact ~agent ~act =
+  match Budget.attempt (fun () -> expected_at_action fact ~agent ~act) with
+  | Ok v -> Graded.Exact v
+  | Error _ ->
+    Budget.exempt (fun () ->
+        (* By the paper's Theorem 6.2, E[β_i(ϕ@α) | α] = µ(ϕ@α | α),
+           so the estimator for the expectation is the conditional
+           frequency of ϕ@α among sampled runs performing α. *)
+        let tree = Fact.tree fact in
+        let given = Action.runs_performing tree ~agent ~act in
+        let event = Fact.at_action fact ~agent ~act in
+        let value =
+          match Simulate.estimate_cond tree ~event ~given ~samples ~seed with
+          | Some q -> q
+          | None -> Q.zero
+        in
+        Graded.Estimated { value; samples })
 
 let satisfies cmp q threshold =
   match cmp with

@@ -21,10 +21,23 @@ type cmp = [ `Geq | `Gt | `Leq | `Lt | `Eq ]
 val degree_at_lstate : Fact.t -> Tree.lkey -> Q.t
 (** [µ(ϕ@ℓ | ℓ)]: the degree of belief any point with local state [ℓ]
     assigns to the fact.
-    @raise Division_by_zero if the local state never occurs. *)
+    @raise Pak_guard.Error.Division_by_zero if the local state never occurs. *)
 
 val degree : Fact.t -> agent:int -> run:int -> time:int -> Q.t
 (** [β_i(ϕ)] at the point [(run, time)]. *)
+
+val degree_graded :
+  ?samples:int ->
+  ?seed:int ->
+  Fact.t ->
+  agent:int ->
+  run:int ->
+  time:int ->
+  Q.t Pak_guard.Graded.t
+(** {!degree} with graceful degradation: if the exact computation
+    exceeds the installed {!Pak_guard.Budget}, retries as a bounded
+    Monte-Carlo estimate (default 10000 samples) and returns it as
+    [Estimated] with the sample count; otherwise [Exact]. *)
 
 val at_action : Fact.t -> agent:int -> act:string -> run:int -> Q.t
 (** [(β_i(ϕ)@α)\[r\]]: the agent's degree of belief in ϕ at the unique
@@ -35,7 +48,15 @@ val expected_at_action : Fact.t -> agent:int -> act:string -> Q.t
 (** Definition 6.1: [E_µ(β_i(ϕ)@α | α)], the expectation of the random
     variable [β_i(ϕ)@α] conditioned on [α] being performed.
     @raise Action.Not_proper if the action is not proper.
-    @raise Division_by_zero if the action is never performed. *)
+    @raise Pak_guard.Error.Division_by_zero if the action is never performed. *)
+
+val expected_at_action_graded :
+  ?samples:int -> ?seed:int -> Fact.t -> agent:int -> act:string -> Q.t Pak_guard.Graded.t
+(** {!expected_at_action} with graceful degradation. The estimator
+    relies on the paper's Theorem 6.2 identity
+    [E(β_i(ϕ@α) | α) = µ(ϕ@α | α)]: on budget exhaustion it samples
+    runs and returns the conditional frequency of [ϕ@α] among those
+    performing [α], marked [Estimated]. *)
 
 val threshold_event : Fact.t -> agent:int -> act:string -> cmp:cmp -> Q.t -> Bitset.t
 (** Runs in [R_α] whose belief-at-action satisfies the comparison, e.g.

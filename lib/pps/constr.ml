@@ -1,6 +1,8 @@
 open Pak_rational
 
 module Obs = Pak_obs.Obs
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
 
 let c_mu_queries = Obs.counter "constr.mu_queries"
 
@@ -46,8 +48,42 @@ let report c =
         independent = Independence.holds c.fact ~agent:c.agent ~act:c.act
       })
 
+(* Graceful degradation: when the exact report blows the installed
+   budget, fall back to Monte-Carlo estimates of µ(ϕ@α | α) and µ(R_α)
+   (budget-exempt; cost bounded by [samples] O(depth) walks). The
+   [independent] flag is not estimated — it reports false in an
+   estimated report, which only weakens the claim. *)
+let report_graded ?(samples = 10_000) ?(seed = 1) c =
+  match Budget.attempt (fun () -> report c) with
+  | Ok r -> Graded.Exact r
+  | Error _ ->
+    Budget.exempt (fun () ->
+        let tree = Fact.tree c.fact in
+        let given = Action.runs_performing tree ~agent:c.agent ~act:c.act in
+        let event = Fact.at_action c.fact ~agent:c.agent ~act:c.act in
+        let mu =
+          match Simulate.estimate_cond tree ~event ~given ~samples ~seed with
+          | Some q -> q
+          | None -> Q.zero
+        in
+        Graded.Estimated
+          { value =
+              { constr = c;
+                mu;
+                action_measure = Simulate.estimate tree ~event:given ~samples ~seed;
+                satisfied = Q.geq mu c.threshold;
+                independent = false
+              };
+            samples
+          })
+
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>constraint µ(ϕ@@%s | %s) ≥ %a for agent %d:@ measured µ = %a (= %s)@ µ(R_α) = %a@ satisfied: %b@ local-state independent: %b@]"
     r.constr.act r.constr.act Q.pp r.constr.threshold r.constr.agent Q.pp r.mu
     (Q.to_decimal_string r.mu) Q.pp r.action_measure r.satisfied r.independent
+
+let pp_report_graded fmt = function
+  | Graded.Exact r -> pp_report fmt r
+  | Graded.Estimated { value; samples } ->
+    Format.fprintf fmt "@[<v>ESTIMATED (%d samples, not exact):@ %a@]" samples pp_report value

@@ -22,7 +22,7 @@ val make : agent:int -> act:string -> fact:Fact.t -> threshold:Q.t -> t
 val mu_given_action : Fact.t -> agent:int -> act:string -> Q.t
 (** [µ_T(ϕ@α | α)], the left-hand side of a probabilistic constraint.
     @raise Action.Not_proper if the action is not proper.
-    @raise Division_by_zero if the action is never performed. *)
+    @raise Pak_guard.Error.Division_by_zero if the action is never performed. *)
 
 val holds : t -> bool
 (** Whether the constraint is satisfied (exact comparison). *)
@@ -36,4 +36,18 @@ type report = {
 }
 
 val report : t -> report
+
+val report_graded : ?samples:int -> ?seed:int -> t -> report Pak_guard.Graded.t
+(** {!report} with graceful degradation: if the exact computation
+    exceeds the installed {!Pak_guard.Budget}, [mu] and
+    [action_measure] are recomputed as bounded Monte-Carlo estimates
+    (default 10000 samples) and the report is returned [Estimated]
+    with the sample count. In an estimated report [satisfied] compares
+    the estimate against the threshold and [independent] is not
+    estimated (always [false]). *)
+
 val pp_report : Format.formatter -> report -> unit
+
+val pp_report_graded : Format.formatter -> report Pak_guard.Graded.t -> unit
+(** Prints like {!pp_report}, with an unmissable
+    ["ESTIMATED (n samples, not exact)"] banner when degraded. *)

@@ -26,7 +26,10 @@ let total_probability tree ~cells ~event =
 let conditional_total_probability tree ~cells ~event ~given =
   check_partition tree cells "Jeffrey.conditional_total_probability";
   let mu_given = Tree.measure tree given in
-  if Q.is_zero mu_given then raise Division_by_zero;
+  if Q.is_zero mu_given then
+    raise
+      (Pak_guard.Error.Division_by_zero
+         "Jeffrey.conditional_total_probability: given event has measure zero");
   List.fold_left
     (fun acc cell ->
       let inter = Bitset.inter cell given in

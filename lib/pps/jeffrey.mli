@@ -30,7 +30,7 @@ val conditional_total_probability :
   Tree.t -> cells:Bitset.t list -> event:Bitset.t -> given:Bitset.t -> Q.t
 (** [Σᵢ µ(Xᵢ|Y) · µ(E | Xᵢ ∩ Y)], the generalized identity.
     @raise Invalid_argument if the cells do not partition the runs.
-    @raise Division_by_zero if [µ(Y) = 0]. *)
+    @raise Pak_guard.Error.Division_by_zero if [µ(Y) = 0]. *)
 
 val lstate_partition : Tree.t -> agent:int -> time:int -> Bitset.t list
 (** The partition of the runs {e alive at [time]} by the agent's local

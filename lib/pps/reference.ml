@@ -9,7 +9,8 @@ let mu tree pred =
 
 let mu_cond tree pred ~given =
   let mb = mu tree given in
-  if Q.is_zero mb then raise Division_by_zero;
+  if Q.is_zero mb then
+    raise (Pak_guard.Error.Division_by_zero "Reference.mu_cond: conditioning event has measure zero");
   Q.div (mu tree (fun r -> pred r && given r)) mb
 
 let same_lstate tree ~agent (r1, t1) (r2, t2) =
@@ -86,7 +87,8 @@ let expected_beta_at_alpha fact ~agent ~act =
   let tree = Fact.tree fact in
   check_proper tree ~agent ~act;
   let mu_alpha = mu tree (performed_in_run tree ~agent ~act) in
-  if Q.is_zero mu_alpha then raise Division_by_zero;
+  if Q.is_zero mu_alpha then
+    raise (Pak_guard.Error.Division_by_zero "Reference: action is never performed");
   let acc = ref Q.zero in
   for run = 0 to Tree.n_runs tree - 1 do
     match occurrences_in_run tree ~agent ~act run with

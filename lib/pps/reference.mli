@@ -19,7 +19,7 @@ val mu : Tree.t -> (int -> bool) -> Q.t
 
 val mu_cond : Tree.t -> (int -> bool) -> given:(int -> bool) -> Q.t
 (** [µ(A|B)] by the definition of conditional probability.
-    @raise Division_by_zero if [µ(B) = 0]. *)
+    @raise Pak_guard.Error.Division_by_zero if [µ(B) = 0]. *)
 
 val same_lstate : Tree.t -> agent:int -> int * int -> int * int -> bool
 (** Whether the agent's local states at two points coincide: equal

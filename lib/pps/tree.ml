@@ -1,6 +1,8 @@
 open Pak_rational
 
 module Obs = Pak_obs.Obs
+module Error = Pak_guard.Error
+module Budget = Pak_guard.Budget
 
 let c_measure_calls = Obs.counter "tree.measure_calls"
 let c_measure_runs = Obs.counter "tree.measure_runs"
@@ -63,6 +65,7 @@ module Builder = struct
       invalid_arg "Tree.Builder: global state has wrong number of agents"
 
   let push b node =
+    Budget.charge_nodes 1;
     if b.b_count = Array.length b.b_nodes then begin
       let bigger = Array.make (2 * b.b_count) dummy_node in
       Array.blit b.b_nodes 0 bigger 0 b.b_count;
@@ -139,6 +142,8 @@ module Builder = struct
     let runs = Array.of_list (List.rev !runs) in
     let n_runs = Array.length runs in
     let n_points = Array.fold_left (fun acc (r : run) -> acc + Array.length r.nodes) 0 runs in
+    (* Building the local-state index below visits every point once. *)
+    Budget.charge_points n_points;
     (* Index: local state -> event of runs in which it occurs; and node
        -> event of runs passing through it. *)
     let lstate_index = Hashtbl.create 64 in
@@ -221,6 +226,7 @@ let runs_agree_upto t r1 r2 ~time =
 
 let iter_points t f =
   Obs.add c_points_visited t.n_points;
+  Budget.charge_points t.n_points;
   Array.iteri
     (fun run (r : run) ->
       for time = 0 to Array.length r.nodes - 1 do
@@ -241,11 +247,13 @@ let measure t ev =
     invalid_arg "Tree.measure: event capacity does not match run count";
   Obs.incr c_measure_calls;
   if !Obs.on then Obs.add c_measure_runs (Bitset.cardinal ev);
+  if !Budget.active then Budget.charge_points (Bitset.cardinal ev);
   Bitset.fold (fun r acc -> Q.add acc t.runs.(r).meas) ev Q.zero
 
 let cond t a ~given =
   let mb = measure t given in
-  if Q.is_zero mb then raise Division_by_zero;
+  if Q.is_zero mb then
+    raise (Error.Division_by_zero "Tree.cond: conditioning event has measure zero");
   Q.div (measure t (Bitset.inter a given)) mb
 
 let lkey t ~agent ~run ~time =

@@ -116,7 +116,7 @@ val measure : t -> Bitset.t -> Q.t
 
 val cond : t -> Bitset.t -> given:Bitset.t -> Q.t
 (** Conditional probability [µ_T(A | B)].
-    @raise Division_by_zero if [µ_T(B) = 0]. *)
+    @raise Pak_guard.Error.Division_by_zero if [µ_T(B) = 0]. *)
 
 (** {1 Local states} *)
 

@@ -1,4 +1,5 @@
 open Pak_rational
+module Error = Pak_guard.Error
 
 exception Parse_error of string
 
@@ -112,27 +113,35 @@ let tokenize input =
   done;
   List.rev !tokens
 
+(* Nesting bound: documents are untrusted, and the depth of legitimate
+   pps documents is constant (node fields), so any deeply-nested input
+   is garbage. The explicit accumulator stack keeps parsing
+   tail-recursive — parse depth and list length are both
+   input-controlled and must not be able to overflow the OCaml stack. *)
+let max_nesting = 1000
+
 let parse_sexp tokens =
-  let rec parse = function
-    | [] -> raise (Parse_error "unexpected end of input")
-    | `Open :: rest ->
-      let items, rest = parse_list rest in
-      (List items, rest)
-    | `Close :: _ -> raise (Parse_error "unexpected ')'")
-    | `Atom a :: rest -> (Atom a, rest)
-    | `Str s :: rest -> (Str s, rest)
-  and parse_list tokens =
+  let rec go depth stack acc tokens =
     match tokens with
-    | `Close :: rest -> ([], rest)
-    | [] -> raise (Parse_error "unterminated '('")
-    | _ ->
-      let item, rest = parse tokens in
-      let items, rest = parse_list rest in
-      (item :: items, rest)
+    | [] ->
+      if depth > 0 then raise (Parse_error "unterminated '('")
+      else (
+        match List.rev acc with
+        | [ sexp ] -> sexp
+        | [] -> raise (Parse_error "unexpected end of input")
+        | _ -> raise (Parse_error "trailing input after document"))
+    | `Open :: rest ->
+      if depth >= max_nesting then
+        raise (Parse_error (Printf.sprintf "nesting deeper than %d" max_nesting));
+      go (depth + 1) (acc :: stack) [] rest
+    | `Close :: rest ->
+      (match stack with
+       | [] -> raise (Parse_error "unexpected ')'")
+       | parent :: stack' -> go (depth - 1) stack' (List (List.rev acc) :: parent) rest)
+    | `Atom a :: rest -> go depth stack (Atom a :: acc) rest
+    | `Str s :: rest -> go depth stack (Str s :: acc) rest
   in
-  match parse tokens with
-  | sexp, [] -> sexp
-  | _, _ -> raise (Parse_error "trailing input after document")
+  go 0 [] [] tokens
 
 (* ------------------------------------------------------------------ *)
 (* Document interpretation                                             *)
@@ -159,7 +168,7 @@ let as_q what = function
      with _ -> raise (Parse_error (what ^ ": not a rational")))
   | _ -> raise (Parse_error (what ^ ": not a rational"))
 
-let of_string input =
+let interpret input =
   match parse_sexp (tokenize input) with
   | List (Atom "pps" :: header :: nodes) ->
     let n_agents =
@@ -201,3 +210,35 @@ let of_string input =
       nodes;
     Tree.Builder.finalize b
   | _ -> raise (Parse_error "expected (pps (agents n) (node ...) ...)")
+
+(* The typed boundary. Lexical/grammatical failures are [Parse];
+   well-formed documents violating a tree invariant (bad probabilities,
+   duplicate joint actions, wrong arities — historically escaping as
+   [Invalid_argument]) are [Invalid_system]; budget errors pass
+   through. *)
+let of_string_result input =
+  match interpret input with
+  | tree -> Ok tree
+  | exception Parse_error msg ->
+    Result.Error (Error.with_context "Tree_io.of_string" (Error.make Error.Parse msg))
+  | exception Error.Error e -> Result.Error (Error.with_context "Tree_io.of_string" e)
+  | exception Invalid_argument msg ->
+    Result.Error (Error.with_context "Tree_io.of_string" (Error.make Error.Invalid_system msg))
+  | exception Error.Division_by_zero ctx ->
+    Result.Error
+      (Error.with_context "Tree_io.of_string"
+         (Error.make Error.Invalid_system ("division by zero: " ^ ctx)))
+  | exception Stack_overflow ->
+    Result.Error
+      (Error.with_context "Tree_io.of_string"
+         (Error.make Error.Budget_exceeded "stack overflow (document nested too deeply)"))
+
+(* Deprecated shim: every failure — including builder-invariant
+   violations that used to escape as [Invalid_argument] — surfaces as
+   [Parse_error], as the interface always documented callers should
+   expect. Budget exhaustion still propagates as the typed error. *)
+let of_string input =
+  match of_string_result input with
+  | Ok tree -> tree
+  | Result.Error ({ Error.kind = Error.Budget_exceeded; _ } as e) -> raise (Error.Error e)
+  | Result.Error e -> raise (Parse_error (Error.to_string e))

@@ -18,10 +18,21 @@
 
 val to_string : Tree.t -> string
 
+val of_string_result : string -> (Tree.t, Pak_guard.Error.t) result
+(** The typed boundary for untrusted documents: never raises. Returns
+    [Error] with kind [Parse] for malformed text, [Invalid_system] for
+    well-formed documents violating a tree invariant (bad
+    probabilities, duplicate joint actions, wrong arities — the checks
+    {!Tree.Builder} enforces), and [Budget_exceeded] when an installed
+    {!Pak_guard.Budget} runs out while building the tree. *)
+
 exception Parse_error of string
+(** Deprecated shim retained for source compatibility; prefer
+    {!of_string_result}. *)
 
 val of_string : string -> Tree.t
-(** @raise Parse_error on malformed documents.
-    @raise Invalid_argument when the document is well-formed but
-    violates a tree invariant (bad probabilities, duplicate joint
-    actions, …) — the same errors {!Tree.Builder} raises. *)
+(** [of_string s] is [of_string_result s], unwrapped.
+    @raise Parse_error on any malformed or invariant-violating
+    document (the historical split where builder errors escaped as
+    [Invalid_argument] is gone).
+    @raise Pak_guard.Error.Error on budget exhaustion. *)

@@ -1,6 +1,7 @@
 open Pak_rational
 open Pak_dist
 open Pak_pps
+module Error = Pak_guard.Error
 
 type ('env, 'ls, 'act) spec = {
   n_agents : int;
@@ -63,6 +64,25 @@ let compile spec =
       expand node config 0)
     spec.init;
   Tree.Builder.finalize b
+
+(* The typed boundary for untrusted specs: never raises. Bad spec
+   shapes (probabilities not summing to 1, label collisions, zero
+   denominators produced by user-supplied protocol closures) come back
+   as [Invalid_system]; budget exhaustion (node fuel charged by
+   [Tree.Builder.push], point fuel at finalize, deadline) comes back
+   as [Budget_exceeded]. *)
+let compile_result spec =
+  match compile spec with
+  | tree -> Ok tree
+  | exception Invalid_argument msg ->
+    Result.Error (Error.with_context "Protocol.compile" (Error.make Error.Invalid_system msg))
+  | exception Error.Division_by_zero ctx ->
+    Result.Error (Error.with_context "Protocol.compile" (Error.make Error.Invalid_system ctx))
+  | exception Error.Error e -> Result.Error (Error.with_context "Protocol.compile" e)
+  | exception Stack_overflow ->
+    Result.Error
+      (Error.with_context "Protocol.compile"
+         (Error.make Error.Budget_exceeded "stack overflow (tree nested too deeply)"))
 
 let count_nodes spec =
   check_spec spec;

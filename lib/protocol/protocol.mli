@@ -55,6 +55,14 @@ val compile : ('env, 'ls, 'act) spec -> Tree.t
     to 1, if [horizon < 1] or [n_agents < 1], or if [act_label]
     collides on a support (reported as a duplicate joint action). *)
 
+val compile_result : ('env, 'ls, 'act) spec -> (Tree.t, Pak_guard.Error.t) result
+(** The typed boundary around {!compile}: never raises. Spec-shape
+    errors (probabilities not summing to 1, bad horizon or agent
+    count, label collisions, exceptions escaping user-supplied
+    protocol closures) are returned with kind [Invalid_system];
+    exhausting an installed {!Pak_guard.Budget} (node fuel, point
+    fuel, deadline) returns kind [Budget_exceeded]. *)
+
 val count_nodes : ('env, 'ls, 'act) spec -> int
 (** Number of tree nodes [compile] would create, without building
     facts/indexes — useful to sanity-check a spec's size first. *)

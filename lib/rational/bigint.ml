@@ -1,3 +1,5 @@
+module Error = Pak_guard.Error
+
 type t = { sign : int; mag : Bignat.t }
 
 let mk sign mag = if Bignat.is_zero mag then { sign = 0; mag = Bignat.zero } else { sign; mag }
@@ -55,7 +57,7 @@ let mul a b =
   else { sign = a.sign * b.sign; mag = Bignat.mul a.mag b.mag }
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero;
+  if b.sign = 0 then raise (Error.Division_by_zero "Bigint.divmod: divisor is zero");
   let q, r = Bignat.divmod a.mag b.mag in
   if a.sign >= 0 then (mk b.sign q, mk 1 r)
   else if Bignat.is_zero r then (mk (-b.sign) q, zero)

@@ -43,7 +43,7 @@ val mul : t -> t -> t
 val divmod : t -> t -> t * t
 (** Euclidean division: [divmod a b = (q, r)] with [a = q*b + r] and
     [0 <= r < |b|].
-    @raise Division_by_zero if [b] is zero. *)
+    @raise Pak_guard.Error.Division_by_zero if [b] is zero. *)
 
 val gcd : t -> t -> Bignat.t
 (** Non-negative gcd of the magnitudes. *)

@@ -3,6 +3,9 @@
    bounded by 2^30 + 2^15) comfortably inside a 63-bit native int, and
    makes bit-level access for long division cheap. *)
 
+module Error = Pak_guard.Error
+module Budget = Pak_guard.Budget
+
 let base_bits = 15
 let base = 1 lsl base_bits
 let limb_mask = base - 1
@@ -111,6 +114,8 @@ let mul a b =
   if is_zero a || is_zero b then zero
   else begin
     let la = Array.length a and lb = Array.length b in
+    (* Fuel: schoolbook multiplication touches la*lb limb products. *)
+    Budget.charge_limbs (la * lb);
     let out = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
       let carry = ref 0 in
@@ -169,10 +174,12 @@ let shift_left a k =
    easy to trust. The remainder is kept in a mutable scratch buffer to
    avoid reallocating per bit. *)
 let divmod a b =
-  if is_zero b then raise Division_by_zero;
+  if is_zero b then raise (Error.Division_by_zero "Bignat.divmod: divisor is zero");
   if compare a b < 0 then (zero, a)
   else begin
     let nbits = num_bits a in
+    (* Fuel: bitwise long division walks nbits bits against lb limbs. *)
+    Budget.charge_limbs ((nbits / base_bits + 1) * Array.length b);
     let scratch_len = Array.length a + 1 in
     let rem = Array.make scratch_len 0 in
     let rem_limbs = ref 0 in

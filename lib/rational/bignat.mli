@@ -54,7 +54,7 @@ val mul : t -> t -> t
 
 val divmod : t -> t -> t * t
 (** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b].
-    @raise Division_by_zero if [b] is zero. *)
+    @raise Pak_guard.Error.Division_by_zero if [b] is zero. *)
 
 val div : t -> t -> t
 val rem : t -> t -> t

@@ -1,9 +1,12 @@
 (* Invariant: den > 0, gcd(|num|, den) = 1, and zero is 0/1. Structural
    equality of the record coincides with numeric equality. *)
+module Error = Pak_guard.Error
+
 type t = { num : Bigint.t; den : Bignat.t }
 
 let mk_normalized num den_nat =
-  if Bignat.is_zero den_nat then raise Division_by_zero;
+  if Bignat.is_zero den_nat then
+    raise (Error.Division_by_zero "Q: zero denominator");
   if Bigint.is_zero num then { num = Bigint.zero; den = Bignat.one }
   else begin
     let g = Bignat.gcd (Bigint.to_bignat num) den_nat in
@@ -17,7 +20,7 @@ let mk_normalized num den_nat =
 
 let make num den =
   match Bigint.sign den with
-  | 0 -> raise Division_by_zero
+  | 0 -> raise (Error.Division_by_zero "Q.make: zero denominator")
   | s ->
     let num = if s < 0 then Bigint.neg num else num in
     mk_normalized num (Bigint.to_bignat den)
@@ -104,7 +107,7 @@ let mul a b =
 
 let inv t =
   match Bigint.sign t.num with
-  | 0 -> raise Division_by_zero
+  | 0 -> raise (Error.Division_by_zero "Q.inv: inverse of zero")
   | s ->
     let num = Bigint.of_bignat t.den in
     { num = (if s < 0 then Bigint.neg num else num); den = Bigint.to_bignat t.num }

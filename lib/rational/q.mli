@@ -21,19 +21,19 @@ val minus_one : t
 
 val make : Bigint.t -> Bigint.t -> t
 (** [make num den] is the normalized rational [num/den].
-    @raise Division_by_zero if [den] is zero. *)
+    @raise Pak_guard.Error.Division_by_zero if [den] is zero. *)
 
 val of_int : int -> t
 
 val of_ints : int -> int -> t
 (** [of_ints n d] is [n/d].
-    @raise Division_by_zero if [d = 0]. *)
+    @raise Pak_guard.Error.Division_by_zero if [d = 0]. *)
 
 val of_string : string -> t
 (** Accepts ["n"], ["n/d"], and decimal notation ["0.95"], ["-1.25"],
     each part optionally signed. Underscores are ignored inside numerals.
     @raise Invalid_argument on malformed input.
-    @raise Division_by_zero on a zero denominator. *)
+    @raise Pak_guard.Error.Division_by_zero on a zero denominator. *)
 
 (** {1 Accessors and conversions} *)
 
@@ -77,14 +77,14 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 
 val inv : t -> t
-(** @raise Division_by_zero on zero. *)
+(** @raise Pak_guard.Error.Division_by_zero on zero. *)
 
 val div : t -> t -> t
-(** @raise Division_by_zero if the divisor is zero. *)
+(** @raise Pak_guard.Error.Division_by_zero if the divisor is zero. *)
 
 val pow : t -> int -> t
 (** Integer exponent of either sign.
-    @raise Division_by_zero when raising zero to a negative power. *)
+    @raise Pak_guard.Error.Division_by_zero when raising zero to a negative power. *)
 
 val sum : t list -> t
 val one_minus : t -> t

@@ -1,0 +1,190 @@
+(* Fuzz tests for the untrusted-input boundaries: Parser.parse_result
+   and Tree_io.of_string_result must return Ok or a typed Error for
+   every input — never raise, never overflow the stack, never hang.
+   Three input sources: random byte strings, mutations of valid
+   round-trip documents/formulas, and a committed regression corpus of
+   inputs that (would) have crashed earlier versions. *)
+
+open Pak_pps
+open Pak_logic
+open Pak_rational
+module Error = Pak_guard.Error
+
+let check_bool = Alcotest.(check bool)
+
+(* The crash-free contract, as a reusable check: evaluates the
+   boundary and reports any escaped exception as a counterexample. *)
+let no_raise boundary input =
+  match boundary input with
+  | Ok _ | Error _ -> true
+  | exception exn ->
+    QCheck.Test.fail_reportf "boundary raised %s on %S" (Printexc.to_string exn) input
+
+let parse_boundary s = Parser.parse_result s
+let doc_boundary s = Tree_io.of_string_result s
+
+(* ------------------------------------------------------------------ *)
+(* Seed documents for mutation                                         *)
+(* ------------------------------------------------------------------ *)
+
+let toy () =
+  let b = Tree.Builder.create ~n_agents:2 in
+  let s0 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i"; "x0" ]) in
+  let s1 = Tree.Builder.add_initial b ~prob:Q.half (Gstate.of_labels "e" [ "i"; "x1" ]) in
+  List.iter
+    (fun (parent, bit) ->
+      ignore
+        (Tree.Builder.add_child b ~parent ~prob:Q.one ~acts:[| "env"; "go"; "noop" |]
+           (Gstate.of_labels "e" [ "done"; bit ])))
+    [ (s0, "x0"); (s1, "x1") ];
+  Tree.Builder.finalize b
+
+let seed_doc = lazy (Tree_io.to_string (toy ()))
+
+let seed_formulas =
+  [ "K[0] (x1 -> B[1]>=3/4 done)";
+    "CB[0,1]>=1/2 (done & !x1) <-> E[0,1] F done";
+    "does[0](go) | G (p -> X q)"
+  ]
+
+(* Apply [n] random single edits (flip, insert, delete, duplicate a
+   slice, truncate) to a string. Deterministic in the qcheck input. *)
+let mutate rng_ints s =
+  let buf = Buffer.create (String.length s) in
+  Buffer.add_string buf s;
+  let apply b k =
+    let s = Buffer.contents b in
+    let n = String.length s in
+    if n = 0 then b
+    else begin
+      let b' = Buffer.create n in
+      let pos = abs k mod n in
+      (match abs (k / 7) mod 5 with
+       | 0 ->
+         (* flip one byte *)
+         Buffer.add_string b' (String.sub s 0 pos);
+         Buffer.add_char b' (Char.chr (abs (k / 3) mod 256));
+         Buffer.add_string b' (String.sub s (pos + 1) (n - pos - 1))
+       | 1 ->
+         (* insert a structural byte *)
+         let c = [| '('; ')'; '"'; '\\'; '-'; '/'; ' '; '\000' |].(abs (k / 3) mod 8) in
+         Buffer.add_string b' (String.sub s 0 pos);
+         Buffer.add_char b' c;
+         Buffer.add_string b' (String.sub s pos (n - pos))
+       | 2 ->
+         (* delete one byte *)
+         Buffer.add_string b' (String.sub s 0 pos);
+         Buffer.add_string b' (String.sub s (pos + 1) (n - pos - 1))
+       | 3 ->
+         (* duplicate a slice *)
+         let len = min (abs (k / 11) mod 32) (n - pos) in
+         Buffer.add_string b' (String.sub s 0 (pos + len));
+         Buffer.add_string b' (String.sub s pos (n - pos))
+       | _ ->
+         (* truncate *)
+         Buffer.add_string b' (String.sub s 0 pos));
+      b'
+    end
+  in
+  Buffer.contents (List.fold_left apply buf rng_ints)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_parser_random_bytes =
+  QCheck.Test.make ~count:4000 ~name:"parse_result never raises on random bytes"
+    QCheck.(string_of_size Gen.(int_bound 200))
+    (no_raise parse_boundary)
+
+let prop_doc_random_bytes =
+  QCheck.Test.make ~count:4000 ~name:"of_string_result never raises on random bytes"
+    QCheck.(string_of_size Gen.(int_bound 300))
+    (no_raise doc_boundary)
+
+let prop_parser_mutated =
+  QCheck.Test.make ~count:2000 ~name:"parse_result never raises on mutated formulas"
+    QCheck.(pair (int_bound 2) (list_of_size Gen.(int_bound 8) int))
+    (fun (which, edits) ->
+      no_raise parse_boundary (mutate edits (List.nth seed_formulas which)))
+
+let prop_doc_mutated =
+  QCheck.Test.make ~count:1500 ~name:"of_string_result never raises on mutated documents"
+    QCheck.(list_of_size Gen.(int_bound 8) int)
+    (fun edits -> no_raise doc_boundary (mutate edits (Lazy.force seed_doc)))
+
+let prop_roundtrip_still_exact =
+  QCheck.Test.make ~count:50 ~name:"unmutated round-trip still parses Ok"
+    QCheck.unit
+    (fun () ->
+      match doc_boundary (Lazy.force seed_doc) with
+      | Ok t -> Tree.n_runs t = 2
+      | Error e -> QCheck.Test.fail_reportf "round-trip rejected: %s" (Error.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Corpus naming convention: files starting with [formula] feed the
+   formula parser, files starting with [doc] feed Tree_io. Every file
+   is a past (or would-be) crasher; the contract is typed-error-only. *)
+let test_corpus () =
+  let dir = "corpus" in
+  let entries = Array.to_list (Sys.readdir dir) in
+  check_bool "corpus is non-empty" true (List.length entries >= 8);
+  List.iter
+    (fun name ->
+      let input = read_file (Filename.concat dir name) in
+      let describe outcome = Printf.sprintf "%s: %s" name outcome in
+      let run boundary =
+        match boundary input with
+        | Ok _ -> ()
+        | Error (_ : Error.t) -> ()
+        | exception exn -> Alcotest.fail (describe ("raised " ^ Printexc.to_string exn))
+      in
+      if String.length name >= 7 && String.sub name 0 7 = "formula" then run parse_boundary
+      else if String.length name >= 3 && String.sub name 0 3 = "doc" then run doc_boundary
+      else Alcotest.fail (describe "unknown corpus prefix (want formula* or doc*)"))
+    (List.sort compare entries)
+
+(* Pin the typed outcome of a few corpus members so the classification
+   itself (not just crash-freedom) is regression-tested. *)
+let test_corpus_kinds () =
+  let kind_of boundary file =
+    match boundary (read_file (Filename.concat "corpus" file)) with
+    | Ok _ -> "ok"
+    | Error e -> Error.kind_name e.Error.kind
+  in
+  Alcotest.(check string) "zero-denominator formula" "parse"
+    (kind_of parse_boundary "formula_div_zero.txt");
+  Alcotest.(check string) "deeply nested formula" "parse"
+    (kind_of parse_boundary "formula_deep.txt");
+  Alcotest.(check string) "unterminated document" "parse"
+    (kind_of doc_boundary "doc_unterminated.pps");
+  Alcotest.(check string) "deeply nested document" "parse"
+    (kind_of doc_boundary "doc_deep.pps");
+  Alcotest.(check string) "forward parent reference" "invalid-system"
+    (kind_of doc_boundary "doc_bad_parent.pps");
+  Alcotest.(check string) "probabilities exceed 1" "invalid-system"
+    (kind_of doc_boundary "doc_bad_prob.pps")
+
+let () =
+  Alcotest.run "pak_fuzz"
+    [ ( "never-raises",
+        [ QCheck_alcotest.to_alcotest prop_parser_random_bytes;
+          QCheck_alcotest.to_alcotest prop_doc_random_bytes;
+          QCheck_alcotest.to_alcotest prop_parser_mutated;
+          QCheck_alcotest.to_alcotest prop_doc_mutated;
+          QCheck_alcotest.to_alcotest prop_roundtrip_still_exact
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "replay crash-free" `Quick test_corpus;
+          Alcotest.test_case "pinned error kinds" `Quick test_corpus_kinds
+        ] )
+    ]

@@ -1,6 +1,7 @@
 (* Tests for the exact-arithmetic substrate: Bignat, Bigint, Q. *)
 
 open Pak_rational
+module Error = Pak_guard.Error
 
 let check_string = Alcotest.(check string)
 let check_bool = Alcotest.(check bool)
@@ -61,7 +62,8 @@ let test_nat_divmod () =
   let q, r = Bignat.divmod (nat 3) (nat 5) in
   check_string "3/5" "0" (Bignat.to_string q);
   check_string "3 mod 5" "3" (Bignat.to_string r);
-  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+  Alcotest.check_raises "div by zero"
+    (Error.Division_by_zero "Bignat.divmod: divisor is zero") (fun () ->
       ignore (Bignat.divmod (nat 3) Bignat.zero))
 
 let test_nat_gcd () =
@@ -137,7 +139,8 @@ let test_int_divmod_euclidean () =
       check_int (Printf.sprintf "a=%d b=%d reconstruct" a b) a ((qi * b) + ri);
       check_bool (Printf.sprintf "a=%d b=%d rem range" a b) true (ri >= 0 && ri < abs b))
     cases;
-  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+  Alcotest.check_raises "div by zero"
+    (Error.Division_by_zero "Bigint.divmod: divisor is zero") (fun () ->
       ignore (Bigint.divmod (int_ 3) Bigint.zero))
 
 let test_int_pow_compare () =
@@ -162,7 +165,8 @@ let test_q_normalization () =
   check_string "0/7" "0" (Q.to_string (q 0 7));
   check_string "int" "5" (Q.to_string (q 5 1));
   check_bool "structural equality after normalize" true (Q.equal (q 2 4) (q 1 2));
-  Alcotest.check_raises "zero den" Division_by_zero (fun () -> ignore (q 1 0))
+  Alcotest.check_raises "zero den" (Error.Division_by_zero "Q.make: zero denominator")
+    (fun () -> ignore (q 1 0))
 
 let test_q_of_string () =
   check_string "fraction" "3/4" (Q.to_string (q_s "3/4"));
@@ -187,9 +191,10 @@ let test_q_arith () =
   check_string "pow x^0" "1" (Q.to_string (Q.pow (q 5 7) 0));
   check_string "sum" "1" (Q.to_string (Q.sum [ q 1 2; q 1 3; q 1 6 ]));
   check_string "one_minus 0.95" "1/20" (Q.to_string (Q.one_minus (q_s "0.95")));
-  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
-  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
-      ignore (Q.div Q.one Q.zero))
+  Alcotest.check_raises "inv zero" (Error.Division_by_zero "Q.inv: inverse of zero")
+    (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.check_raises "div by zero" (Error.Division_by_zero "Q.inv: inverse of zero")
+    (fun () -> ignore (Q.div Q.one Q.zero))
 
 let test_q_compare () =
   check_bool "1/3 < 1/2" true (Q.lt (q 1 3) (q 1 2));

@@ -1,0 +1,180 @@
+(* fuzz [--iters N] [--seed S] [--corpus DIR] — in-process fuzzer for
+   the untrusted-input boundaries.
+
+   Feeds three input streams to Parser.parse_result and
+   Tree_io.of_string_result, asserting the crash-free contract: every
+   input yields Ok or a typed Pak_guard.Error.t — never an escaped
+   exception, never a stack overflow, and (under the built-in budget)
+   never a hang. Streams:
+
+   - random byte strings, length 0..400;
+   - mutations of valid round-trip documents and formulas (byte flips,
+     structural-byte insertion, deletion, slice duplication,
+     truncation);
+   - the committed regression corpus, replayed first when --corpus is
+     given.
+
+   Exits 0 after N crash-free iterations, printing a one-line summary;
+   on the first contract violation prints the input (escaped) and
+   exits 1, so the offender can be added to test/corpus/. Used by CI
+   as the fuzz smoke job. *)
+
+open Pak
+module Error = Pak.Error
+
+let iters = ref 10_000
+let seed = ref 0
+let corpus = ref ""
+
+let usage () =
+  prerr_endline "usage: fuzz [--iters N] [--seed S] [--corpus DIR]";
+  exit 2
+
+let rec parse_args = function
+  | [] -> ()
+  | "--iters" :: v :: rest ->
+    (match int_of_string_opt v with Some n when n > 0 -> iters := n | _ -> usage ());
+    parse_args rest
+  | "--seed" :: v :: rest ->
+    (match int_of_string_opt v with Some n -> seed := n | _ -> usage ());
+    parse_args rest
+  | "--corpus" :: v :: rest ->
+    corpus := v;
+    parse_args rest
+  | _ -> usage ()
+
+(* ------------------------------------------------------------------ *)
+(* Boundaries under test                                               *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Accepted | Rejected of Error.t
+
+let boundaries =
+  [ ( "parser",
+      fun input ->
+        match Parser.parse_result input with Ok _ -> Accepted | Error e -> Rejected e );
+    ( "tree_io",
+      fun input ->
+        match Tree_io.of_string_result input with Ok _ -> Accepted | Error e -> Rejected e )
+  ]
+
+(* Each probe runs under a modest budget so a pathological input that
+   is merely slow (rather than crashing) also counts as a finding:
+   the contract includes "never a hang". *)
+let probe_limits = Budget.limits ~max_nodes:100_000 ~max_limbs:1_000_000 ~timeout_ms:2_000 ()
+
+let crashes = ref 0
+
+let probe name boundary input =
+  match Budget.with_budget probe_limits (fun () -> boundary input) with
+  | Ok Accepted | Ok (Rejected _) -> ()
+  | Error (_ : Error.t) -> () (* budget exhaustion is a typed, contractual outcome *)
+  | exception exn ->
+    incr crashes;
+    Printf.printf "CRASH %s: %s\n  input: %S\n" name (Printexc.to_string exn) input
+
+(* ------------------------------------------------------------------ *)
+(* Input generation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rand = ref 0
+
+let init_rand s = rand := (s lxor 0x9e3779b9) land max_int
+
+(* xorshift-ish; deterministic in --seed, independent of Random. *)
+let next () =
+  let x = !rand in
+  let x = x lxor (x lsl 13) land max_int in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) land max_int in
+  rand := x;
+  x
+
+let random_bytes () =
+  let len = next () mod 401 in
+  String.init len (fun _ -> Char.chr (next () mod 256))
+
+let structural = [| '('; ')'; '"'; '\\'; '-'; '/'; ' '; '['; ']'; '>'; '='; '\000' |]
+
+let mutate s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let edits = 1 + (next () mod 8) in
+    let out = ref (Bytes.to_string b) in
+    for _ = 1 to edits do
+      let s = !out in
+      let n = String.length s in
+      if n > 0 then begin
+        let pos = next () mod n in
+        out :=
+          (match next () mod 5 with
+           | 0 ->
+             String.sub s 0 pos
+             ^ String.make 1 (Char.chr (next () mod 256))
+             ^ String.sub s (pos + 1) (n - pos - 1)
+           | 1 ->
+             String.sub s 0 pos
+             ^ String.make 1 structural.(next () mod Array.length structural)
+             ^ String.sub s pos (n - pos)
+           | 2 -> String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1)
+           | 3 ->
+             let len = min (next () mod 32) (n - pos) in
+             String.sub s 0 (pos + len) ^ String.sub s pos (n - pos)
+           | _ -> String.sub s 0 pos)
+      end
+    done;
+    !out
+  end
+
+let seed_formulas =
+  [| "K[0] (x1 -> B[1]>=3/4 done)";
+     "CB[0,1]>=1/2 (done & !x1) <-> E[0,1] F done";
+     "does[0](go) | G (p -> X q)";
+     "B[0]>=19/20 (a0_fire & a1_fire)"
+  |]
+
+let seed_doc =
+  lazy
+    (let t = Systems.Figure_one.tree ~p_alpha:Q.half () in
+     Tree_io.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay_corpus dir =
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.iter
+    (fun name ->
+      let path = Filename.concat dir name in
+      let ic = open_in_bin path in
+      let input =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      List.iter (fun (bname, b) -> probe (bname ^ "/" ^ name) b input) boundaries)
+    files;
+  Array.length files
+
+let () =
+  parse_args (List.tl (Array.to_list Sys.argv));
+  init_rand !seed;
+  let replayed = if !corpus = "" then 0 else replay_corpus !corpus in
+  for i = 0 to !iters - 1 do
+    let input =
+      match i mod 3 with
+      | 0 -> random_bytes ()
+      | 1 -> mutate seed_formulas.(next () mod Array.length seed_formulas)
+      | _ -> mutate (Lazy.force seed_doc)
+    in
+    (* Round-robin keeps both boundaries at iters/2 probes minimum;
+       formula mutants also go to tree_io and vice versa, which is the
+       point — boundaries must reject foreign input gracefully too. *)
+    List.iter (fun (name, b) -> probe name b input) boundaries
+  done;
+  Printf.printf "fuzz: %d iterations x %d boundaries (+%d corpus files), %d crashes (seed %d)\n"
+    !iters (List.length boundaries) replayed !crashes !seed;
+  if !crashes > 0 then exit 1
