@@ -515,6 +515,123 @@ let run_timings () =
       Printf.printf "  %-38s %14.1f %10.4f\n" name estimate r2)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallelism export: BENCH_par.json                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Serial-vs-parallel wall times for every pool-parallelized engine:
+   theorem sweeps, block-seeded Monte-Carlo estimation, and the raw
+   pool on a synthetic CPU-bound map. Each engine runs once per job
+   count; "speedup" is wall(1)/wall(jobs). Results are checked
+   identical across job counts while timing — a speedup obtained by
+   computing something else would be meaningless. The file records the
+   host's recommended domain count: on a single-core runner speedups
+   hover around 1.0 and the numbers measure pool overhead instead. *)
+let export_par () =
+  let wall () = Unix.gettimeofday () in
+  let depth4 = { Gen.default_params with Gen.depth = 4 } in
+  let fs = FS.tree FS.Original in
+  let fs_event = Action.runs_performing fs ~agent:FS.alice ~act:FS.fire in
+  let spin x =
+    let r = ref x in
+    for _ = 1 to 200_000 do
+      let v = !r in
+      let v = v lxor (v lsl 13) land max_int in
+      let v = v lxor (v lsr 7) in
+      r := v lxor (v lsl 17) land max_int
+    done;
+    !r
+  in
+  let work_items = Array.init 64 (fun i -> i * 7919) in
+  let engines =
+    [ ( "sweep_thm62_depth4",
+        fun pool ->
+          let r = Sweep.run ?pool ~params:depth4 Sweep.Expectation ~first_seed:1 ~count:24 in
+          Printf.sprintf "%d/%d" (r.Sweep.checked - List.length r.Sweep.violations) r.Sweep.checked );
+      ( "sweep_all_checks",
+        fun pool ->
+          let rs = Sweep.run_all ?pool ~first_seed:1 ~count:60 () in
+          Printf.sprintf "%b" (List.for_all Sweep.passed rs) );
+      ( "estimate_par_100k",
+        fun pool ->
+          Q.to_string (Simulate.estimate_par ?pool fs ~event:fs_event ~samples:100_000 ~seed:42) );
+      ( "pool_map_64",
+        fun pool ->
+          let out =
+            match pool with
+            | Some p -> Pool.map p spin work_items
+            | None -> Array.map spin work_items
+          in
+          string_of_int (Array.fold_left ( + ) 0 out) )
+    ]
+  in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let timings =
+          List.map
+            (fun jobs ->
+              let run pool = let t0 = wall () in let v = f pool in ((wall () -. t0) *. 1000., v) in
+              let ms, v =
+                if jobs = 1 then run None
+                else Pool.with_pool ~jobs (fun pool -> run (Some pool))
+              in
+              (jobs, ms, v))
+            jobs_list
+        in
+        (* Determinism cross-check: every job count must compute the
+           same value, or the timings compare different work. *)
+        (match timings with
+         | (_, _, v1) :: rest ->
+           List.iter
+             (fun (jobs, _, v) ->
+               if v <> v1 then begin
+                 incr failures;
+                 Printf.printf "  %-22s MISMATCH: jobs=%d computed %s, jobs=1 computed %s\n"
+                   name jobs v v1
+               end)
+             rest
+         | [] -> ());
+        (name, timings))
+      engines
+  in
+  let serial_ms timings = match timings with (1, ms, _) :: _ -> ms | _ -> nan in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, timings) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" name);
+      Buffer.add_string buf "      \"runs\": [";
+      let s = serial_ms timings in
+      List.iteri
+        (fun j (jobs, ms, _) ->
+          if j > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf
+            (Printf.sprintf "\n        {\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f}"
+               jobs ms (s /. ms)))
+        timings;
+      Buffer.add_string buf "\n      ]\n    }")
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let out = open_out "BENCH_par.json" in
+  Buffer.output_buffer out buf;
+  close_out out;
+  Printf.printf "\n== Parallelism export: BENCH_par.json (%d engines x jobs %s, %d domains recommended) ==\n"
+    (List.length rows)
+    (String.concat "/" (List.map string_of_int jobs_list))
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun (name, timings) ->
+      Printf.printf "  %-22s" name;
+      List.iter (fun (jobs, ms, _) -> Printf.printf "  j%d %8.1fms" jobs ms) timings;
+      print_newline ())
+    rows
+
 let () =
   Printf.printf "Probably Approximately Knowing — reproduction harness\n";
   Printf.printf "(all probabilities exact rationals; OK = exact equality)\n";
@@ -529,6 +646,7 @@ let () =
   exp_aux_systems ();
   scaling_series ();
   export_obs ();
+  export_par ();
   Printf.printf "\n== Reproduction summary: %s ==\n"
     (if !failures = 0 then "ALL CLAIMS REPRODUCED EXACTLY"
      else Printf.sprintf "%d MISMATCHES" !failures);

@@ -10,6 +10,8 @@
      load     <file>           load a serialized pps document
      random   <seed>           generate a random pps and verify the paper's
                                theorems on it
+     sweep                     check a paper result over a family of random
+                               systems, optionally across domains (--jobs)
 
    Systems take parameters via --loss, --p, --eps, --rounds, ... where
    meaningful; probabilities parse as rationals ("1/10") or decimals
@@ -17,7 +19,8 @@
 
    Exit codes (kept stable; checked in CI):
      0  success
-     1  the analyzed constraint is violated
+     1  the analyzed constraint is violated, or a sweep found a
+        violating system
      2  command-line usage error
      3  invalid input (unknown system, unparsable formula or document,
         unreadable file)
@@ -294,7 +297,32 @@ let guard_t =
   in
   Term.(const setup $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t)
 
-let common_t = Term.(const (fun () () -> ()) $ obs_t $ guard_t)
+(* Parallelism option, shared by every subcommand. Effectful like
+   [obs_t]/[guard_t]: records the requested domain count in a ref that
+   command bodies consult through [with_jobs_pool]. Every parallel
+   code path is deterministic in the job count, so --jobs only changes
+   wall time, never output. *)
+let jobs_ref = ref 1
+
+let jobs_t =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Number of domains used by parallel subcommands ($(b,sweep), \
+                   $(b,simulate)). 0 selects the machine's recommended domain count. \
+                   Output is identical for every value.")
+  in
+  let setup jobs =
+    jobs_ref := (if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs)
+  in
+  Term.(const setup $ jobs_arg)
+
+let with_jobs_pool f =
+  match !jobs_ref with
+  | jobs when jobs <= 1 -> f None
+  | jobs -> Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
+let common_t = Term.(const (fun () () () -> ()) $ obs_t $ guard_t $ jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -482,7 +510,10 @@ let simulate_cmd =
             let exact = Tree.cond tree event ~given in
             Printf.printf "exact      µ(ϕ@α | α) = %s (%s)\n" (Q.to_string exact)
               (Q.to_decimal_string exact);
-            (match Simulate.estimate_cond tree ~event ~given ~samples ~seed with
+            (match
+               with_jobs_pool (fun pool ->
+                   Simulate.estimate_cond_par ?pool tree ~event ~given ~samples ~seed)
+             with
              | Some est ->
                Printf.printf "simulated  µ(ϕ@α | α) = %s (%s) from %d samples\n"
                  (Q.to_string est) (Q.to_decimal_string est) samples;
@@ -495,6 +526,63 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo estimate of a system's constraint vs the exact value")
     Term.(const run $ common_t $ system_arg $ samples_t $ seed_t $ params_t)
+
+let sweep_cmd =
+  let check_t =
+    Arg.(value & opt string "all"
+         & info [ "check" ] ~docv:"CHECK"
+             ~doc:"Which paper result to sweep: $(b,all) or one of $(b,thm62), \
+                   $(b,thm42), $(b,lemma43), $(b,lemma51), $(b,cor72), $(b,kop).")
+  and count_t =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Number of random systems per check.")
+  and first_seed_t =
+    Arg.(value & opt int 1
+         & info [ "first-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the first system; the sweep covers $(docv) .. $(docv)+N-1.")
+  and depth_t =
+    Arg.(value & opt int Gen.default_params.Gen.depth
+         & info [ "depth" ] ~docv:"D" ~doc:"Run length of the generated systems.")
+  in
+  let run () check count first_seed depth eps =
+    handle (fun () ->
+        let sel =
+          if check = "all" then Ok None
+          else
+            match Sweep.of_name check with
+            | Some c -> Ok (Some c)
+            | None ->
+              Error
+                (Printf.sprintf "unknown check %S; try: all, %s" check
+                   (String.concat ", " (List.map Sweep.check_name Sweep.all_checks)))
+        in
+        Result.map
+          (fun sel ->
+            let params = { Gen.default_params with Gen.depth = depth } in
+            let reports =
+              with_jobs_pool (fun pool ->
+                  match sel with
+                  | None -> Sweep.run_all ?pool ~params ~eps ~first_seed ~count ()
+                  | Some c -> [ Sweep.run ?pool ~params ~eps c ~first_seed ~count ])
+            in
+            List.iter (fun r -> Format.printf "%a@." Sweep.pp_report r) reports;
+            if List.for_all Sweep.passed reports then 0 else 1)
+          sel)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Check the paper's theorems over a family of random systems, in parallel"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Generates protocol-consistent random systems from contiguous seeds and \
+               runs the selected theorem checker on each (with a past-based fact and a \
+               proper action derived from the same seed). With $(b,--jobs) the seeds \
+               are checked across several domains; the report is byte-identical for \
+               every job count, and any installed resource budget ($(b,--max-points), \
+               ...) is shared by all domains rather than multiplied by them. Exits 1 \
+               if any system violates a checked result."
+         ])
+    Term.(const run $ common_t $ check_t $ count_t $ first_seed_t $ depth_t $ eps_t)
 
 let axioms_cmd =
   let run () name prm =
@@ -643,18 +731,19 @@ let () =
   let doc = "Probably Approximately Knowing: probabilistic beliefs at action time" in
   let man =
     [ `S Manpage.s_exit_status;
-      `P "0 on success; 1 when the analyzed constraint is violated; 2 on command-line \
-          usage errors; 3 on invalid input (unknown system, unparsable formula or \
-          document, unreadable file); 4 when a resource budget ($(b,--max-points), \
-          $(b,--max-nodes), $(b,--max-limbs), $(b,--max-iters), $(b,--timeout-ms)) is \
-          exceeded."
+      `P "0 on success; 1 when the analyzed constraint is violated or a sweep found a \
+          violating system; 2 on command-line usage errors; 3 on invalid input (unknown \
+          system, unparsable formula or document, unreadable file); 4 when a resource \
+          budget ($(b,--max-points), $(b,--max-nodes), $(b,--max-limbs), \
+          $(b,--max-iters), $(b,--timeout-ms)) is exceeded."
     ]
   in
   let info = Cmd.info "pak" ~version:"1.0.0" ~doc ~man in
   let group =
     Cmd.group info
       [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; profile_cmd; dot_cmd; dump_cmd;
-        simulate_cmd; axioms_cmd; frontier_cmd; appendix_cmd; load_cmd; random_cmd ]
+        simulate_cmd; sweep_cmd; axioms_cmd; frontier_cmd; appendix_cmd; load_cmd;
+        random_cmd ]
   in
   (* Top-level boundary: no raw exception escapes as a crash. Typed and
      classifiable errors map onto the exit-code contract; anything else

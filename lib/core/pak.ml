@@ -6,6 +6,7 @@ module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint
 module Dist = Pak_dist.Dist
 module Obs = Pak_obs.Obs
+module Pool = Pak_par.Pool
 module Bitset = Pak_pps.Bitset
 module Gstate = Pak_pps.Gstate
 module Tree = Pak_pps.Tree
@@ -23,6 +24,7 @@ module Reference = Pak_pps.Reference
 module Policy = Pak_pps.Policy
 module Kripke = Pak_pps.Kripke
 module Simulate = Pak_pps.Simulate
+module Sweep = Pak_pps.Sweep
 module Tree_io = Pak_pps.Tree_io
 module Formula = Pak_logic.Formula
 module Parser = Pak_logic.Parser

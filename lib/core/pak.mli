@@ -11,6 +11,8 @@
     - {!Dist}: finite distributions with rational weights;
     - {!Obs}: counters, span timers and trace sinks threaded through
       the checker, measure and constraint engines;
+    - {!Pool}, {!Sweep}: Domain-based parallelism — a deterministic
+      worker pool and parallel theorem sweeps over generated families;
     - {!Gstate}, {!Tree}, {!Bitset}: purely probabilistic systems;
     - {!Fact}, {!Action}, {!Belief}, {!Independence}, {!Constr},
       {!Theorems}, {!Gen}: the paper's Sections 3–7, executable;
@@ -27,6 +29,7 @@ module Bignat = Pak_rational.Bignat
 module Bigint = Pak_rational.Bigint
 module Dist = Pak_dist.Dist
 module Obs = Pak_obs.Obs
+module Pool = Pak_par.Pool
 module Bitset = Pak_pps.Bitset
 module Gstate = Pak_pps.Gstate
 module Tree = Pak_pps.Tree
@@ -44,6 +47,7 @@ module Reference = Pak_pps.Reference
 module Policy = Pak_pps.Policy
 module Kripke = Pak_pps.Kripke
 module Simulate = Pak_pps.Simulate
+module Sweep = Pak_pps.Sweep
 module Tree_io = Pak_pps.Tree_io
 module Formula = Pak_logic.Formula
 module Parser = Pak_logic.Parser

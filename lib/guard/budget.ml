@@ -14,16 +14,28 @@ let limits ?max_points ?max_nodes ?max_limbs ?max_iters ?timeout_ms () =
 
 let is_unlimited l = l = unlimited
 
-(* One process-global mutable budget, mirroring the pak_obs sink
-   design: [active] is the single load-and-branch on the fast path. *)
+(* Fuel lives in atomics so every domain of a parallel computation can
+   charge the same budget: a sweep across N domains is bounded by ONE
+   shared pool of fuel, not N private ones. Two scopes exist:
+
+   - the process-global installed budget (the CLI's --max-* flags),
+     charged by every domain that has no closer scope;
+   - a domain-local scoped budget pushed by [with_budget], visible only
+     to the pushing domain — and to worker domains that re-install it
+     via [snapshot]/[under] (the pak_par pool does this), which again
+     share the same atomic fuel cells.
+
+   [active] stays the single load-and-branch on the uncharged fast
+   path; it is true while the global budget is installed or any domain
+   holds a local scope. *)
 type state = {
   lim : limits;
-  mutable points : int;
-  mutable nodes : int;
-  mutable limbs : int;
-  mutable iters : int;
+  points : int Atomic.t;
+  nodes : int Atomic.t;
+  limbs : int Atomic.t;
+  iters : int Atomic.t;
   deadline : float option; (* Sys.time seconds, absolute *)
-  mutable countdown : int; (* charges until the next deadline check *)
+  countdown : int Atomic.t; (* charges until the next deadline check *)
 }
 
 let active = ref false
@@ -34,9 +46,40 @@ let fresh lim =
     | None -> None
     | Some ms -> Some (Sys.time () +. (float_of_int ms /. 1000.))
   in
-  { lim; points = 0; nodes = 0; limbs = 0; iters = 0; deadline; countdown = 0 }
+  { lim;
+    points = Atomic.make 0;
+    nodes = Atomic.make 0;
+    limbs = Atomic.make 0;
+    iters = Atomic.make 0;
+    deadline;
+    countdown = Atomic.make 0
+  }
 
-let st = ref (fresh unlimited)
+let global : state option ref = ref None
+let local_key : state option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let exempt_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Number of domains currently holding a local scope; [active] is
+   derived from it plus the global installation. A racing update may
+   leave [active] conservatively stale for the duration of a concurrent
+   scope push/pop on another domain; charge sites re-check the actual
+   scopes behind the flag, so staleness never misdirects a charge. *)
+let local_scopes = Atomic.make 0
+
+let refresh_active () = active := Option.is_some !global || Atomic.get local_scopes > 0
+
+let current () =
+  match Domain.DLS.get local_key with Some _ as s -> s | None -> !global
+
+let set_local scope =
+  let prev = Domain.DLS.get local_key in
+  Domain.DLS.set local_key scope;
+  (match (prev, scope) with
+   | None, Some _ -> Atomic.incr local_scopes
+   | Some _, None -> Atomic.decr local_scopes
+   | _ -> ());
+  refresh_active ();
+  prev
 
 (* How many charges may pass between two reads of the clock. Small
    enough that a runaway loop overshoots its deadline by microseconds,
@@ -61,61 +104,66 @@ let check_deadline_now s =
               (match s.lim.timeout_ms with Some ms -> ms | None -> 0)))
 
 let tick s =
-  if s.countdown <= 0 then begin
-    s.countdown <- deadline_stride;
+  if Atomic.fetch_and_add s.countdown (-1) <= 0 then begin
+    Atomic.set s.countdown deadline_stride;
     check_deadline_now s
   end
-  else s.countdown <- s.countdown - 1
 
-let charge what limit used n =
-  (match limit with Some l when used + n > l -> exceeded what l (used + n) | _ -> ());
-  used + n
+(* Fuel is spent before the limit check (fetch-and-add), so concurrent
+   charges from several domains cannot jointly sneak past the limit:
+   whichever charge crosses it observes the full shared total and
+   raises. *)
+let charge what limit cell n =
+  let used = Atomic.fetch_and_add cell n + n in
+  match limit with Some l when used > l -> exceeded what l used | _ -> ()
+
+let charging () =
+  if not !active then None
+  else if Domain.DLS.get exempt_key then None
+  else current ()
 
 let charge_points n =
-  if !active then begin
-    let s = !st in
+  match charging () with
+  | None -> ()
+  | Some s ->
     tick s;
-    s.points <- charge "points" s.lim.max_points s.points n
-  end
+    charge "points" s.lim.max_points s.points n
 
 let charge_nodes n =
-  if !active then begin
-    let s = !st in
+  match charging () with
+  | None -> ()
+  | Some s ->
     tick s;
-    s.nodes <- charge "nodes" s.lim.max_nodes s.nodes n
-  end
+    charge "nodes" s.lim.max_nodes s.nodes n
 
 let charge_limbs n =
-  if !active then begin
-    let s = !st in
+  match charging () with
+  | None -> ()
+  | Some s ->
     tick s;
-    s.limbs <- charge "limbs" s.lim.max_limbs s.limbs n
-  end
+    charge "limbs" s.lim.max_limbs s.limbs n
 
 let charge_iters n =
-  if !active then begin
-    let s = !st in
+  match charging () with
+  | None -> ()
+  | Some s ->
     check_deadline_now s;
-    s.iters <- charge "fixpoint-iteration" s.lim.max_iters s.iters n
-  end
+    charge "fixpoint-iteration" s.lim.max_iters s.iters n
 
-let check_deadline () = if !active then check_deadline_now !st
+let check_deadline () =
+  match charging () with None -> () | Some s -> check_deadline_now s
 
 let install lim =
-  st := fresh lim;
-  active := not (is_unlimited lim)
+  global := (if is_unlimited lim then None else Some (fresh lim));
+  refresh_active ()
 
 let clear () =
-  active := false;
-  st := fresh unlimited
+  global := None;
+  refresh_active ()
 
 let with_budget lim f =
-  let saved_st = !st and saved_active = !active in
-  install lim;
-  let restore () =
-    st := saved_st;
-    active := saved_active
-  in
+  let prev = set_local (Some (fresh lim)) in
+  let restore () = ignore (set_local prev) in
   match f () with
   | v ->
     restore ();
@@ -133,10 +181,31 @@ let attempt f =
   | exception Error.Error ({ kind = Error.Budget_exceeded; _ } as e) -> Result.Error e
 
 let exempt f =
-  let saved = !active in
-  active := false;
-  Fun.protect ~finally:(fun () -> active := saved) f
+  let saved = Domain.DLS.get exempt_key in
+  Domain.DLS.set exempt_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set exempt_key saved) f
+
+type snapshot = { snap_scope : state option; snap_exempt : bool }
+
+let snapshot () =
+  { snap_scope = Domain.DLS.get local_key; snap_exempt = Domain.DLS.get exempt_key }
+
+let under snap f =
+  let prev_scope = set_local snap.snap_scope in
+  let prev_exempt = Domain.DLS.get exempt_key in
+  Domain.DLS.set exempt_key snap.snap_exempt;
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set exempt_key prev_exempt;
+      ignore (set_local prev_scope))
+    f
 
 let spent () =
-  let s = !st in
-  [ ("points", s.points); ("nodes", s.nodes); ("limbs", s.limbs); ("iters", s.iters) ]
+  match current () with
+  | None -> [ ("points", 0); ("nodes", 0); ("limbs", 0); ("iters", 0) ]
+  | Some s ->
+    [ ("points", Atomic.get s.points);
+      ("nodes", Atomic.get s.nodes);
+      ("limbs", Atomic.get s.limbs);
+      ("iters", Atomic.get s.iters)
+    ]

@@ -1,5 +1,6 @@
 (** Resource budgets: fuel counters and a deadline, enforced at the
-    engines' existing instrumentation sites.
+    engines' existing instrumentation sites — and shared across
+    domains, so one budget bounds a whole parallel computation.
 
     A budget bounds four kinds of fuel plus wall time:
 
@@ -15,15 +16,30 @@
       fixpoints in [Semantics.eval];
     - {e deadline}: milliseconds of processor time from installation
       (measured with [Sys.time], the same monotone-within-process
-      clock the trace sink uses).
+      clock the trace sink uses — note that processor time accumulates
+      across running domains, so a 4-domain computation consumes a
+      deadline roughly 4× faster than wall time).
 
-    Budgets are process-global, mirroring the [pak_obs] design: when
-    no budget is installed ({!active} false) every charge site reduces
-    to one load-and-branch. Exhaustion raises
-    [Error.Error] with kind {!Error.Budget_exceeded} — computations
-    never hang and never overflow the stack; callers catch it with
-    {!attempt} or {!with_budget}, or let it reach the CLI's top-level
-    handler (exit code 4). *)
+    {2 Scopes and domains}
+
+    Fuel cells are atomics. Two scopes exist:
+
+    - the {e process-global installed budget} ({!install}, the CLI's
+      [--max-*] flags): every domain that holds no closer scope
+      charges it, so a parallel sweep under [pak sweep --jobs N] spends
+      one shared pool of fuel, not [N] private ones;
+    - a {e domain-local scoped budget} pushed by {!with_budget},
+      visible only to the pushing domain — plus any worker domain that
+      re-installs it via {!snapshot}/{!under}, as the [pak_par] pool
+      does around every task. Re-installed scopes share the original's
+      atomic fuel cells, so scoped budgets bound parallel work too.
+
+    When no budget is in scope ({!active} false) every charge site
+    reduces to one load-and-branch. Exhaustion raises [Error.Error]
+    with kind {!Error.Budget_exceeded} — computations never hang and
+    never overflow the stack; callers catch it with {!attempt} or
+    {!with_budget}, or let it reach the CLI's top-level handler (exit
+    code 4). *)
 
 type limits = {
   max_points : int option;
@@ -49,18 +65,23 @@ val is_unlimited : limits -> bool
 (** {1 Scoped and global enforcement} *)
 
 val with_budget : limits -> (unit -> 'a) -> ('a, Error.t) result
-(** [with_budget l f] runs [f] with [l] installed (fuel counters
-    zeroed, deadline started), restoring the previously-installed
-    budget afterwards. Returns [Error e] iff the budget was exceeded;
-    other exceptions propagate. *)
+(** [with_budget l f] runs [f] with [l] in scope for the calling
+    domain (fuel counters zeroed, deadline started), restoring the
+    previous scope afterwards. Returns [Error e] iff the budget was
+    exceeded; other exceptions propagate. Scopes nest: the innermost
+    one is charged. Worker domains spawned through the [pak_par] pool
+    inherit the scope (see {!snapshot}); charges from every inheriting
+    domain hit the same shared fuel. *)
 
 val install : limits -> unit
-(** Install a process-global budget (the CLI's [--max-*] /
+(** Install the process-global budget (the CLI's [--max-*] /
     [--timeout-ms] flags). Fuel counters restart from zero and the
-    deadline clock starts now. *)
+    deadline clock starts now. The global budget is charged by every
+    domain not inside a {!with_budget} scope. *)
 
 val clear : unit -> unit
-(** Remove any installed budget; charges become no-ops again. *)
+(** Remove the installed global budget; charges outside scoped budgets
+    become no-ops again. *)
 
 val attempt : (unit -> 'a) -> ('a, Error.t) result
 (** [attempt f] runs [f] under the ambient budget, catching only
@@ -68,17 +89,40 @@ val attempt : (unit -> 'a) -> ('a, Error.t) result
     back to estimation on [Error _]. *)
 
 val exempt : (unit -> 'a) -> 'a
-(** Run [f] with charging suspended (the ambient budget resumes
-    afterwards, with fuel spent so far intact). Used by the
-    degradation path so a bounded Monte-Carlo fallback cannot itself
-    be killed by the already-exhausted budget. *)
+(** Run [f] with charging suspended {e on the calling domain} (the
+    ambient budget resumes afterwards, with fuel spent so far intact).
+    Used by the degradation path so a bounded Monte-Carlo fallback
+    cannot itself be killed by the already-exhausted budget. *)
+
+(** {1 Cross-domain propagation}
+
+    The bridge the [pak_par] pool uses to make worker domains charge
+    the caller's budget. Library code rarely calls these directly. *)
+
+type snapshot
+(** The calling domain's current budget context: its scoped budget (if
+    any) and exempt flag. A snapshot aliases the scope's fuel cells
+    rather than copying them — re-installing it elsewhere shares the
+    fuel. *)
+
+val snapshot : unit -> snapshot
+(** Capture the calling domain's ambient scope and exempt flag. *)
+
+val under : snapshot -> (unit -> 'a) -> 'a
+(** [under snap f] runs [f] with [snap]'s scope and exempt flag
+    installed on the calling domain, restoring the domain's previous
+    context afterwards (also on exceptions, which propagate). Charges
+    made by [f] spend the snapshotted scope's shared fuel; budget
+    exhaustion raises here exactly as it would have in the snapshotting
+    domain. *)
 
 (** {1 Charge points}
 
-    All are no-ops (one load and branch) unless a budget is active. *)
+    All are no-ops (one load and branch) unless a budget is in scope. *)
 
 val active : bool ref
-(** Read-only fast-path switch, true while a budget is installed. *)
+(** Read-only fast-path switch: true while the global budget is
+    installed or any domain holds a scoped budget. *)
 
 val charge_points : int -> unit
 val charge_nodes : int -> unit
@@ -92,6 +136,7 @@ val check_deadline : unit -> unit
 (** Explicit deadline check, for long loops with no natural fuel. *)
 
 val spent : unit -> (string * int) list
-(** Fuel spent under the current budget, by charge-point name
-    ([points], [nodes], [limbs], [iters]) — for error messages and
-    the bench harness. *)
+(** Fuel spent under the ambient budget (the calling domain's scope,
+    else the global one), by charge-point name ([points], [nodes],
+    [limbs], [iters]) — for error messages and the bench harness.
+    Totals include charges made by every domain sharing the budget. *)

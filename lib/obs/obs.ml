@@ -1,6 +1,10 @@
-(* Process-global observability state. The null sink is the [on = false]
-   state: every instrumentation site reduces to one load and branch, so
-   hot paths keep their uninstrumented cost profile. *)
+(* Process-global, domain-safe observability state. The null sink is
+   the [on = false] state: every instrumentation site reduces to one
+   load and branch, so hot paths keep their uninstrumented cost
+   profile. With a sink enabled, counter bumps are single atomic adds
+   (no lock on the hot path); registry lookups, span statistics and
+   trace emission — all rare or already channel-bound — share one
+   mutex. *)
 
 let on = ref false
 
@@ -8,32 +12,43 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
+(* One lock for everything that is not a counter bump: the two
+   registries, span-statistic updates and trace emission. Contention is
+   negligible — spans wrap whole engine calls, and registry lookups
+   happen once per counter per module load. *)
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
+
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt counter_registry name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counter_registry name c;
-    c
+  locked (fun () ->
+      match Hashtbl.find_opt counter_registry name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.add counter_registry name c;
+        c)
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
-let value c = c.c_value
+let incr c = if !on then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if !on then ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
 
 let counters () =
-  Hashtbl.fold (fun name c acc -> (name, c.c_value) :: acc) counter_registry []
+  locked (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_value) :: acc) counter_registry [])
   |> List.sort compare
 
 let counter_value name =
-  match Hashtbl.find_opt counter_registry name with Some c -> c.c_value | None -> 0
+  match locked (fun () -> Hashtbl.find_opt counter_registry name) with
+  | Some c -> Atomic.get c.c_value
+  | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -43,7 +58,8 @@ type span_stat = { mutable s_count : int; mutable s_total : float }
 
 let span_registry : (string, span_stat) Hashtbl.t = Hashtbl.create 32
 
-let span_stat name =
+(* Callers hold [lock]. *)
+let span_stat_locked name =
   match Hashtbl.find_opt span_registry name with
   | Some s -> s
   | None ->
@@ -52,16 +68,18 @@ let span_stat name =
     s
 
 let spans () =
-  Hashtbl.fold (fun name s acc -> (name, s.s_count, s.s_total) :: acc) span_registry []
+  locked (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s.s_count, s.s_total) :: acc) span_registry [])
   |> List.sort compare
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counter_registry;
-  Hashtbl.iter
-    (fun _ s ->
-      s.s_count <- 0;
-      s.s_total <- 0.)
-    span_registry
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counter_registry;
+      Hashtbl.iter
+        (fun _ s ->
+          s.s_count <- 0;
+          s.s_total <- 0.)
+        span_registry)
 
 (* ------------------------------------------------------------------ *)
 (* Trace sink (Chrome trace_event JSON array)                          *)
@@ -90,44 +108,56 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Callers hold [lock]: the channel and [first] are shared. *)
 let emit_raw tr json =
   if tr.first then tr.first <- false else output_string tr.ch ",\n";
   output_string tr.ch json
 
 (* Timestamps are microseconds since the trace opened, from [Sys.time]
    (processor time): monotone within a process, which is all the trace
-   viewer needs. *)
+   viewer needs. Under parallel execution the process clock advances
+   with total CPU work, so concurrent spans overlap in the viewer but
+   durations read as CPU time, not wall time. *)
 let usec tr t = (t -. tr.t0) *. 1e6
 
-let emit_complete name ~t_start ~t_end =
+(* Each domain gets its own trace row: [tid] is the domain id, so a
+   parallel sweep renders as one lane per worker in Perfetto. *)
+let tid () = (Domain.self () :> int)
+
+(* Callers hold [lock]. *)
+let emit_complete_locked name ~t_start ~t_end =
   match !trace_state with
   | None -> ()
   | Some tr ->
     emit_raw tr
       (Printf.sprintf
-         "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
-         (json_escape name) (usec tr t_start) (usec tr (max t_end t_start)))
+         "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+         (json_escape name) (usec tr t_start) (usec tr (max t_end t_start)) (tid ()))
 
 let emit_counter_sample tr name v =
   emit_raw tr
     (Printf.sprintf
-       "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"value\":%d}}"
-       (json_escape name) (usec tr (now ())) v)
+       "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%d}}"
+       (json_escape name) (usec tr (now ())) (tid ()) v)
 
 let trace_stop () =
-  match !trace_state with
-  | None -> ()
-  | Some tr ->
-    List.iter (fun (name, v) -> emit_counter_sample tr name v) (counters ());
-    output_string tr.ch "\n]\n";
-    close_out tr.ch;
-    trace_state := None
+  locked (fun () ->
+      match !trace_state with
+      | None -> ()
+      | Some tr ->
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_value) :: acc) counter_registry []
+        |> List.sort compare
+        |> List.iter (fun (name, v) -> emit_counter_sample tr name v);
+        output_string tr.ch "\n]\n";
+        close_out tr.ch;
+        trace_state := None)
 
 let trace_to file =
   trace_stop ();
   let ch = open_out file in
-  output_string ch "[\n";
-  trace_state := Some { ch; first = true; t0 = now () };
+  locked (fun () ->
+      output_string ch "[\n";
+      trace_state := Some { ch; first = true; t0 = now () });
   enable ()
 
 (* ------------------------------------------------------------------ *)
@@ -137,13 +167,14 @@ let trace_to file =
 let span name f =
   if not !on then f ()
   else begin
-    let stat = span_stat name in
     let t0 = now () in
     let finish () =
       let t1 = now () in
-      stat.s_count <- stat.s_count + 1;
-      stat.s_total <- stat.s_total +. (t1 -. t0);
-      emit_complete name ~t_start:t0 ~t_end:t1
+      locked (fun () ->
+          let stat = span_stat_locked name in
+          stat.s_count <- stat.s_count + 1;
+          stat.s_total <- stat.s_total +. (t1 -. t0);
+          emit_complete_locked name ~t_start:t0 ~t_end:t1)
     in
     match f () with
     | v ->

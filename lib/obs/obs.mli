@@ -14,9 +14,15 @@
       incrementally to a file ({!trace_to}), loadable in
       [about:tracing] / Perfetto.
 
-    Counters and spans are process-global. Instrumented code must not
-    change observable results: enabling or disabling any sink leaves
-    every computation bit-identical (tested by the qcheck suite). *)
+    Counters and spans are process-global and {e domain-safe}: counter
+    bumps are single atomic adds (no lock on the hot path, no lost
+    updates under parallel sweeps), while registry lookups, span
+    statistics and trace emission serialize on one internal mutex.
+    Trace events carry the emitting domain's id as their [tid], so a
+    parallel run renders as one lane per worker in Perfetto.
+    Instrumented code must not change observable results: enabling or
+    disabling any sink leaves every computation bit-identical (tested
+    by the qcheck suite). *)
 
 val on : bool ref
 (** Master switch read on every instrumentation fast path. Treat as
@@ -44,10 +50,10 @@ val counter : string -> counter
     group related counters in summaries. *)
 
 val incr : counter -> unit
-(** Add one; a no-op unless {!on}. *)
+(** Add one (atomically); a no-op unless {!on}. *)
 
 val add : counter -> int -> unit
-(** Add [n]; a no-op unless {!on}. *)
+(** Add [n] (atomically); a no-op unless {!on}. *)
 
 val value : counter -> int
 

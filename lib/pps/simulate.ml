@@ -95,6 +95,65 @@ let estimate_cond tree ~event ~given ~samples ~seed =
   Obs.add c_accepted !given_hits;
   if !given_hits = 0 then None else Some (Q.of_ints !hits !given_hits)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel estimation with splittable seeds                           *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Pak_par.Pool
+
+let sample_block = 1024
+
+(* SplitMix-style finalizer over (seed, block): every fixed-size block
+   of samples gets its own independent stream, derived from the block
+   INDEX rather than from whichever domain runs it. The estimate is
+   therefore a pure function of (seed, samples) — the same for every
+   pool size, including no pool at all. *)
+let mix_seed seed b =
+  let z = (seed + ((b + 1) * 0x9E3779B9)) land max_int in
+  let z = (z lxor (z lsr 16)) * 0x85EBCA6B land max_int in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 land max_int in
+  (z lxor (z lsr 16)) land max_int
+
+let block_counts tree ~event ~given leaves ~seed ~n =
+  let rng = Prng.create seed in
+  let hits = ref 0 and given_hits = ref 0 in
+  for _ = 1 to n do
+    let r = walk tree rng leaves in
+    match given with
+    | None -> if Bitset.mem event r then incr hits
+    | Some g ->
+      if Bitset.mem g r then begin
+        incr given_hits;
+        if Bitset.mem event r then incr hits
+      end
+  done;
+  (!hits, !given_hits)
+
+let par_counts ?pool tree ~event ~given ~samples ~seed =
+  let leaves = leaf_index tree in
+  let nblocks = (samples + sample_block - 1) / sample_block in
+  let blocks =
+    Array.init nblocks (fun b ->
+        (b, min sample_block (samples - (b * sample_block))))
+  in
+  let count (b, n) = block_counts tree ~event ~given leaves ~seed:(mix_seed seed b) ~n in
+  let combine (h1, g1) (h2, g2) = (h1 + h2, g1 + g2) in
+  Obs.add c_samples samples;
+  match pool with
+  | Some pool -> Pool.map_reduce pool ~map:count ~reduce:combine ~init:(0, 0) blocks
+  | None -> Array.fold_left (fun acc bn -> combine acc (count bn)) (0, 0) blocks
+
+let estimate_par ?pool tree ~event ~samples ~seed =
+  if samples <= 0 then invalid_arg "Simulate.estimate_par: need at least one sample";
+  let hits, _ = par_counts ?pool tree ~event ~given:None ~samples ~seed in
+  Q.of_ints hits samples
+
+let estimate_cond_par ?pool tree ~event ~given ~samples ~seed =
+  if samples <= 0 then invalid_arg "Simulate.estimate_cond_par: need at least one sample";
+  let hits, given_hits = par_counts ?pool tree ~event ~given:(Some given) ~samples ~seed in
+  Obs.add c_accepted given_hits;
+  if given_hits = 0 then None else Some (Q.of_ints hits given_hits)
+
 let standard_error ~p ~samples =
   let pf = Q.to_float p in
   sqrt (pf *. (1. -. pf) /. float_of_int samples)

@@ -26,6 +26,37 @@ val estimate_cond :
   Tree.t -> event:Bitset.t -> given:Bitset.t -> samples:int -> seed:int -> Q.t option
 (** Empirical conditional frequency; [None] if no sample hit [given]. *)
 
+(** {1 Parallel estimation}
+
+    Samples are drawn in fixed blocks of {!sample_block}; block [b] of
+    seed [s] uses the stream seeded by a SplitMix-style mix of [(s, b)].
+    Because streams attach to block {e indices}, not domains, the
+    result is a pure function of [(seed, samples)]: identical for every
+    pool size and for [?pool:None] — stronger than mere per-job-count
+    reproducibility. The parallel estimators draw from different
+    streams than {!estimate}/{!estimate_cond}, so their values differ
+    from the sequential ones by sampling noise (both converge to
+    [Tree.measure]). *)
+
+val sample_block : int
+(** Number of samples per independently-seeded block (1024). *)
+
+val estimate_par :
+  ?pool:Pak_par.Pool.t -> Tree.t -> event:Bitset.t -> samples:int -> seed:int -> Q.t
+(** Like {!estimate}, computed block-wise across the pool's domains
+    (sequentially when [pool] is absent — same result either way). *)
+
+val estimate_cond_par :
+  ?pool:Pak_par.Pool.t ->
+  Tree.t ->
+  event:Bitset.t ->
+  given:Bitset.t ->
+  samples:int ->
+  seed:int ->
+  Q.t option
+(** Like {!estimate_cond}, computed block-wise across the pool's
+    domains. [None] iff no sample hit [given]. *)
+
 val standard_error : p:Q.t -> samples:int -> float
 (** [sqrt(p(1-p)/n)] — the binomial standard error, for tolerance
     checks in tests and harnesses. *)

@@ -1,0 +1,116 @@
+open Pak_rational
+module Obs = Pak_obs.Obs
+module Pool = Pak_par.Pool
+
+let c_checked = Obs.counter "sweep.systems_checked"
+let c_skipped = Obs.counter "sweep.systems_skipped"
+
+type check = Expectation | Sufficiency | Lemma43 | Necessity | Pak_corollary | Kop
+
+let all_checks = [ Expectation; Sufficiency; Lemma43; Necessity; Pak_corollary; Kop ]
+
+let check_name = function
+  | Expectation -> "thm62"
+  | Sufficiency -> "thm42"
+  | Lemma43 -> "lemma43"
+  | Necessity -> "lemma51"
+  | Pak_corollary -> "cor72"
+  | Kop -> "kop"
+
+let of_name = function
+  | "thm62" -> Some Expectation
+  | "thm42" -> Some Sufficiency
+  | "lemma43" -> Some Lemma43
+  | "lemma51" -> Some Necessity
+  | "cor72" -> Some Pak_corollary
+  | "kop" -> Some Kop
+  | _ -> None
+
+let paper_result = function
+  | Expectation -> "Theorem 6.2"
+  | Sufficiency -> "Theorem 4.2"
+  | Lemma43 -> "Lemma 4.3(b)"
+  | Necessity -> "Lemma 5.1"
+  | Pak_corollary -> "Corollary 7.2"
+  | Kop -> "Lemma F.1"
+
+type report = {
+  check : check;
+  eps : Q.t;
+  first_seed : int;
+  count : int;
+  checked : int;
+  skipped : int;
+  violations : int list;
+}
+
+let passed r = r.violations = [] && r.checked > 0
+
+type outcome = Checked of bool | Skipped
+
+(* One seed: generate, pick, check. A pure function of
+   (params, eps, check, seed) — the property every determinism
+   guarantee of this module rests on. The per-seed semantics mirror
+   the reproduction bench's random sweeps exactly. *)
+let run_seed ~params ~eps check seed =
+  let tree = Gen.tree ~params seed in
+  match Gen.pick_proper_action tree ~seed with
+  | None ->
+    Obs.incr c_skipped;
+    Skipped
+  | Some (agent, act) ->
+    Obs.incr c_checked;
+    let fact = Gen.past_based_fact tree ~seed in
+    let ok =
+      match check with
+      | Expectation ->
+        let r = Theorems.expectation_identity fact ~agent ~act in
+        r.Theorems.independent && r.Theorems.identity
+      | Sufficiency ->
+        (match Belief.min_at_action fact ~agent ~act with
+         | None -> false
+         | Some p -> (Theorems.sufficiency fact ~agent ~act ~p).Theorems.respected)
+      | Lemma43 -> (Theorems.lemma43 fact ~agent ~act).Theorems.independent
+      | Necessity ->
+        let p = Constr.mu_given_action fact ~agent ~act in
+        (Theorems.necessity_exists fact ~agent ~act ~p).Theorems.respected
+      | Pak_corollary -> (Theorems.pak_corollary fact ~agent ~act ~eps).Theorems.respected
+      | Kop -> (Theorems.kop fact ~agent ~act).Theorems.respected
+    in
+    Checked ok
+
+let run ?pool ?(params = Gen.default_params) ?(eps = Q.of_ints 1 10) check ~first_seed ~count =
+  if count < 0 then invalid_arg "Sweep.run: negative count";
+  let seeds = Array.init count (fun i -> first_seed + i) in
+  let eval seed = run_seed ~params ~eps check seed in
+  (* Pool.map assembles outcomes in seed order whatever the schedule,
+     so folding them here yields a job-count-independent report. *)
+  let outcomes =
+    match pool with Some pool -> Pool.map pool eval seeds | None -> Array.map eval seeds
+  in
+  let checked = ref 0 and skipped = ref 0 and violations = ref [] in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Skipped -> incr skipped
+      | Checked ok ->
+        incr checked;
+        if not ok then violations := seeds.(i) :: !violations)
+    outcomes;
+  { check; eps; first_seed; count; checked = !checked; skipped = !skipped;
+    violations = List.rev !violations }
+
+let run_all ?pool ?params ?eps ~first_seed ~count () =
+  List.map (fun check -> run ?pool ?params ?eps check ~first_seed ~count) all_checks
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-8s (%s): seeds %d..%d: %d checked, %d skipped, %d violations  %s"
+    (check_name r.check) (paper_result r.check) r.first_seed
+    (r.first_seed + r.count - 1)
+    r.checked r.skipped
+    (List.length r.violations)
+    (if passed r then "OK" else "FAIL");
+  if r.violations <> [] then begin
+    Format.fprintf fmt "@\n  violating seeds:";
+    List.iter (fun s -> Format.fprintf fmt " %d" s) r.violations
+  end

@@ -1,5 +1,5 @@
-(* fuzz [--iters N] [--seed S] [--corpus DIR] — in-process fuzzer for
-   the untrusted-input boundaries.
+(* fuzz [--iters N] [--seed S] [--corpus DIR] [--jobs J] — in-process
+   fuzzer for the untrusted-input boundaries.
 
    Feeds three input streams to Parser.parse_result and
    Tree_io.of_string_result, asserting the crash-free contract: every
@@ -14,6 +14,12 @@
    - the committed regression corpus, replayed first when --corpus is
      given.
 
+   Every iteration derives its own generator from (seed, iteration
+   index), so the probed inputs — and therefore any finding — are
+   identical for every --jobs value; parallelism only divides the wall
+   time. Findings are buffered per chunk and printed in iteration
+   order after the run.
+
    Exits 0 after N crash-free iterations, printing a one-line summary;
    on the first contract violation prints the input (escaped) and
    exits 1, so the offender can be added to test/corpus/. Used by CI
@@ -25,9 +31,10 @@ module Error = Pak.Error
 let iters = ref 10_000
 let seed = ref 0
 let corpus = ref ""
+let jobs = ref 1
 
 let usage () =
-  prerr_endline "usage: fuzz [--iters N] [--seed S] [--corpus DIR]";
+  prerr_endline "usage: fuzz [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
   exit 2
 
 let rec parse_args = function
@@ -40,6 +47,9 @@ let rec parse_args = function
     parse_args rest
   | "--corpus" :: v :: rest ->
     corpus := v;
+    parse_args rest
+  | "--jobs" :: v :: rest ->
+    (match int_of_string_opt v with Some n when n > 0 -> jobs := n | _ -> usage ());
     parse_args rest
   | _ -> usage ()
 
@@ -60,66 +70,74 @@ let boundaries =
 
 (* Each probe runs under a modest budget so a pathological input that
    is merely slow (rather than crashing) also counts as a finding:
-   the contract includes "never a hang". *)
+   the contract includes "never a hang". The budget scope is
+   domain-local, so parallel probes cannot exhaust each other. *)
 let probe_limits = Budget.limits ~max_nodes:100_000 ~max_limbs:1_000_000 ~timeout_ms:2_000 ()
 
-let crashes = ref 0
+let crashes = Atomic.make 0
 
+(* [Some report] on a contract violation. *)
 let probe name boundary input =
   match Budget.with_budget probe_limits (fun () -> boundary input) with
-  | Ok Accepted | Ok (Rejected _) -> ()
-  | Error (_ : Error.t) -> () (* budget exhaustion is a typed, contractual outcome *)
+  | Ok Accepted | Ok (Rejected _) -> None
+  | Error (_ : Error.t) -> None (* budget exhaustion is a typed, contractual outcome *)
   | exception exn ->
-    incr crashes;
-    Printf.printf "CRASH %s: %s\n  input: %S\n" name (Printexc.to_string exn) input
+    ignore (Atomic.fetch_and_add crashes 1);
+    Some (Printf.sprintf "CRASH %s: %s\n  input: %S\n" name (Printexc.to_string exn) input)
 
 (* ------------------------------------------------------------------ *)
 (* Input generation                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let rand = ref 0
+type rng = { mutable st : int }
 
-let init_rand s = rand := (s lxor 0x9e3779b9) land max_int
+(* SplitMix-style mix of (seed, iteration): each iteration owns an
+   independent stream keyed by its INDEX, so the fuzzed inputs do not
+   depend on how iterations are divided among domains. *)
+let rng_for s i =
+  let z = (s + ((i + 1) * 0x9E3779B9)) land max_int in
+  let z = (z lxor (z lsr 16)) * 0x85EBCA6B land max_int in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 land max_int in
+  { st = ((z lxor (z lsr 16)) lxor 0x9e3779b9) land max_int }
 
-(* xorshift-ish; deterministic in --seed, independent of Random. *)
-let next () =
-  let x = !rand in
+(* xorshift-ish; deterministic, independent of Random. *)
+let next r =
+  let x = r.st in
   let x = x lxor (x lsl 13) land max_int in
   let x = x lxor (x lsr 7) in
   let x = x lxor (x lsl 17) land max_int in
-  rand := x;
+  r.st <- x;
   x
 
-let random_bytes () =
-  let len = next () mod 401 in
-  String.init len (fun _ -> Char.chr (next () mod 256))
+let random_bytes r =
+  let len = next r mod 401 in
+  String.init len (fun _ -> Char.chr (next r mod 256))
 
 let structural = [| '('; ')'; '"'; '\\'; '-'; '/'; ' '; '['; ']'; '>'; '='; '\000' |]
 
-let mutate s =
+let mutate r s =
   if String.length s = 0 then s
   else begin
-    let b = Bytes.of_string s in
-    let edits = 1 + (next () mod 8) in
-    let out = ref (Bytes.to_string b) in
+    let edits = 1 + (next r mod 8) in
+    let out = ref s in
     for _ = 1 to edits do
       let s = !out in
       let n = String.length s in
       if n > 0 then begin
-        let pos = next () mod n in
+        let pos = next r mod n in
         out :=
-          (match next () mod 5 with
+          (match next r mod 5 with
            | 0 ->
              String.sub s 0 pos
-             ^ String.make 1 (Char.chr (next () mod 256))
+             ^ String.make 1 (Char.chr (next r mod 256))
              ^ String.sub s (pos + 1) (n - pos - 1)
            | 1 ->
              String.sub s 0 pos
-             ^ String.make 1 structural.(next () mod Array.length structural)
+             ^ String.make 1 structural.(next r mod Array.length structural)
              ^ String.sub s pos (n - pos)
            | 2 -> String.sub s 0 pos ^ String.sub s (pos + 1) (n - pos - 1)
            | 3 ->
-             let len = min (next () mod 32) (n - pos) in
+             let len = min (next r mod 32) (n - pos) in
              String.sub s 0 (pos + len) ^ String.sub s pos (n - pos)
            | _ -> String.sub s 0 pos)
       end
@@ -155,26 +173,40 @@ let replay_corpus dir =
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> really_input_string ic (in_channel_length ic))
       in
-      List.iter (fun (bname, b) -> probe (bname ^ "/" ^ name) b input) boundaries)
+      List.iter
+        (fun (bname, b) ->
+          match probe (bname ^ "/" ^ name) b input with
+          | None -> ()
+          | Some report -> print_string report)
+        boundaries)
     files;
   Array.length files
 
 let () =
   parse_args (List.tl (Array.to_list Sys.argv));
-  init_rand !seed;
   let replayed = if !corpus = "" then 0 else replay_corpus !corpus in
-  for i = 0 to !iters - 1 do
+  (* Force the seed document before any domain spawns: Lazy values are
+     not safe to force concurrently. *)
+  let doc = Lazy.force seed_doc in
+  let run_iteration i =
+    let r = rng_for !seed i in
     let input =
       match i mod 3 with
-      | 0 -> random_bytes ()
-      | 1 -> mutate seed_formulas.(next () mod Array.length seed_formulas)
-      | _ -> mutate (Lazy.force seed_doc)
+      | 0 -> random_bytes r
+      | 1 -> mutate r seed_formulas.(next r mod Array.length seed_formulas)
+      | _ -> mutate r doc
     in
     (* Round-robin keeps both boundaries at iters/2 probes minimum;
        formula mutants also go to tree_io and vice versa, which is the
        point — boundaries must reject foreign input gracefully too. *)
-    List.iter (fun (name, b) -> probe name b input) boundaries
-  done;
+    List.filter_map (fun (name, b) -> probe name b input) boundaries
+  in
+  let indices = Array.init !iters Fun.id in
+  let findings =
+    if !jobs <= 1 then Array.map run_iteration indices
+    else Pool.with_pool ~jobs:!jobs (fun pool -> Pool.map pool run_iteration indices)
+  in
+  Array.iter (List.iter print_string) findings;
   Printf.printf "fuzz: %d iterations x %d boundaries (+%d corpus files), %d crashes (seed %d)\n"
-    !iters (List.length boundaries) replayed !crashes !seed;
-  if !crashes > 0 then exit 1
+    !iters (List.length boundaries) replayed (Atomic.get crashes) !seed;
+  if Atomic.get crashes > 0 then exit 1
