@@ -325,6 +325,10 @@ let scaling_series () =
    a counter diff even when wall times are too noisy to compare.       *)
 (* ------------------------------------------------------------------ *)
 
+(* Version stamp of the BENCH_obs.json / BENCH_par.json layout; bumped
+   on incompatible change. v1 was the unversioned PR 1-3 layout. *)
+let bench_schema_version = 2
+
 let obs_scenarios () =
   let fs_tree = FS.tree FS.Original in
   let fs_both = FS.phi_both fs_tree in
@@ -410,7 +414,8 @@ let export_obs () =
   Obs.reset ();
   if not was_enabled then Obs.disable ();
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"benchmarks\": [\n";
+  Buffer.add_string buf (Printf.sprintf "{\n  \"schema_version\": %d,\n" bench_schema_version);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i (name, ms, counters) ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -430,6 +435,26 @@ let export_obs () =
   close_out out;
   Printf.printf "\n== Observability export: BENCH_obs.json (%d scenarios) ==\n"
     (List.length rows)
+
+(* Metrics-snapshot mode (--metrics-json FILE): run the deterministic
+   obs scenarios with full instrumentation — each wrapped in a
+   "bench.<name>" span so the snapshot carries a span tree — and write
+   one versioned Obs.Snapshot. Counters, span call counts and
+   histogram sample totals in the file are exact work counts, so
+   tools/bench_diff.exe can hold them to a committed baseline
+   (bench/baselines/bench.json) byte-exactly while wall times get a
+   tolerance. *)
+let export_snapshot file =
+  let scenarios = obs_scenarios () in
+  let was_enabled = Obs.enabled () in
+  Obs.reset ();
+  Obs.enable ();
+  List.iter (fun (name, f) -> Obs.span ("bench." ^ name) f) scenarios;
+  Obs.Snapshot.write file (Obs.Snapshot.capture ());
+  Obs.reset ();
+  if not was_enabled then Obs.disable ();
+  Printf.printf "\n== Metrics snapshot: %s (%d scenarios, schema v%d) ==\n" file
+    (List.length scenarios) Obs.Snapshot.schema_version
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing benchmarks                                           *)
@@ -598,7 +623,7 @@ let export_par () =
   in
   let serial_ms timings = match timings with (1, ms, _) :: _ -> ms | _ -> nan in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "{\n  \"schema_version\": %d,\n" bench_schema_version);
   Buffer.add_string buf
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
   Buffer.add_string buf "  \"benchmarks\": [\n";
@@ -632,7 +657,18 @@ let export_par () =
       print_newline ())
     rows
 
+(* Value of "--metrics-json FILE" in argv, if present. *)
+let metrics_json_arg () =
+  let n = Array.length Sys.argv in
+  let rec find i =
+    if i >= n then None
+    else if Sys.argv.(i) = "--metrics-json" && i + 1 < n then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let () =
+  Budget.set_wall_clock (Some Unix.gettimeofday);
   Printf.printf "Probably Approximately Knowing — reproduction harness\n";
   Printf.printf "(all probabilities exact rationals; OK = exact equality)\n";
   exp_e1 ();
@@ -647,6 +683,7 @@ let () =
   scaling_series ();
   export_obs ();
   export_par ();
+  Option.iter export_snapshot (metrics_json_arg ());
   Printf.printf "\n== Reproduction summary: %s ==\n"
     (if !failures = 0 then "ALL CLAIMS REPRODUCED EXACTLY"
      else Printf.sprintf "%d MISMATCHES" !failures);

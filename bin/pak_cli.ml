@@ -244,8 +244,14 @@ let obs_t =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Record a Chrome trace_event-format JSON file, loadable in \
                    about:tracing or Perfetto. Implies metric collection.")
+  and metrics_json_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"Write a versioned machine-readable metrics snapshot (counters, \
+                   gauges, latency histograms, span tree) to $(docv) on exit. Implies \
+                   metric collection; compare snapshots with tools/bench_diff.exe.")
   in
-  let setup metrics trace =
+  let setup metrics trace metrics_json =
     (match trace with
      | None -> ()
      | Some file ->
@@ -254,12 +260,19 @@ let obs_t =
           Printf.eprintf "pak: cannot open trace file: %s\n" msg;
           exit 1);
        at_exit Obs.trace_stop);
+    (match metrics_json with
+     | None -> ()
+     | Some file ->
+       Obs.enable ();
+       at_exit (fun () ->
+           try Obs.Snapshot.write file (Obs.Snapshot.capture ())
+           with Sys_error msg -> Printf.eprintf "pak: cannot write metrics snapshot: %s\n" msg));
     if metrics then begin
       Obs.enable ();
       at_exit (fun () -> Obs.print_summary stderr)
     end
   in
-  Term.(const setup $ metrics_t $ trace_t)
+  Term.(const setup $ metrics_t $ trace_t $ metrics_json_t)
 
 (* Resource-budget options, shared by every subcommand. Like [obs_t]
    the term's value is (), evaluated for its effect: installing the
@@ -289,7 +302,8 @@ let guard_t =
   and timeout_t =
     Arg.(value & opt (some int) None
          & info [ "timeout-ms" ] ~docv:"MS"
-             ~doc:"Abort (exit 4) after $(docv) milliseconds of processor time.")
+             ~doc:"Abort (exit 4) after $(docv) milliseconds of wall-clock time \
+                   (jobs-invariant).")
   in
   let setup max_points max_nodes max_limbs max_iters timeout_ms =
     let lim = { Budget.max_points; max_nodes; max_limbs; max_iters; timeout_ms } in
@@ -437,7 +451,13 @@ let profile_cmd =
   let formula_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FORMULA" ~doc:"Formula text.")
   in
-  let run () name text prm =
+  let tree_arg =
+    Arg.(value & flag
+         & info [ "tree" ]
+             ~doc:"Also print the hierarchical span tree (calls, inclusive and self \
+                   time per span path).")
+  in
+  let run () name text prm show_tree =
     handle (fun () ->
         Result.bind (find_system name prm) (fun inst ->
             match Parser.parse_result text with
@@ -459,6 +479,10 @@ let profile_cmd =
               Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
               Printf.printf "eval    : %.3f ms\n\n" eval_ms;
               Obs.print_summary stdout;
+              if show_tree then begin
+                print_newline ();
+                Obs.print_span_tree stdout
+              end;
               Ok 0))
   in
   Cmd.v
@@ -471,9 +495,10 @@ let profile_cmd =
                enabled, then prints the metrics table: memoization hits and misses, \
                fixpoint iteration counts, tree points visited, measure calls, bitset \
                set operations, and per-operator evaluation spans. Combine with \
-               $(b,--trace) to also record a Chrome trace-event file."
+               $(b,--tree) for the hierarchical span tree, or with $(b,--trace) to \
+               also record a Chrome trace-event file."
          ])
-    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t)
+    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t $ tree_arg)
 
 let dot_cmd =
   let run () name prm =
@@ -728,6 +753,10 @@ let random_cmd =
 
 let () =
   Printexc.record_backtrace false;
+  (* The CLI links Unix anyway, so deadlines get the wall clock the
+     zero-dependency guard layer cannot provide itself: --timeout-ms
+     measures wall time and is jobs-invariant. *)
+  Budget.set_wall_clock (Some Unix.gettimeofday);
   let doc = "Probably Approximately Knowing: probabilistic beliefs at action time" in
   let man =
     [ `S Manpage.s_exit_status;

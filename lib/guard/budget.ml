@@ -28,13 +28,32 @@ let is_unlimited l = l = unlimited
    [active] stays the single load-and-branch on the uncharged fast
    path; it is true while the global budget is installed or any domain
    holds a local scope. *)
+(* The zero-dependency guard layer has no wall clock of its own:
+   [Sys.time] is processor time, which accumulates across running
+   domains, so a CPU deadline burns roughly [jobs]x faster than wall
+   time under the pool. Executables that may link [Unix] (the CLI, the
+   bench) inject [Unix.gettimeofday] here once at startup; deadlines
+   created while a wall clock is installed are then measured in wall
+   time, making [--timeout-ms] jobs-invariant. Without injection the
+   documented CPU-time behavior is unchanged. *)
+let wall_clock : (unit -> float) option ref = ref None
+
+let set_wall_clock c = wall_clock := c
+
+(* The clock function is captured at budget creation, so un-installing
+   the wall clock later cannot change the meaning of a live deadline. *)
+type deadline =
+  | No_deadline
+  | Cpu_deadline of float (* Sys.time seconds, absolute *)
+  | Wall_deadline of (unit -> float) * float (* clock, absolute *)
+
 type state = {
   lim : limits;
   points : int Atomic.t;
   nodes : int Atomic.t;
   limbs : int Atomic.t;
   iters : int Atomic.t;
-  deadline : float option; (* Sys.time seconds, absolute *)
+  deadline : deadline;
   countdown : int Atomic.t; (* charges until the next deadline check *)
 }
 
@@ -43,8 +62,12 @@ let active = ref false
 let fresh lim =
   let deadline =
     match lim.timeout_ms with
-    | None -> None
-    | Some ms -> Some (Sys.time () +. (float_of_int ms /. 1000.))
+    | None -> No_deadline
+    | Some ms ->
+      let s = float_of_int ms /. 1000. in
+      (match !wall_clock with
+       | Some clk -> Wall_deadline (clk, clk () +. s)
+       | None -> Cpu_deadline (Sys.time () +. s))
   in
   { lim;
     points = Atomic.make 0;
@@ -93,15 +116,17 @@ let exceeded what limit used =
        (Error.makef Error.Budget_exceeded "%s budget exceeded (limit %d, needed %d)" what
           limit used))
 
+let deadline_expired = function
+  | No_deadline -> false
+  | Cpu_deadline d -> Sys.time () > d
+  | Wall_deadline (clk, d) -> clk () > d
+
 let check_deadline_now s =
-  match s.deadline with
-  | None -> ()
-  | Some d ->
-    if Sys.time () > d then
-      raise
-        (Error.Error
-           (Error.makef Error.Budget_exceeded "deadline of %d ms exceeded"
-              (match s.lim.timeout_ms with Some ms -> ms | None -> 0)))
+  if deadline_expired s.deadline then
+    raise
+      (Error.Error
+         (Error.makef Error.Budget_exceeded "deadline of %d ms exceeded"
+            (match s.lim.timeout_ms with Some ms -> ms | None -> 0)))
 
 let tick s =
   if Atomic.fetch_and_add s.countdown (-1) <= 0 then begin
@@ -209,3 +234,34 @@ let spent () =
       ("limbs", Atomic.get s.limbs);
       ("iters", Atomic.get s.iters)
     ]
+
+(* Fuel and deadline slack as Obs gauges: sampled whenever a metrics
+   summary or snapshot is taken. Only limited fuel kinds report (an
+   unlimited kind has no "remaining" to speak of, and its spent total
+   is already a counter-like quantity visible via [spent]); with no
+   budget in scope the provider reports nothing, keeping snapshots of
+   unbudgeted runs free of noise. *)
+let () =
+  Pak_obs.Obs.register_gauges (fun () ->
+      match current () with
+      | None -> []
+      | Some s ->
+        let fuel name limit cell acc =
+          match limit with
+          | None -> acc
+          | Some l ->
+            let used = Atomic.get cell in
+            ("budget." ^ name ^ "_spent", float_of_int used)
+            :: ("budget." ^ name ^ "_remaining", float_of_int (Stdlib.max 0 (l - used)))
+            :: acc
+        in
+        let slack =
+          match s.deadline with
+          | No_deadline -> []
+          | Cpu_deadline d -> [ ("budget.deadline_slack_ms", (d -. Sys.time ()) *. 1e3) ]
+          | Wall_deadline (clk, d) -> [ ("budget.deadline_slack_ms", (d -. clk ()) *. 1e3) ]
+        in
+        fuel "points" s.lim.max_points s.points
+          (fuel "nodes" s.lim.max_nodes s.nodes
+             (fuel "limbs" s.lim.max_limbs s.limbs
+                (fuel "iters" s.lim.max_iters s.iters slack))))

@@ -14,11 +14,15 @@
       multiplication/division — bounds rational-arithmetic blowups;
     - {e iters}: fixpoint iterations of the [C_G]/[CB_G^q] greatest
       fixpoints in [Semantics.eval];
-    - {e deadline}: milliseconds of processor time from installation
-      (measured with [Sys.time], the same monotone-within-process
-      clock the trace sink uses — note that processor time accumulates
-      across running domains, so a 4-domain computation consumes a
-      deadline roughly 4× faster than wall time).
+    - {e deadline}: milliseconds from installation. By default the
+      clock is [Sys.time] (processor time, the only clock available to
+      the zero-dependency guard layer) — note that processor time
+      accumulates across running domains, so a 4-domain computation
+      consumes a CPU deadline roughly 4× faster than wall time.
+      Executables that link [Unix] can inject a wall clock with
+      {!set_wall_clock}; deadlines created afterwards are then
+      measured in wall time and [--timeout-ms] becomes jobs-invariant
+      (the CLI and the bench do this at startup).
 
     {2 Scopes and domains}
 
@@ -61,6 +65,15 @@ val limits :
   limits
 
 val is_unlimited : limits -> bool
+
+val set_wall_clock : (unit -> float) option -> unit
+(** Install (or remove, with [None]) the clock used for deadlines
+    created from now on: a function returning absolute seconds, e.g.
+    [Unix.gettimeofday] injected by an executable that links [Unix].
+    With a wall clock installed, [timeout_ms] measures wall time and is
+    jobs-invariant; without one it measures processor time via
+    [Sys.time]. The clock function is captured when a budget is
+    created, so changing it never retimes a live deadline. *)
 
 (** {1 Scoped and global enforcement} *)
 

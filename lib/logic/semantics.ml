@@ -10,6 +10,17 @@ let c_gfp_iters = Obs.counter "semantics.gfp_iters"
 let c_gfp_iters_ck = Obs.counter "semantics.gfp_iters.common_knowledge"
 let c_gfp_iters_cb = Obs.counter "semantics.gfp_iters.common_belief"
 
+(* Memo effectiveness as a sampled gauge: hits / (hits + misses).
+   Deterministic — both inputs are exact work counters — so snapshot
+   diffs can hold it to tolerance like any other gauge. Reported only
+   once any lookup happened, so unrelated workloads snapshot clean. *)
+let () =
+  Obs.register_gauges (fun () ->
+      let hits = Obs.value c_memo_hits and misses = Obs.value c_memo_misses in
+      let total = hits + misses in
+      if total = 0 then []
+      else [ ("semantics.memo_hit_rate", float_of_int hits /. float_of_int total) ])
+
 (* Span label per syntactic operator, so traces show where evaluation
    time goes by connective rather than by (unbounded) formula text. *)
 let op_tag : Formula.t -> string = function

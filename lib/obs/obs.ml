@@ -1,10 +1,10 @@
 (* Process-global, domain-safe observability state. The null sink is
    the [on = false] state: every instrumentation site reduces to one
    load and branch, so hot paths keep their uninstrumented cost
-   profile. With a sink enabled, counter bumps are single atomic adds
-   (no lock on the hot path); registry lookups, span statistics and
-   trace emission — all rare or already channel-bound — share one
-   mutex. *)
+   profile. With a sink enabled, counter bumps and histogram records
+   are single atomic adds (no lock on the hot path); registry lookups,
+   span statistics, span-tree folding and trace emission — all rare or
+   already channel-bound — share one mutex. *)
 
 let on = ref false
 
@@ -12,10 +12,11 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
-(* One lock for everything that is not a counter bump: the two
-   registries, span-statistic updates and trace emission. Contention is
-   negligible — spans wrap whole engine calls, and registry lookups
-   happen once per counter per module load. *)
+(* One lock for everything that is not a counter bump: the registries,
+   span-statistic and span-tree updates, gauge-provider registration
+   and trace emission. Contention is negligible — spans wrap whole
+   engine calls, and registry lookups happen once per counter per
+   module load. *)
 let lock = Mutex.create ()
 let locked f = Mutex.protect lock f
 
@@ -51,7 +52,88 @@ let counter_value name =
   | None -> 0
 
 (* ------------------------------------------------------------------ *)
-(* Spans                                                               *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Log-bucketed integer histograms with exact counts. Bucket 0 collects
+   every non-positive value; bucket [i >= 1] collects [2^(i-1), 2^i).
+   63 buckets therefore cover every OCaml int, so a record can never
+   fall outside the histogram. Buckets are atomics: recording is one
+   atomic add, the same hot-path discipline as counters. *)
+
+let n_buckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    bits v 0
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let bucket_hi i =
+  if i <= 0 then 0 else if i >= n_buckets - 1 then max_int else (1 lsl i) - 1
+
+type histogram = { h_name : string; h_buckets : int Atomic.t array }
+
+let histogram_registry : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+(* Callers hold [lock]. *)
+let histogram_locked name =
+  match Hashtbl.find_opt histogram_registry name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0) } in
+    Hashtbl.add histogram_registry name h;
+    h
+
+let histogram name = locked (fun () -> histogram_locked name)
+
+let record h v = if !on then ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1)
+
+let histogram_counts h = Array.map Atomic.get h.h_buckets
+
+let histograms () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name h acc -> (name, Array.map Atomic.get h.h_buckets) :: acc)
+        histogram_registry [])
+  |> List.sort compare
+
+let merge_counts a b =
+  Array.init (max (Array.length a) (Array.length b)) (fun i ->
+      (if i < Array.length a then a.(i) else 0) + if i < Array.length b then b.(i) else 0)
+
+let total_count counts = Array.fold_left ( + ) 0 counts
+
+(* Quantile estimate from bucket counts: find the bucket holding the
+   q-th sample and interpolate linearly inside it. Exact sample values
+   are gone, so the estimate is bucket-resolution (a factor of 2); the
+   counts themselves stay exact. *)
+let percentile counts q =
+  let q = Float.max 0. (Float.min 1. q) in
+  let total = total_count counts in
+  if total = 0 then 0.
+  else begin
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let rec find i cum =
+      if i >= Array.length counts then float_of_int (bucket_hi (Array.length counts - 1))
+      else begin
+        let c = counts.(i) in
+        if cum + c >= target then begin
+          let lo = float_of_int (bucket_lo i) and hi = float_of_int (bucket_hi i) in
+          if c = 0 then lo
+          else lo +. ((hi -. lo) *. (float_of_int (target - cum) /. float_of_int c))
+        end
+        else find (i + 1) (cum + c)
+      end
+    in
+    find 0 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spans: flat statistics                                              *)
 (* ------------------------------------------------------------------ *)
 
 type span_stat = { mutable s_count : int; mutable s_total : float }
@@ -72,14 +154,107 @@ let spans () =
       Hashtbl.fold (fun name s acc -> (name, s.s_count, s.s_total) :: acc) span_registry [])
   |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Spans: hierarchical statistics                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Each domain tracks its stack of open spans in domain-local storage;
+   at span exit the (path, duration) sample folds into one
+   process-global table keyed by the full path, so nested engine calls
+   render as a tree with inclusive and self time. Paths are stored
+   innermost-first (the natural push order); reporting reverses them.
+   Domains merge by path: a worker running a checker at top level
+   contributes to the same root node as the caller would. *)
+
+type tree_stat = { mutable t_count : int; mutable t_total : float }
+
+let tree_registry : (string list, tree_stat) Hashtbl.t = Hashtbl.create 32
+let path_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+(* Callers hold [lock]. *)
+let tree_stat_locked path =
+  match Hashtbl.find_opt tree_registry path with
+  | Some s -> s
+  | None ->
+    let s = { t_count = 0; t_total = 0. } in
+    Hashtbl.add tree_registry path s;
+    s
+
+type span_node = {
+  sn_name : string;
+  sn_path : string list;
+  sn_count : int;
+  sn_total : float;
+  sn_self : float;
+  sn_children : span_node list;
+}
+
+(* [path = prefix @ [leaf]]? Returns the leaf when so. *)
+let rec leaf_under prefix path =
+  match (prefix, path) with
+  | [], [ leaf ] -> Some leaf
+  | p :: ps, q :: qs when String.equal p q -> leaf_under ps qs
+  | _ -> None
+
+let span_tree () =
+  let entries =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun path st acc -> (List.rev path, st.t_count, st.t_total) :: acc)
+          tree_registry [])
+  in
+  let rec build prefix =
+    entries
+    |> List.filter_map (fun (path, c, t) ->
+           match leaf_under prefix path with
+           | Some leaf -> Some (leaf, c, t)
+           | None -> None)
+    |> List.sort compare
+    |> List.map (fun (leaf, c, t) ->
+           let path = prefix @ [ leaf ] in
+           let children = build path in
+           let child_total = List.fold_left (fun acc n -> acc +. n.sn_total) 0. children in
+           { sn_name = leaf;
+             sn_path = path;
+             sn_count = c;
+             sn_total = t;
+             (* Clamped: float rounding can push the children's sum a
+                hair past the parent's inclusive total. *)
+             sn_self = Float.max 0. (t -. child_total);
+             sn_children = children
+           })
+  in
+  build []
+
 let reset () =
   locked (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counter_registry;
       Hashtbl.iter
+        (fun _ h -> Array.iter (fun cell -> Atomic.set cell 0) h.h_buckets)
+        histogram_registry;
+      Hashtbl.iter
         (fun _ s ->
           s.s_count <- 0;
           s.s_total <- 0.)
-        span_registry)
+        span_registry;
+      Hashtbl.reset tree_registry)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Gauges are sampled, not accumulated: providers registered by other
+   layers (budget fuel in pak_guard, memo hit-rate in the semantics
+   engine) are polled when a summary or snapshot is taken. A provider
+   returning [] simply has nothing to report right now. *)
+
+let gauge_providers : (unit -> (string * float) list) list ref = ref []
+
+let register_gauges f = locked (fun () -> gauge_providers := f :: !gauge_providers)
+
+let gauges () =
+  let providers = locked (fun () -> !gauge_providers) in
+  List.concat_map (fun f -> f ()) providers |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
 (* Trace sink (Chrome trace_event JSON array)                          *)
@@ -124,15 +299,21 @@ let usec tr t = (t -. tr.t0) *. 1e6
    parallel sweep renders as one lane per worker in Perfetto. *)
 let tid () = (Domain.self () :> int)
 
-(* Callers hold [lock]. *)
-let emit_complete_locked name ~t_start ~t_end =
+(* Callers hold [lock]. The full span path rides along as an argument,
+   so the hierarchical tree survives into the exported trace even when
+   a viewer flattens the lanes. *)
+let emit_complete_locked name ~path ~t_start ~t_end =
   match !trace_state with
   | None -> ()
   | Some tr ->
     emit_raw tr
       (Printf.sprintf
-         "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
-         (json_escape name) (usec tr t_start) (usec tr (max t_end t_start)) (tid ()))
+         "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\
+          \"tid\":%d,\"args\":{\"path\":\"%s\"}}"
+         (json_escape name) (usec tr t_start)
+         (usec tr (max t_end t_start))
+         (tid ())
+         (json_escape (String.concat ";" (List.rev path))))
 
 let emit_counter_sample tr name v =
   emit_raw tr
@@ -167,14 +348,25 @@ let trace_to file =
 let span name f =
   if not !on then f ()
   else begin
+    let parent = Domain.DLS.get path_key in
+    let path = name :: parent in
+    Domain.DLS.set path_key path;
     let t0 = now () in
     let finish () =
       let t1 = now () in
+      Domain.DLS.set path_key parent;
+      let dt = Float.max 0. (t1 -. t0) in
+      let ns = int_of_float (dt *. 1e9) in
       locked (fun () ->
           let stat = span_stat_locked name in
           stat.s_count <- stat.s_count + 1;
-          stat.s_total <- stat.s_total +. (t1 -. t0);
-          emit_complete_locked name ~t_start:t0 ~t_end:t1)
+          stat.s_total <- stat.s_total +. dt;
+          let h = histogram_locked name in
+          ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of ns) 1);
+          let ts = tree_stat_locked path in
+          ts.t_count <- ts.t_count + 1;
+          ts.t_total <- ts.t_total +. dt;
+          emit_complete_locked name ~path ~t_start:t0 ~t_end:t1)
     in
     match f () with
     | v ->
@@ -196,15 +388,28 @@ let pp_summary fmt () =
    | [] -> Format.fprintf fmt "  (none registered)@\n"
    | cs ->
      List.iter (fun (name, v) -> Format.fprintf fmt "  %-42s %12d@\n" name v) cs);
+  (match gauges () with
+   | [] -> ()
+   | gs ->
+     Format.fprintf fmt "gauges:@\n";
+     List.iter (fun (name, v) -> Format.fprintf fmt "  %-42s %12.4f@\n" name v) gs);
   Format.fprintf fmt "spans:@\n";
   match spans () with
   | [] -> Format.fprintf fmt "  (none recorded)@\n"
   | ss ->
-    Format.fprintf fmt "  %-42s %10s %12s %12s@\n" "" "calls" "total ms" "mean us";
+    let hists = histograms () in
+    Format.fprintf fmt "  %-42s %10s %12s %12s %10s %10s %10s@\n" "" "calls" "total ms"
+      "mean us" "p50 us" "p90 us" "p99 us";
     List.iter
       (fun (name, count, total) ->
         let mean_us = if count = 0 then 0. else total /. float_of_int count *. 1e6 in
-        Format.fprintf fmt "  %-42s %10d %12.3f %12.3f@\n" name count (total *. 1e3) mean_us)
+        let p q =
+          match List.assoc_opt name hists with
+          | Some counts -> percentile counts q /. 1e3
+          | None -> 0.
+        in
+        Format.fprintf fmt "  %-42s %10d %12.3f %12.3f %10.1f %10.1f %10.1f@\n" name count
+          (total *. 1e3) mean_us (p 0.5) (p 0.9) (p 0.99))
       ss
 
 let print_summary ch =
@@ -212,9 +417,28 @@ let print_summary ch =
   pp_summary fmt ();
   Format.pp_print_flush fmt ()
 
+let pp_span_tree fmt () =
+  Format.fprintf fmt "span tree:@\n";
+  match span_tree () with
+  | [] -> Format.fprintf fmt "  (no spans recorded)@\n"
+  | roots ->
+    Format.fprintf fmt "  %-46s %10s %12s %12s@\n" "" "calls" "incl ms" "self ms";
+    let rec pp depth node =
+      let label = String.make (2 * depth) ' ' ^ node.sn_name in
+      Format.fprintf fmt "  %-46s %10d %12.3f %12.3f@\n" label node.sn_count
+        (node.sn_total *. 1e3) (node.sn_self *. 1e3);
+      List.iter (pp (depth + 1)) node.sn_children
+    in
+    List.iter (pp 0) roots
+
+let print_span_tree ch =
+  let fmt = Format.formatter_of_out_channel ch in
+  pp_span_tree fmt ();
+  Format.pp_print_flush fmt ()
+
 (* ------------------------------------------------------------------ *)
-(* Trace validation: a minimal JSON reader, enough to check that an
-   emitted trace is well-formed trace_event data.                      *)
+(* A minimal JSON reader: enough to validate emitted traces and to
+   parse metric snapshots back, with no external dependency.           *)
 (* ------------------------------------------------------------------ *)
 
 module Json = struct
@@ -350,31 +574,339 @@ module Json = struct
     v
 end
 
+let read_file_string file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Versioned metrics snapshots                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  let schema_version = 1
+
+  type node = {
+    name : string;
+    count : int;
+    total_s : float;
+    self_s : float;
+    children : node list;
+  }
+
+  type t = {
+    version : int;
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * int array) list;
+    spans : node list;
+  }
+
+  let rec node_of_span n =
+    { name = n.sn_name;
+      count = n.sn_count;
+      total_s = n.sn_total;
+      self_s = n.sn_self;
+      children = List.map node_of_span n.sn_children
+    }
+
+  let capture () =
+    { version = schema_version;
+      counters = counters ();
+      gauges = gauges ();
+      histograms = histograms ();
+      spans = List.map node_of_span (span_tree ())
+    }
+
+  (* %.17g round-trips every finite double through float_of_string
+     exactly, so serialize/parse is lossless. *)
+  let json_float f = if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+
+  let to_json t =
+    let buf = Buffer.create 4096 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{\n  \"schema_version\": %d,\n" t.version;
+    add "  \"counters\": {";
+    List.iteri
+      (fun i (k, v) -> add "%s\n    \"%s\": %d" (if i > 0 then "," else "") (json_escape k) v)
+      t.counters;
+    add "\n  },\n  \"gauges\": {";
+    List.iteri
+      (fun i (k, v) ->
+        add "%s\n    \"%s\": %s" (if i > 0 then "," else "") (json_escape k) (json_float v))
+      t.gauges;
+    add "\n  },\n  \"histograms\": {";
+    List.iteri
+      (fun i (k, counts) ->
+        add "%s\n    \"%s\": {\"count\": %d, \"p50_ns\": %s, \"p90_ns\": %s, \"p99_ns\": %s, \
+             \"buckets\": ["
+          (if i > 0 then "," else "")
+          (json_escape k) (total_count counts)
+          (json_float (percentile counts 0.5))
+          (json_float (percentile counts 0.9))
+          (json_float (percentile counts 0.99));
+        let first = ref true in
+        Array.iteri
+          (fun b c ->
+            if c <> 0 then begin
+              if not !first then add ",";
+              first := false;
+              add "[%d,%d]" b c
+            end)
+          counts;
+        add "]}")
+      t.histograms;
+    add "\n  },\n  \"span_tree\": [";
+    let rec add_node indent first n =
+      if not first then add ",";
+      add "\n%s{\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s, \"children\": ["
+        indent (json_escape n.name) n.count (json_float n.total_s) (json_float n.self_s);
+      List.iteri (fun i c -> add_node (indent ^ "  ") (i = 0) c) n.children;
+      if n.children <> [] then add "\n%s" indent;
+      add "]}"
+    in
+    List.iteri (fun i n -> add_node "    " (i = 0) n) t.spans;
+    if t.spans <> [] then add "\n  ";
+    add "]\n}\n";
+    Buffer.contents buf
+
+  exception Decode of string
+
+  let obj = function Json.Obj o -> o | _ -> raise (Decode "expected a JSON object")
+  let arr = function Json.Arr a -> a | _ -> raise (Decode "expected a JSON array")
+  let num = function Json.Num f -> f | _ -> raise (Decode "expected a number")
+  let str = function Json.Str s -> s | _ -> raise (Decode "expected a string")
+  let int_ v = int_of_float (num v)
+
+  let field name o =
+    match List.assoc_opt name o with
+    | Some v -> v
+    | None -> raise (Decode ("missing field \"" ^ name ^ "\""))
+
+  let rec decode_node v =
+    let o = obj v in
+    { name = str (field "name" o);
+      count = int_ (field "count" o);
+      total_s = num (field "total_s" o);
+      self_s = num (field "self_s" o);
+      children = List.map decode_node (arr (field "children" o))
+    }
+
+  let decode_hist v =
+    let o = obj v in
+    let counts = Array.make n_buckets 0 in
+    List.iter
+      (fun pair ->
+        match arr pair with
+        | [ i; c ] ->
+          let i = int_ i in
+          if i < 0 || i >= n_buckets then raise (Decode "bucket index out of range");
+          counts.(i) <- int_ c
+        | _ -> raise (Decode "histogram bucket entries must be [index, count] pairs"))
+      (arr (field "buckets" o));
+    counts
+
+  let decode json =
+    let o = obj json in
+    { version = int_ (field "schema_version" o);
+      counters = List.map (fun (k, v) -> (k, int_ v)) (obj (field "counters" o));
+      gauges = List.map (fun (k, v) -> (k, num v)) (obj (field "gauges" o));
+      histograms = List.map (fun (k, v) -> (k, decode_hist v)) (obj (field "histograms" o));
+      spans = List.map decode_node (arr (field "span_tree" o))
+    }
+
+  let of_json_string src =
+    match Json.parse src with
+    | exception Json.Bad msg -> Error ("invalid JSON: " ^ msg)
+    | json -> ( try Ok (decode json) with Decode msg -> Error msg)
+
+  let of_file file =
+    match read_file_string file with
+    | exception Sys_error msg -> Error msg
+    | src ->
+      (match of_json_string src with
+       | Ok _ as ok -> ok
+       | Error msg -> Error (file ^ ": " ^ msg))
+
+  let write file t =
+    let ch = open_out file in
+    Fun.protect ~finally:(fun () -> close_out ch) (fun () -> output_string ch (to_json t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot diffing: the perf-regression oracle                        *)
+(* ------------------------------------------------------------------ *)
+
+module Diff = struct
+  (* Counters, span call counts and histogram sample totals are exact
+     work counts — bit-deterministic for a fixed workload, on any
+     machine and at any --jobs — so they must match the baseline
+     exactly (modulo [allow]). Wall times and gauges are compared
+     within a relative tolerance, with an absolute floor below which
+     noise drowns any signal. *)
+
+  type config = { time_tol : float; time_floor : float; allow : string list }
+
+  let default = { time_tol = 1.0; time_floor = 0.01; allow = [] }
+
+  let allowed cfg name =
+    List.exists
+      (fun pat ->
+        let np = String.length pat in
+        if np > 0 && pat.[np - 1] = '*' then
+          String.length name >= np - 1 && String.sub name 0 (np - 1) = String.sub pat 0 (np - 1)
+        else String.equal pat name)
+      cfg.allow
+
+  let within cfg base fresh =
+    Float.abs (fresh -. base) <= cfg.time_floor
+    || (fresh <= base *. (1. +. cfg.time_tol) && base <= fresh *. (1. +. cfg.time_tol))
+
+  let diff cfg ~(baseline : Snapshot.t) ~(fresh : Snapshot.t) =
+    let out = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+    if baseline.Snapshot.version <> fresh.Snapshot.version then
+      fail "schema version: baseline v%d, fresh v%d" baseline.Snapshot.version
+        fresh.Snapshot.version;
+    List.iter
+      (fun (k, vb) ->
+        if not (allowed cfg k) then
+          match List.assoc_opt k fresh.Snapshot.counters with
+          | None -> fail "counter %-40s baseline %d, missing from fresh snapshot" k vb
+          | Some vf when vf <> vb ->
+            fail "counter %-40s baseline %d, fresh %d (deterministic counters must match)" k vb
+              vf
+          | Some _ -> ())
+      baseline.Snapshot.counters;
+    List.iter
+      (fun (k, vf) ->
+        if vf <> 0 && (not (allowed cfg k))
+           && List.assoc_opt k baseline.Snapshot.counters = None
+        then fail "counter %-40s new nonzero counter (%d); refresh the baseline" k vf)
+      fresh.Snapshot.counters;
+    List.iter
+      (fun (k, vb) ->
+        if not (allowed cfg k) then
+          match List.assoc_opt k fresh.Snapshot.gauges with
+          | None -> fail "gauge   %-40s missing from fresh snapshot" k
+          | Some vf when not (within cfg vb vf) ->
+            fail "gauge   %-40s baseline %g, fresh %g (outside tolerance)" k vb vf
+          | Some _ -> ())
+      baseline.Snapshot.gauges;
+    List.iter
+      (fun (k, cb) ->
+        if not (allowed cfg k) then
+          match List.assoc_opt k fresh.Snapshot.histograms with
+          | None -> fail "histogram %-38s missing from fresh snapshot" k
+          | Some cf ->
+            let tb = total_count cb and tf = total_count cf in
+            if tb <> tf then
+              fail "histogram %-38s baseline %d samples, fresh %d (sample totals are \
+                    deterministic)"
+                k tb tf)
+      baseline.Snapshot.histograms;
+    List.iter
+      (fun (k, cf) ->
+        if total_count cf <> 0 && (not (allowed cfg k))
+           && List.assoc_opt k baseline.Snapshot.histograms = None
+        then fail "histogram %-38s new histogram (%d samples); refresh the baseline" k
+               (total_count cf))
+      fresh.Snapshot.histograms;
+    let rec flatten prefix nodes =
+      List.concat_map
+        (fun (n : Snapshot.node) ->
+          let path = if prefix = "" then n.Snapshot.name else prefix ^ "/" ^ n.Snapshot.name in
+          (path, n.Snapshot.count, n.Snapshot.total_s) :: flatten path n.Snapshot.children)
+        nodes
+    in
+    let fb = flatten "" baseline.Snapshot.spans and ff = flatten "" fresh.Snapshot.spans in
+    List.iter
+      (fun (path, cb, tb) ->
+        if not (allowed cfg path) then
+          match List.find_opt (fun (p, _, _) -> String.equal p path) ff with
+          | None -> fail "span    %-40s missing from fresh snapshot" path
+          | Some (_, cf, tf) ->
+            if cf <> cb then
+              fail "span    %-40s baseline %d calls, fresh %d (call counts are deterministic)"
+                path cb cf;
+            if not (within cfg tb tf) then
+              fail "span    %-40s inclusive %.3f ms vs baseline %.3f ms (tol %g%%, floor %g ms)"
+                path (tf *. 1e3) (tb *. 1e3)
+                (cfg.time_tol *. 100.)
+                (cfg.time_floor *. 1e3))
+      fb;
+    List.iter
+      (fun (path, cf, _) ->
+        if cf <> 0 && (not (allowed cfg path))
+           && not (List.exists (fun (p, _, _) -> String.equal p path) fb)
+        then fail "span    %-40s new span path (%d calls); refresh the baseline" path cf)
+      ff;
+    List.rev !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type trace_stats = {
+  trace_events : int;
+  trace_complete : int;
+  trace_counter_samples : int;
+  trace_lanes : int;
+}
+
 let validate_trace_file file =
-  let read_all file =
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  match Json.parse (read_all file) with
+  match Json.parse (read_file_string file) with
   | exception Json.Bad msg -> Error ("invalid JSON: " ^ msg)
   | exception Sys_error msg -> Error msg
   | Json.Arr events ->
+    let complete = ref 0 and samples = ref 0 in
+    let tids : (float, unit) Hashtbl.t = Hashtbl.create 8 in
     let check i = function
       | Json.Obj fields ->
         let field k = List.assoc_opt k fields in
+        let err fmt = Printf.ksprintf (fun s -> Some (Printf.sprintf "event %d: %s" i s)) fmt in
         (match (field "name", field "ph", field "ts") with
-         | Some (Json.Str _), Some (Json.Str _), Some (Json.Num _) -> Ok ()
-         | None, _, _ -> Error (Printf.sprintf "event %d: missing \"name\"" i)
-         | _, None, _ -> Error (Printf.sprintf "event %d: missing \"ph\"" i)
-         | _, _, None -> Error (Printf.sprintf "event %d: missing \"ts\"" i)
-         | _ -> Error (Printf.sprintf "event %d: wrong field types" i))
-      | _ -> Error (Printf.sprintf "event %d: not an object" i)
+         | Some (Json.Str _), Some (Json.Str ph), Some (Json.Num _) ->
+           (match (field "pid", field "tid") with
+            | Some (Json.Num pid), Some (Json.Num tid)
+              when Float.is_integer pid && Float.is_integer tid && tid >= 0. ->
+              Hashtbl.replace tids tid ();
+              (match ph with
+               | "X" ->
+                 (match field "dur" with
+                  | Some (Json.Num d) when d >= 0. ->
+                    Stdlib.incr complete;
+                    None
+                  | Some _ -> err "complete event with non-numeric or negative \"dur\""
+                  | None -> err "complete (ph X) event missing \"dur\"")
+               | "C" ->
+                 (match field "args" with
+                  | Some (Json.Obj args) ->
+                    (match List.assoc_opt "value" args with
+                     | Some (Json.Num _) ->
+                       Stdlib.incr samples;
+                       None
+                     | _ -> err "counter sample missing numeric \"args.value\"")
+                  | _ -> err "counter (ph C) event missing \"args\" object")
+               | _ -> None)
+            | _ -> err "missing or non-integer \"pid\"/\"tid\"")
+         | None, _, _ -> err "missing \"name\""
+         | _, None, _ -> err "missing \"ph\""
+         | _, _, None -> err "missing \"ts\""
+         | _ -> err "wrong field types")
+      | _ -> Some (Printf.sprintf "event %d: not an object" i)
     in
     let rec go i = function
-      | [] -> Ok (List.length events)
-      | e :: rest -> (match check i e with Ok () -> go (i + 1) rest | Error _ as err -> err)
+      | [] ->
+        Ok
+          { trace_events = List.length events;
+            trace_complete = !complete;
+            trace_counter_samples = !samples;
+            trace_lanes = Hashtbl.length tids
+          }
+      | e :: rest -> (match check i e with None -> go (i + 1) rest | Some err -> Error err)
     in
     go 0 events
   | _ -> Error "top-level JSON value is not an array"

@@ -1,5 +1,6 @@
-(** pak_obs — zero-dependency observability: counters, span timers and
-    structured trace events with pluggable sinks.
+(** pak_obs — zero-dependency observability: counters, histograms, span
+    timers (flat and hierarchical) and structured trace events with
+    pluggable sinks.
 
     The library is deliberately tiny and dependency-free so that every
     layer of pak can be instrumented without widening the build. Three
@@ -8,28 +9,35 @@
     - the {e null sink} (default): instrumentation compiles to a single
       load-and-branch on {!on}, so the uninstrumented fast path is
       preserved;
-    - a {e summary sink}: accumulated counters and span statistics,
-      printable as a human-readable table ({!print_summary});
+    - a {e summary sink}: accumulated counters, latency histograms and
+      span statistics, printable as human-readable tables
+      ({!print_summary}, {!print_span_tree});
     - a {e trace sink}: Chrome [trace_event]-format JSON written
       incrementally to a file ({!trace_to}), loadable in
       [about:tracing] / Perfetto.
 
-    Counters and spans are process-global and {e domain-safe}: counter
-    bumps are single atomic adds (no lock on the hot path, no lost
-    updates under parallel sweeps), while registry lookups, span
-    statistics and trace emission serialize on one internal mutex.
-    Trace events carry the emitting domain's id as their [tid], so a
-    parallel run renders as one lane per worker in Perfetto.
-    Instrumented code must not change observable results: enabling or
-    disabling any sink leaves every computation bit-identical (tested
-    by the qcheck suite). *)
+    On top of the sinks, {!Snapshot} freezes everything into one
+    versioned, machine-readable value (serialized as zero-dependency
+    JSON), and {!Diff} compares two snapshots as a perf-regression
+    oracle: deterministic work counts must match exactly, wall times
+    within a tolerance.
+
+    Counters, histograms and spans are process-global and
+    {e domain-safe}: counter bumps and histogram records are single
+    atomic adds (no lock on the hot path, no lost updates under
+    parallel sweeps), while registry lookups, span statistics and trace
+    emission serialize on one internal mutex. Trace events carry the
+    emitting domain's id as their [tid], so a parallel run renders as
+    one lane per worker in Perfetto. Instrumented code must not change
+    observable results: enabling or disabling any sink leaves every
+    computation bit-identical (tested by the qcheck suite). *)
 
 val on : bool ref
 (** Master switch read on every instrumentation fast path. Treat as
     read-only; flip it via {!enable} / {!disable}. *)
 
 val enable : unit -> unit
-(** Start accumulating counters and span statistics. *)
+(** Start accumulating counters, histograms and span statistics. *)
 
 val disable : unit -> unit
 (** Return to the null sink. Accumulated values are kept until
@@ -38,7 +46,8 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero every counter and span statistic. Does not touch sinks. *)
+(** Zero every counter, histogram bucket and span statistic (flat and
+    hierarchical). Does not touch sinks or gauge providers. *)
 
 (** {1 Counters} *)
 
@@ -63,16 +72,110 @@ val counters : unit -> (string * int) list
 val counter_value : string -> int
 (** Value of a counter by name; [0] if it was never registered. *)
 
+(** {1 Histograms}
+
+    Log-bucketed integer histograms with exact bucket counts. Bucket
+    [0] collects every non-positive value; bucket [i >= 1] collects
+    the interval [\[2{^i-1}, 2{^i})], so 63 buckets cover every OCaml
+    [int] and a record can never fall outside the histogram. Recording
+    is one atomic add — the same hot-path discipline as counters.
+    Every {!span} site feeds a histogram of the same name with its
+    duration in nanoseconds. *)
+
+type histogram
+
+val n_buckets : int
+(** Number of buckets (63). *)
+
+val bucket_of : int -> int
+(** Bucket index for a value: [0] for [v <= 0], otherwise the number
+    of significant bits of [v]. Total on [int]: every value lands in
+    exactly one bucket. *)
+
+val bucket_lo : int -> int
+(** Smallest value belonging to a bucket ([0] for bucket 0). *)
+
+val bucket_hi : int -> int
+(** Largest value belonging to a bucket ([max_int] for the last). *)
+
+val histogram : string -> histogram
+(** The process-global histogram registered under a name, created on
+    first use. *)
+
+val record : histogram -> int -> unit
+(** Record one sample (atomically); a no-op unless {!on}. *)
+
+val histogram_counts : histogram -> int array
+(** Current per-bucket counts, length {!n_buckets}. *)
+
+val histograms : unit -> (string * int array) list
+(** Every registered histogram with its bucket counts, sorted by name. *)
+
+val merge_counts : int array -> int array -> int array
+(** Pointwise sum — the histogram of the concatenated sample streams. *)
+
+val total_count : int array -> int
+(** Total samples across all buckets. *)
+
+val percentile : int array -> float -> float
+(** [percentile counts q] estimates the [q]-quantile ([0. <= q <= 1.])
+    by locating the bucket holding the [⌈q·total⌉]-th sample and
+    interpolating linearly inside it. Bucket-resolution accuracy (a
+    factor of 2); [0.] when the histogram is empty. *)
+
 (** {1 Spans} *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()]. When {!on}, its inclusive wall time is
-    accumulated under [name] and, if a trace sink is active, a complete
-    ("ph":"X") trace event is emitted. Exceptions still close the
-    span. When off, [span name f] is exactly [f ()]. *)
+    accumulated under [name] (flat statistics, a duration histogram in
+    nanoseconds, and a node in the hierarchical span tree keyed by the
+    enclosing open spans of the current domain) and, if a trace sink is
+    active, a complete ("ph":"X") trace event carrying the full span
+    path is emitted. Exceptions still close the span. When off,
+    [span name f] is exactly [f ()]. *)
 
 val spans : unit -> (string * int * float) list
 (** [(name, calls, total_seconds)] per span name, sorted by name. *)
+
+(** {2 Hierarchical span tree}
+
+    Each domain tracks its stack of open spans in domain-local
+    storage; samples fold into one process-global table keyed by the
+    full path. Equal paths from different domains merge, so a parallel
+    sweep's workers contribute to the same tree nodes the serial run
+    produces — call counts per path are jobs-invariant. *)
+
+type span_node = {
+  sn_name : string;  (** leaf name *)
+  sn_path : string list;  (** full path, outermost first *)
+  sn_count : int;  (** completed calls at this path *)
+  sn_total : float;  (** inclusive seconds *)
+  sn_self : float;  (** inclusive minus children's inclusive, clamped at 0 *)
+  sn_children : span_node list;  (** sorted by name *)
+}
+
+val span_tree : unit -> span_node list
+(** Current hierarchical statistics as a forest of root spans, sorted
+    by name at every level. *)
+
+val pp_span_tree : Format.formatter -> unit -> unit
+(** Indented tree of calls / inclusive ms / self ms per span path. *)
+
+val print_span_tree : out_channel -> unit
+
+(** {1 Gauges}
+
+    Gauges are sampled, not accumulated: other layers register
+    providers (budget fuel in [pak_guard], memo hit-rate in the
+    semantics engine) that are polled when a summary or snapshot is
+    taken. *)
+
+val register_gauges : (unit -> (string * float) list) -> unit
+(** Register a provider. Providers survive {!reset}; a provider with
+    nothing to report returns []. *)
+
+val gauges : unit -> (string * float) list
+(** Poll every provider, sorted by name. *)
 
 (** {1 Trace sink} *)
 
@@ -91,17 +194,95 @@ val tracing : unit -> bool
 (** {1 Reporting} *)
 
 val pp_summary : Format.formatter -> unit -> unit
-(** Human-readable table of all counters and span statistics. *)
+(** Human-readable tables: counters, polled gauges, and span
+    statistics with p50/p90/p99 from the duration histograms. *)
 
 val print_summary : out_channel -> unit
+
+(** {1 Versioned metrics snapshots} *)
+
+module Snapshot : sig
+  val schema_version : int
+  (** Version of the snapshot schema; bumped on incompatible change. *)
+
+  type node = {
+    name : string;
+    count : int;
+    total_s : float;
+    self_s : float;
+    children : node list;
+  }
+
+  type t = {
+    version : int;
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * int array) list;
+    spans : node list;
+  }
+
+  val capture : unit -> t
+  (** Freeze the current counters, polled gauges, histograms and span
+      tree into one value stamped with {!schema_version}. *)
+
+  val to_json : t -> string
+  (** Serialize as JSON. Floats print as [%.17g], so
+      {!of_json_string} round-trips every finite value exactly. *)
+
+  val of_json_string : string -> (t, string) result
+
+  val of_file : string -> (t, string) result
+
+  val write : string -> t -> unit
+  (** Write [to_json t] to a file. Raises [Sys_error] on failure. *)
+end
+
+(** {1 Snapshot diffing — the perf-regression oracle}
+
+    Counters, span call counts and histogram sample totals are exact
+    work counts — bit-deterministic for a fixed workload, on any
+    machine and at any [--jobs] — so they must match a baseline
+    exactly. Wall times and gauges are compared within a relative
+    tolerance with an absolute floor. [tools/bench_diff.exe] wraps
+    this as a CLI and CI gate. *)
+
+module Diff : sig
+  type config = {
+    time_tol : float;
+        (** relative tolerance for times/gauges: [fresh] may differ
+            from [base] by a factor of [1 + time_tol] either way *)
+    time_floor : float;
+        (** absolute slack (seconds) below which differences pass *)
+    allow : string list;
+        (** names exempt from comparison; a trailing ['*'] matches a
+            prefix *)
+  }
+
+  val default : config
+  (** [time_tol = 1.0] (2x either way), [time_floor = 0.01] s, empty
+      allowlist. *)
+
+  val diff : config -> baseline:Snapshot.t -> fresh:Snapshot.t -> string list
+  (** All violations of [fresh] against [baseline], one readable line
+      each; [[]] means the snapshots agree. *)
+end
 
 (** {1 Trace validation}
 
     A minimal JSON reader used by CI to sanity-check emitted traces
     without external tooling. *)
 
-val validate_trace_file : string -> (int, string) result
+type trace_stats = {
+  trace_events : int;  (** total events in the array *)
+  trace_complete : int;  (** ["ph":"X"] complete events *)
+  trace_counter_samples : int;  (** ["ph":"C"] counter samples *)
+  trace_lanes : int;  (** distinct [tid] values (domain lanes) *)
+}
+
+val validate_trace_file : string -> (trace_stats, string) result
 (** Parse [file] as JSON and check it is an array of objects each
-    carrying a string ["name"], a string ["ph"] and a numeric ["ts"].
-    Returns the number of events, or a description of the first
-    violation. *)
+    carrying a string ["name"], a string ["ph"], a numeric ["ts"] and
+    integer ["pid"]/["tid"]; ["ph":"X"] events must carry a
+    non-negative numeric ["dur"], ["ph":"C"] events a numeric
+    ["args.value"]. Returns event statistics, or a description of the
+    first violation. *)

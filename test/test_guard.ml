@@ -10,6 +10,7 @@ open Pak_logic
 module Error = Pak_guard.Error
 module Budget = Pak_guard.Budget
 module Graded = Pak_guard.Graded
+module Obs = Pak_obs.Obs
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -127,6 +128,73 @@ let test_budget_deadline () =
     check_bool "budget kind" true (is_budget_error e);
     check_bool "names the deadline" true
       (String.length e.Error.msg >= 8 && String.sub e.Error.msg 0 8 = "deadline")
+
+let test_wall_clock_deadline () =
+  (* A controllable fake clock: deadlines created while it is
+     installed measure "wall" time from it, independent of Sys.time.
+     The clock is captured at budget creation, so un-installing it
+     afterwards must not retime the live deadline. *)
+  let fake = ref 0. in
+  Budget.set_wall_clock (Some (fun () -> !fake));
+  Fun.protect
+    ~finally:(fun () -> Budget.set_wall_clock None)
+    (fun () ->
+      match
+        Budget.with_budget (Budget.limits ~timeout_ms:5_000 ()) (fun () ->
+            Budget.check_deadline ();
+            fake := 4.9;
+            Budget.check_deadline ();
+            (* Un-install mid-flight: the captured clock keeps ruling. *)
+            Budget.set_wall_clock None;
+            fake := 5.1;
+            Budget.check_deadline ();
+            Alcotest.fail "deadline did not fire at fake-clock 5.1s")
+      with
+      | Ok _ -> Alcotest.fail "unreachable"
+      | Error e ->
+        check_bool "budget kind" true (is_budget_error e);
+        check_bool "names the deadline" true
+          (String.length e.Error.msg >= 8 && String.sub e.Error.msg 0 8 = "deadline"));
+  (* With no wall clock installed the CPU-time behavior is unchanged:
+     an expired CPU deadline still fires. *)
+  match Budget.with_budget (Budget.limits ~timeout_ms:0 ()) (fun () ->
+      let rec spin n = if n = 0 then () else (Budget.check_deadline (); spin (n - 1)) in
+      (* Sys.time advances with work; keep checking until it fires. *)
+      let rec forever () = spin 1_000_000; forever () in
+      forever ())
+  with
+  | Ok () -> Alcotest.fail "unreachable"
+  | Error e -> check_bool "cpu fallback still enforces" true (is_budget_error e)
+
+let test_budget_gauges () =
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      (* No budget in scope: the provider stays silent. *)
+      Budget.clear ();
+      check_bool "no budget, no budget gauges" true
+        (List.for_all
+           (fun (name, _) -> not (String.length name >= 7 && String.sub name 0 7 = "budget."))
+           (Obs.gauges ()));
+      match
+        Budget.with_budget (Budget.limits ~max_points:100 ~timeout_ms:60_000 ()) (fun () ->
+            Budget.charge_points 30;
+            let gauges = Obs.gauges () in
+            check_bool "spent gauge" true
+              (List.assoc_opt "budget.points_spent" gauges = Some 30.);
+            check_bool "remaining gauge" true
+              (List.assoc_opt "budget.points_remaining" gauges = Some 70.);
+            (match List.assoc_opt "budget.deadline_slack_ms" gauges with
+             | Some slack -> check_bool "deadline slack positive" true (slack > 0.)
+             | None -> Alcotest.fail "deadline slack gauge missing");
+            check_bool "unlimited fuel kinds stay silent" true
+              (List.assoc_opt "budget.nodes_spent" gauges = None))
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Error.to_string e))
 
 let test_budget_restore_and_exempt () =
   (* No ambient budget: charges are no-ops, attempt returns Ok. *)
@@ -271,6 +339,8 @@ let () =
           Alcotest.test_case "limb fuel" `Quick test_budget_limbs;
           Alcotest.test_case "fixpoint iteration fuel" `Quick test_budget_iters;
           Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "wall-clock deadline" `Quick test_wall_clock_deadline;
+          Alcotest.test_case "fuel gauges" `Quick test_budget_gauges;
           Alcotest.test_case "restore and exempt" `Quick test_budget_restore_and_exempt
         ] );
       ( "degradation",

@@ -137,7 +137,11 @@ let test_trace_file () =
       Obs.trace_stop ();
       check_bool "tracing stopped" false (Obs.tracing ());
       match Obs.validate_trace_file file with
-      | Ok n -> check_bool "trace has events" true (n > 0)
+      | Ok s ->
+        check_bool "trace has events" true (s.Obs.trace_events > 0);
+        check_bool "trace has complete span events" true (s.Obs.trace_complete > 0);
+        check_bool "trace has counter samples" true (s.Obs.trace_counter_samples > 0);
+        check_bool "trace has at least one tid lane" true (s.Obs.trace_lanes >= 1)
       | Error msg -> Alcotest.fail ("emitted trace rejected: " ^ msg))
 
 let test_validate_rejects_garbage () =
@@ -154,8 +158,220 @@ let test_validate_rejects_garbage () =
   check_bool "not an array" true (reject "{\"a\":1}");
   check_bool "event not an object" true (reject "[1,2]");
   check_bool "event missing ph" true (reject "[{\"name\":\"x\",\"ts\":0}]");
-  check_bool "accepts a valid event" false
-    (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1}]")
+  check_bool "event missing pid/tid" true
+    (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1}]");
+  check_bool "complete event missing dur" true
+    (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"pid\":1,\"tid\":0}]");
+  check_bool "counter sample missing args.value" true
+    (reject "[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":{}}]");
+  check_bool "accepts a valid complete event" false
+    (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1,\"pid\":1,\"tid\":0}]");
+  check_bool "accepts a valid counter sample" false
+    (reject
+       "[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":{\"value\":3}}]")
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bucket_partition =
+  QCheck.Test.make ~count:500 ~name:"every int lands in exactly one histogram bucket"
+    QCheck.(oneof [ int; int_range (-4) 70; map (fun i -> (1 lsl i) - 1) (int_range 1 61) ])
+    (fun v ->
+      let b = Obs.bucket_of v in
+      0 <= b && b < Obs.n_buckets
+      && Obs.bucket_lo b <= max v 0
+      && max v 0 <= Obs.bucket_hi b
+      && (* no other bucket contains v *)
+      List.for_all
+        (fun j -> j = b || not (Obs.bucket_lo j <= max v 0 && max v 0 <= Obs.bucket_hi j))
+        (List.init Obs.n_buckets Fun.id))
+
+let prop_histogram_merge =
+  QCheck.Test.make ~count:100
+    ~name:"merge of two histograms = histogram of concatenated samples"
+    QCheck.(pair (small_list small_nat) (small_list small_nat))
+    (fun (xs, ys) ->
+      let fill name samples =
+        let h = Obs.histogram name in
+        List.iter (Obs.record h) samples;
+        h
+      in
+      with_metrics (fun () ->
+          let a = fill "test.merge_a" xs
+          and b = fill "test.merge_b" ys
+          and c = fill "test.merge_c" (xs @ ys) in
+          Obs.merge_counts (Obs.histogram_counts a) (Obs.histogram_counts b)
+          = Obs.histogram_counts c))
+
+let test_histogram_basics () =
+  let h = Obs.histogram "test.hist" in
+  Obs.disable ();
+  Obs.record h 5;
+  check_int "null sink: record is a no-op" 0 (Obs.total_count (Obs.histogram_counts h));
+  with_metrics (fun () ->
+      List.iter (Obs.record h) [ 1; 2; 3; 500; 0; -7 ];
+      let counts = Obs.histogram_counts h in
+      check_int "six samples" 6 (Obs.total_count counts);
+      check_int "non-positive samples share bucket 0" 2 counts.(0);
+      check_int "1 in bucket 1" 1 counts.(Obs.bucket_of 1);
+      check_int "500 in its own bucket" 1 counts.(Obs.bucket_of 500);
+      check_bool "p99 >= p50" true (Obs.percentile counts 0.99 >= Obs.percentile counts 0.5);
+      check_bool "p50 positive" true (Obs.percentile counts 0.5 > 0.));
+  check_int "reset zeroes buckets" 0 (Obs.total_count (Obs.histogram_counts h))
+
+let test_span_feeds_histogram () =
+  with_metrics (fun () ->
+      for _ = 1 to 5 do
+        Obs.span "test.span_hist" (fun () -> Sys.opaque_identity (List.init 100 Fun.id))
+        |> ignore
+      done;
+      match List.assoc_opt "test.span_hist" (Obs.histograms ()) with
+      | None -> Alcotest.fail "span did not create its duration histogram"
+      | Some counts -> check_int "one sample per span call" 5 (Obs.total_count counts))
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical span tree                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_tree () =
+  with_metrics (fun () ->
+      for _ = 1 to 3 do
+        Obs.span "outer" (fun () ->
+            Obs.span "inner" (fun () -> ());
+            Obs.span "inner" (fun () -> ()))
+      done;
+      (try Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      match Obs.span_tree () with
+      | [ root ] ->
+        check_bool "root is outer" true (root.Obs.sn_name = "outer");
+        check_int "outer called 4 times (incl. the raising one)" 4 root.Obs.sn_count;
+        (match root.Obs.sn_children with
+         | [ child ] ->
+           check_bool "child is inner" true (child.Obs.sn_name = "inner");
+           check_int "inner called 7 times under outer" 7 child.Obs.sn_count;
+           check_bool "paths are outermost-first" true
+             (child.Obs.sn_path = [ "outer"; "inner" ]);
+           check_bool "child inclusive <= parent inclusive" true
+             (child.Obs.sn_total <= root.Obs.sn_total +. 1e-9)
+         | cs -> Alcotest.fail (Printf.sprintf "expected 1 child, got %d" (List.length cs)));
+        check_bool "self <= inclusive" true (root.Obs.sn_self <= root.Obs.sn_total +. 1e-9);
+        check_bool "self >= 0" true (root.Obs.sn_self >= 0.)
+      | roots -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length roots)))
+
+let rec check_self_invariant (n : Obs.span_node) =
+  n.Obs.sn_self >= 0.
+  && n.Obs.sn_self <= n.Obs.sn_total +. 1e-9
+  && List.for_all check_self_invariant n.Obs.sn_children
+
+let test_span_tree_engine () =
+  let tree = toy () in
+  with_metrics (fun () ->
+      ignore (Semantics.eval tree ~valuation (Parser.parse "K[0] (x1 & x1)"));
+      let forest = Obs.span_tree () in
+      check_bool "engine run produces a span forest" true (forest <> []);
+      check_bool "self-time invariant holds on every node" true
+        (List.for_all check_self_invariant forest))
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauges () =
+  Obs.register_gauges (fun () -> [ ("test.gauge", 0.25) ]);
+  check_bool "registered gauge is polled" true
+    (List.assoc_opt "test.gauge" (Obs.gauges ()) = Some 0.25)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and diffing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_of_toy_run () =
+  let tree = toy () in
+  with_metrics (fun () ->
+      ignore (Semantics.eval tree ~valuation (Parser.parse "CB[0,1]>=1/2 x1"));
+      Obs.Snapshot.capture ())
+
+let test_snapshot_roundtrip () =
+  let s = snapshot_of_toy_run () in
+  check_int "snapshot carries the schema version" Obs.Snapshot.schema_version
+    s.Obs.Snapshot.version;
+  check_bool "snapshot has counters" true (s.Obs.Snapshot.counters <> []);
+  check_bool "snapshot has histograms" true (s.Obs.Snapshot.histograms <> []);
+  check_bool "snapshot has a span tree" true (s.Obs.Snapshot.spans <> []);
+  match Obs.Snapshot.of_json_string (Obs.Snapshot.to_json s) with
+  | Error msg -> Alcotest.fail ("snapshot JSON does not parse back: " ^ msg)
+  | Ok s' ->
+    check_bool "serialize/parse round-trip is exact" true (s = s');
+    (* A second trip through text must be byte-stable. *)
+    check_bool "to_json is stable" true
+      (String.equal (Obs.Snapshot.to_json s) (Obs.Snapshot.to_json s'))
+
+let test_snapshot_file_roundtrip () =
+  let file = Filename.temp_file "pak_obs_snap" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let s = snapshot_of_toy_run () in
+      Obs.Snapshot.write file s;
+      match Obs.Snapshot.of_file file with
+      | Ok s' -> check_bool "file round-trip is exact" true (s = s')
+      | Error msg -> Alcotest.fail ("written snapshot rejected: " ^ msg))
+
+let test_diff_fixtures () =
+  let base = snapshot_of_toy_run () in
+  let fresh = snapshot_of_toy_run () in
+  (* Same deterministic workload twice: counters, call counts and
+     sample totals agree; a generous tolerance absorbs timing noise. *)
+  let cfg = { Obs.Diff.default with Obs.Diff.time_tol = 1000.; time_floor = 10. } in
+  (match Obs.Diff.diff cfg ~baseline:base ~fresh with
+   | [] -> ()
+   | vs -> Alcotest.fail ("identical workload should pass: " ^ String.concat "; " vs));
+  (* Counter regression: any perturbed counter must be reported. *)
+  let perturbed =
+    { base with
+      Obs.Snapshot.counters =
+        List.map
+          (fun (k, v) -> if k = "semantics.memo_misses" then (k, v + 1) else (k, v))
+          base.Obs.Snapshot.counters
+    }
+  in
+  (match Obs.Diff.diff cfg ~baseline:perturbed ~fresh with
+   | [] -> Alcotest.fail "counter regression not detected"
+   | vs ->
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+       at 0
+     in
+     check_bool "report names the counter" true
+       (List.exists (fun v -> contains v "semantics.memo_misses") vs));
+  (* The allowlist silences exactly that counter. *)
+  (match
+     Obs.Diff.diff
+       { cfg with Obs.Diff.allow = [ "semantics.memo_misses" ] }
+       ~baseline:perturbed ~fresh
+   with
+   | [] -> ()
+   | vs -> Alcotest.fail ("allowlisted counter still reported: " ^ String.concat "; " vs));
+  (* Wall-time regression: inflate a span time far past tolerance. *)
+  let slow =
+    { base with
+      Obs.Snapshot.spans =
+        List.map
+          (fun (n : Obs.Snapshot.node) -> { n with Obs.Snapshot.total_s = n.total_s +. 100. })
+          base.Obs.Snapshot.spans
+    }
+  in
+  let tight = { Obs.Diff.default with Obs.Diff.time_tol = 0.5; time_floor = 0.001 } in
+  (match Obs.Diff.diff tight ~baseline:base ~fresh:slow with
+   | [] -> Alcotest.fail "wall-time regression not detected"
+   | _ -> ());
+  (* Schema mismatch is always a violation. *)
+  match Obs.Diff.diff cfg ~baseline:{ base with Obs.Snapshot.version = 999 } ~fresh with
+  | [] -> Alcotest.fail "schema version mismatch not detected"
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Instrumentation never changes results                               *)
@@ -185,22 +401,49 @@ let prop_instrumentation_transparent =
       let plain_mu =
         List.map (fun f -> Semantics.probability tree ~valuation f) formulas
       in
+      (* The instrumented run exercises every PR-4 surface on top of
+         the counters: span nesting (histograms + span tree feed off
+         it), a histogram record, and a full snapshot capture. None of
+         it may perturb the computed facts or measures. *)
       let instrumented, instr_mu =
         with_metrics (fun () ->
-            ( List.map (Semantics.eval tree ~valuation) formulas,
-              List.map (fun f -> Semantics.probability tree ~valuation f) formulas ))
+            let r =
+              Obs.span "transparency.outer" (fun () ->
+                  Obs.span "transparency.inner" (fun () ->
+                      Obs.record (Obs.histogram "transparency.h") seed;
+                      ( List.map (Semantics.eval tree ~valuation) formulas,
+                        List.map (fun f -> Semantics.probability tree ~valuation f) formulas )))
+            in
+            ignore (Obs.Snapshot.to_json (Obs.Snapshot.capture ()));
+            r)
       in
       List.for_all2 (facts_agree tree) plain instrumented
       && List.for_all2 Q.equal plain_mu instr_mu)
 
 let qcheck_cases =
-  List.map (QCheck_alcotest.to_alcotest ~verbose:false) [ prop_instrumentation_transparent ]
+  List.map
+    (QCheck_alcotest.to_alcotest ~verbose:false)
+    [ prop_instrumentation_transparent; prop_bucket_partition; prop_histogram_merge ]
 
 let () =
   Alcotest.run "pak_obs"
     [ ( "counters",
         [ Alcotest.test_case "basics" `Quick test_counter_basics;
           Alcotest.test_case "spans" `Quick test_span_stats
+        ] );
+      ( "histograms",
+        [ Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "span feeds histogram" `Quick test_span_feeds_histogram
+        ] );
+      ( "span tree",
+        [ Alcotest.test_case "nesting and counts" `Quick test_span_tree;
+          Alcotest.test_case "engine run invariant" `Quick test_span_tree_engine
+        ] );
+      ("gauges", [ Alcotest.test_case "provider polled" `Quick test_gauges ]);
+      ( "snapshot",
+        [ Alcotest.test_case "json round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "file round-trip" `Quick test_snapshot_file_roundtrip;
+          Alcotest.test_case "diff fixtures" `Quick test_diff_fixtures
         ] );
       ( "semantics",
         [ Alcotest.test_case "memo counters" `Quick test_memo_counters;

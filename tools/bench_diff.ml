@@ -1,0 +1,71 @@
+(* bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS]
+               [--allow NAME]...
+
+   Compare a fresh metrics snapshot (pak --metrics-json / bench
+   --metrics-json) against a committed baseline from bench/baselines/.
+   Deterministic quantities — counters, span call counts, histogram
+   sample totals — must match exactly (modulo --allow entries; a
+   trailing '*' matches a prefix); wall times and gauges must agree
+   within the relative tolerance, with an absolute floor under which
+   noise drowns any signal. Exits 0 when the snapshots agree, 1 with
+   one readable line per violation, 2 on usage or unreadable input.
+   CI runs this as the perf-regression gate. *)
+
+module Obs = Pak_obs.Obs
+
+let usage () =
+  prerr_endline
+    "usage: bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS] [--allow NAME]...";
+  exit 2
+
+let () =
+  let files = ref [] in
+  let cfg = ref Obs.Diff.default in
+  let rec parse = function
+    | [] -> ()
+    | "--time-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some pct when pct >= 0. ->
+         cfg := { !cfg with Obs.Diff.time_tol = pct /. 100. };
+         parse rest
+       | _ -> usage ())
+    | "--time-floor-ms" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some ms when ms >= 0. ->
+         cfg := { !cfg with Obs.Diff.time_floor = ms /. 1e3 };
+         parse rest
+       | _ -> usage ())
+    | "--allow" :: name :: rest ->
+      cfg := { !cfg with Obs.Diff.allow = name :: !cfg.Obs.Diff.allow };
+      parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline_file; fresh_file ] ->
+    let load role file =
+      match Obs.Snapshot.of_file file with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "bench_diff: cannot read %s snapshot: %s\n" role msg;
+        exit 2
+    in
+    let baseline = load "baseline" baseline_file in
+    let fresh = load "fresh" fresh_file in
+    (match Obs.Diff.diff !cfg ~baseline ~fresh with
+     | [] ->
+       Printf.printf "bench_diff: %s vs %s: OK (%d counters, %d histograms checked)\n"
+         fresh_file baseline_file
+         (List.length baseline.Obs.Snapshot.counters)
+         (List.length baseline.Obs.Snapshot.histograms)
+     | violations ->
+       Printf.eprintf "bench_diff: %s regressed against %s:\n" fresh_file baseline_file;
+       List.iter (fun v -> Printf.eprintf "  %s\n" v) violations;
+       Printf.eprintf "%d violation(s). If the change is intentional, refresh the baseline\n"
+         (List.length violations);
+       Printf.eprintf "(see doc/PERFORMANCE.md, \"Refreshing bench/baselines\").\n";
+       exit 1)
+  | _ -> usage ()

@@ -1,20 +1,47 @@
-(* check_trace FILE — validate a Chrome trace_event file emitted by
-   pak_obs. Exits 0 printing the event count, 1 with a diagnostic.
-   Used by CI as the smoke check behind `pak profile --trace`. *)
+(* check_trace FILE [--min-lanes N] — validate a Chrome trace_event
+   file emitted by pak_obs. Checks every event's shape (name/ph/ts and
+   integer pid/tid), that "ph":"X" complete events carry a duration,
+   and that "ph":"C" counter samples carry a numeric args.value; prints
+   the event/lane statistics. Exits 0 on a valid non-empty trace, 1
+   with a diagnostic. Used by CI as the smoke check behind
+   `pak profile --trace`. *)
 
 let () =
-  match Sys.argv with
-  | [| _; file |] ->
-    (match Pak_obs.Obs.validate_trace_file file with
-     | Ok n ->
-       Printf.printf "%s: valid trace, %d events\n" file n;
-       if n = 0 then begin
-         prerr_endline "check_trace: trace contains no events";
-         exit 1
-       end
-     | Error msg ->
-       Printf.eprintf "check_trace: %s: %s\n" file msg;
-       exit 1)
-  | _ ->
-    prerr_endline "usage: check_trace FILE";
-    exit 2
+  let file, min_lanes =
+    match Sys.argv with
+    | [| _; file |] -> (file, 1)
+    | [| _; file; "--min-lanes"; n |] ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 -> (file, n)
+       | _ ->
+         prerr_endline "check_trace: --min-lanes expects a positive integer";
+         exit 2)
+    | _ ->
+      prerr_endline "usage: check_trace FILE [--min-lanes N]";
+      exit 2
+  in
+  match Pak_obs.Obs.validate_trace_file file with
+  | Ok s ->
+    Printf.printf "%s: valid trace, %d events (%d complete, %d counter samples, %d lanes)\n"
+      file s.Pak_obs.Obs.trace_events s.Pak_obs.Obs.trace_complete
+      s.Pak_obs.Obs.trace_counter_samples s.Pak_obs.Obs.trace_lanes;
+    if s.Pak_obs.Obs.trace_events = 0 then begin
+      prerr_endline "check_trace: trace contains no events";
+      exit 1
+    end;
+    if s.Pak_obs.Obs.trace_complete = 0 then begin
+      prerr_endline "check_trace: trace contains no complete (ph X) span events";
+      exit 1
+    end;
+    if s.Pak_obs.Obs.trace_counter_samples = 0 then begin
+      prerr_endline "check_trace: trace contains no counter (ph C) samples";
+      exit 1
+    end;
+    if s.Pak_obs.Obs.trace_lanes < min_lanes then begin
+      Printf.eprintf "check_trace: expected at least %d tid lane(s), found %d\n" min_lanes
+        s.Pak_obs.Obs.trace_lanes;
+      exit 1
+    end
+  | Error msg ->
+    Printf.eprintf "check_trace: %s: %s\n" file msg;
+    exit 1
