@@ -352,6 +352,26 @@ let obs_scenarios () =
           (analyze_constraint ~fact:ca_both ~agent:CA.general_a ~act:CA.attack
              ~threshold:(Q.of_ints 19 20)) );
     ("simulate_2k_fs", fun () -> ignore (Simulate.sample_runs fs_tree ~samples:2_000 ~seed:1));
+    (* Provenance: certifying evaluation (witness construction) and the
+       independent checker's full re-derivation. The cert.* counters in
+       BENCH_obs.json are the layer's work profile; certify-vs-eval and
+       check-vs-certify wall-time ratios are its measured overhead. *)
+    ("certify_kb_fs", fun () -> ignore (Semantics.certify fs_tree ~valuation formula));
+    ( "certify_check_cb_fs",
+      fun () ->
+        let cert = Semantics.certify fs_tree ~valuation cb_formula in
+        match Cert.check ~valuation fs_tree cert with
+        | Ok () -> ()
+        | Error _ -> assert false );
+    ( "theorem_cert_thm62_fs",
+      fun () ->
+        let tc =
+          Cert.Theorem.certify fs_both ~check:Sweep.Expectation ~agent:FS.alice ~act:FS.fire
+            ~eps:(Q.of_ints 1 10) ()
+        in
+        match Cert.Theorem.check fs_tree ~fact:fs_both tc with
+        | Ok () -> ()
+        | Error _ -> assert false );
     (* Guard overhead: the same workload with no budget installed
        (charges are one load-and-branch) vs under a never-exhausting
        budget (full charge accounting + periodic deadline checks).

@@ -8,10 +8,15 @@
                                canonical (fact, action) pair
      dot      <system>         emit the pps as graphviz
      load     <file>           load a serialized pps document
+     explain  <file>           certify a formula on a loaded system: emit a
+                               self-checked witness certificate (--json for
+                               machine-readable output)
      random   <seed>           generate a random pps and verify the paper's
                                theorems on it
      sweep                     check a paper result over a family of random
-                               systems, optionally across domains (--jobs)
+                               systems, optionally across domains (--jobs);
+                               --certify re-verifies every verdict through
+                               the certificate checker
 
    Systems take parameters via --loss, --p, --eps, --rounds, ... where
    meaningful; probabilities parse as rationals ("1/10") or decimals
@@ -62,17 +67,10 @@ type params = {
   err : Q.t;
 }
 
-let default_valuation atom g =
-  (* generic atoms: "a<i>_<label>" tests agent i's label. The agent
-     index is every digit up to the first underscore, so the valuation
-     works for systems with any number of agents. *)
-  match String.index_opt atom '_' with
-  | Some sep when sep > 1 && atom.[0] = 'a' ->
-    (match int_of_string_opt (String.sub atom 1 (sep - 1)) with
-     | Some i when i >= 0 && i < Gstate.n_agents g ->
-       Gstate.local g i = String.sub atom (sep + 1) (String.length atom - sep - 1)
-     | _ -> false)
-  | _ -> false
+(* Generic atoms: "a<i>_<label>" tests agent i's label. Shared with
+   the library so [Cert.check] callers can re-verify CLI-produced
+   certificates under the identical valuation. *)
+let default_valuation = Semantics.generic_valuation
 
 let systems : (string * (params -> instance)) list =
   [ ( "firing-squad",
@@ -397,7 +395,15 @@ let analyze_cmd =
     Term.(const run $ common_t $ system_arg $ params_t)
 
 let theorems_cmd =
-  let run () name prm =
+  let certify_t =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"For every theorem, also build a witness certificate (the Lemma B.1 \
+                   cell decomposition with exact rational weights and belief degrees) \
+                   and re-verify it with the independent checker; print each \
+                   certificate and exit 1 if any is rejected.")
+  in
+  let run () name prm certify =
     handle (fun () ->
         Result.map
           (fun inst ->
@@ -409,12 +415,28 @@ let theorems_cmd =
               Theorems.pp_necessity (Theorems.necessity_exists fact ~agent ~act ~p:inst.threshold)
               Theorems.pp_pak (Theorems.pak_corollary fact ~agent ~act ~eps:prm.eps)
               Theorems.pp_kop (Theorems.kop fact ~agent ~act);
-            0)
+            if not certify then 0
+            else
+              List.fold_left
+                (fun code check ->
+                  let tc =
+                    Cert.Theorem.certify fact ~check ~agent ~act ~p:inst.threshold
+                      ~eps:prm.eps ()
+                  in
+                  Format.printf "%a" Cert.Theorem.pp tc;
+                  match Cert.Theorem.check inst.tree ~fact tc with
+                  | Ok () ->
+                    Format.printf "  independently verified@.";
+                    code
+                  | Result.Error v ->
+                    Format.printf "  REJECTED: %a@." Cert.pp_violation v;
+                    1)
+                0 Sweep.all_checks)
           (find_system name prm))
   in
   Cmd.v
     (Cmd.info "theorems" ~doc:"Run every theorem checker on a system")
-    Term.(const run $ common_t $ system_arg $ params_t)
+    Term.(const run $ common_t $ system_arg $ params_t $ certify_t)
 
 let eval_cmd =
   let formula_arg =
@@ -568,8 +590,14 @@ let sweep_cmd =
   and depth_t =
     Arg.(value & opt int Gen.default_params.Gen.depth
          & info [ "depth" ] ~docv:"D" ~doc:"Run length of the generated systems.")
+  and certify_t =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"Instead of bare verdicts, build a witness certificate for every \
+                   checked system and re-verify each with the independent checker; a \
+                   rejected certificate fails the sweep like a violated theorem.")
   in
-  let run () check count first_seed depth eps =
+  let run () check count first_seed depth eps certify =
     handle (fun () ->
         let sel =
           if check = "all" then Ok None
@@ -584,14 +612,27 @@ let sweep_cmd =
         Result.map
           (fun sel ->
             let params = { Gen.default_params with Gen.depth = depth } in
-            let reports =
-              with_jobs_pool (fun pool ->
-                  match sel with
-                  | None -> Sweep.run_all ?pool ~params ~eps ~first_seed ~count ()
-                  | Some c -> [ Sweep.run ?pool ~params ~eps c ~first_seed ~count ])
+            let checks =
+              match sel with None -> Sweep.all_checks | Some c -> [ c ]
             in
-            List.iter (fun r -> Format.printf "%a@." Sweep.pp_report r) reports;
-            if List.for_all Sweep.passed reports then 0 else 1)
+            if certify then begin
+              let reports =
+                with_jobs_pool (fun pool ->
+                    List.map
+                      (fun c -> Cert.certify_sweep ?pool ~params ~eps c ~first_seed ~count)
+                      checks)
+              in
+              List.iter (fun r -> Format.printf "%a@." Cert.pp_sweep_report r) reports;
+              if List.for_all Cert.sweep_passed reports then 0 else 1
+            end
+            else begin
+              let reports =
+                with_jobs_pool (fun pool ->
+                    List.map (fun c -> Sweep.run ?pool ~params ~eps c ~first_seed ~count) checks)
+              in
+              List.iter (fun r -> Format.printf "%a@." Sweep.pp_report r) reports;
+              if List.for_all Sweep.passed reports then 0 else 1
+            end)
           sel)
   in
   Cmd.v
@@ -607,7 +648,8 @@ let sweep_cmd =
                ...) is shared by all domains rather than multiplied by them. Exits 1 \
                if any system violates a checked result."
          ])
-    Term.(const run $ common_t $ check_t $ count_t $ first_seed_t $ depth_t $ eps_t)
+    Term.(const run $ common_t $ check_t $ count_t $ first_seed_t $ depth_t $ eps_t
+          $ certify_t)
 
 let axioms_cmd =
   let run () name prm =
@@ -674,6 +716,17 @@ let appendix_cmd =
     (Cmd.info "appendix" ~doc:"Evaluate the paper's Appendix D proof chain on a system")
     Term.(const run $ common_t $ system_arg $ params_t)
 
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Result.Error (Error.make Error.Io msg)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | doc -> Ok doc
+        | exception Sys_error msg -> Result.Error (Error.make Error.Io msg))
+
 let load_cmd =
   let file_arg =
     Arg.(required & pos 0 (some string) None
@@ -683,17 +736,6 @@ let load_cmd =
     Arg.(value & opt (some string) None
          & info [ "formula" ] ~docv:"FORMULA"
              ~doc:"Also model-check $(docv) on the loaded system.")
-  in
-  let read_file path =
-    match open_in_bin path with
-    | exception Sys_error msg -> Result.Error (Error.make Error.Io msg)
-    | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          match really_input_string ic (in_channel_length ic) with
-          | doc -> Ok doc
-          | exception Sys_error msg -> Result.Error (Error.make Error.Io msg))
   in
   let run () file formula_text =
     let ( let* ) r f =
@@ -729,6 +771,105 @@ let load_cmd =
                exits 4 — never a raw exception."
          ])
     Term.(const run $ common_t $ file_arg $ formula_t)
+
+let explain_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"A pps document (see $(b,pak dump)).")
+  in
+  let formula_t =
+    Arg.(required & opt (some string) None
+         & info [ "formula" ] ~docv:"FORMULA" ~doc:"The formula to certify.")
+  in
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the certificate as one-line JSON (stable schema_version) on \
+                   stdout instead of the indented text rendering; pipe into \
+                   $(b,tools/check_cert.exe) to re-verify it independently.")
+  in
+  let depth_t =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"N"
+             ~doc:"Elide certificate nodes nested deeper than $(docv) subformula levels.")
+  in
+  let at_conv =
+    let parse s =
+      let split i =
+        match
+          ( int_of_string_opt (String.sub s 0 i),
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Some r, Some t -> Ok (r, t)
+        | _ -> Error (`Msg (Printf.sprintf "cannot parse %S as RUN:TIME" s))
+      in
+      match String.index_opt s ':' with
+      | Some i -> split i
+      | None -> Error (`Msg (Printf.sprintf "cannot parse %S as RUN:TIME" s))
+    in
+    Arg.conv (parse, fun fmt (r, t) -> Format.fprintf fmt "%d:%d" r t)
+  in
+  let at_t =
+    Arg.(value & opt (some at_conv) None
+         & info [ "at" ] ~docv:"RUN:TIME"
+             ~doc:"Focus on one point: print the verdict there and mark every \
+                   subformula as holding or failing at $(docv).")
+  in
+  let run () file text json depth at =
+    let ( let* ) r f =
+      match r with
+      | Result.Error e -> fail_error (Error.with_context "pak explain" e)
+      | Ok v -> f v
+    in
+    let* doc = read_file file in
+    let* tree = Tree_io.of_string_result doc in
+    let* f = Parser.parse_result text in
+    let* () =
+      match at with
+      | Some (r, t)
+        when not (r >= 0 && r < Tree.n_runs tree && t >= 0 && t < Tree.run_length tree r) ->
+        Result.Error
+          (Error.makef Error.Invalid_system "point (%d,%d) is outside the system" r t)
+      | _ -> Ok ()
+    in
+    let* cert = Cert.certify_result tree ~valuation:default_valuation f in
+    (* Self-check: every certificate the CLI emits has already survived
+       the independent checker. A failure here is a pak bug, not bad
+       input, so it maps to the internal-error exit code. *)
+    match Cert.check ~valuation:default_valuation tree cert with
+    | Result.Error v ->
+      Format.eprintf "pak: internal error: fresh certificate rejected: %s@."
+        (Cert.violation_to_string v);
+      125
+    | Ok () ->
+      if json then print_endline (Cert.to_json cert)
+      else begin
+        Printf.printf "%s: %d agents, %d nodes, %d runs, %d points\n" file
+          (Tree.n_agents tree) (Tree.n_nodes tree) (Tree.n_runs tree) (Tree.n_points tree);
+        Printf.printf "formula: %s (%d certificate nodes)\n" (Formula.to_string f)
+          (Cert.size cert);
+        Format.printf "%a" (Cert.pp ?depth ?at) cert
+      end;
+      0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Certify a formula on a loaded system: emit a self-checked witness \
+             certificate"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Evaluates FORMULA on the pps document FILE with full provenance: every \
+               subformula's satisfying point set, the indistinguishability cell behind \
+               each knowledge verdict, the conditioning cell with exact rational \
+               measures behind each graded-belief verdict, and the iteration-by- \
+               iteration approximants behind each common-knowledge/common-belief \
+               fixpoint. The certificate is re-verified by the independent checker \
+               before printing; $(b,--json) emits it as machine-readable JSON for \
+               external re-verification ($(b,tools/check_cert.exe)). Budgets \
+               ($(b,--max-iters), $(b,--timeout-ms), ...) bound certification like \
+               every other subcommand (exit 4 on exhaustion)."
+         ])
+    Term.(const run $ common_t $ file_arg $ formula_t $ json_t $ depth_t $ at_t)
 
 let random_cmd =
   let seed_arg = Arg.(value & pos 0 int 1 & info [] ~docv:"SEED" ~doc:"Generator seed.") in
@@ -772,7 +913,7 @@ let () =
     Cmd.group info
       [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; profile_cmd; dot_cmd; dump_cmd;
         simulate_cmd; sweep_cmd; axioms_cmd; frontier_cmd; appendix_cmd; load_cmd;
-        random_cmd ]
+        explain_cmd; random_cmd ]
   in
   (* Top-level boundary: no raw exception escapes as a crash. Typed and
      classifiable errors map onto the exit-code contract; anything else

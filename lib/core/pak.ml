@@ -28,7 +28,16 @@ module Sweep = Pak_pps.Sweep
 module Tree_io = Pak_pps.Tree_io
 module Formula = Pak_logic.Formula
 module Parser = Pak_logic.Parser
-module Semantics = Pak_logic.Semantics
+
+module Semantics = struct
+  include Pak_logic.Semantics
+
+  (* The provenance layer's certifying evaluator, re-exported here so
+     the umbrella API offers [Semantics.certify] next to [eval]. *)
+  let certify = Pak_cert.Cert.certify
+end
+
+module Cert = Pak_cert.Cert
 module Axioms = Pak_logic.Axioms
 module Simplify = Pak_logic.Simplify
 module Protocol = Pak_protocol.Protocol

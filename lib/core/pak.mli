@@ -18,6 +18,8 @@
       {!Theorems}, {!Gen}: the paper's Sections 3–7, executable;
     - {!Formula}, {!Parser}, {!Semantics}: probabilistic epistemic
       logic with a model checker;
+    - {!Cert}: evaluation provenance — witness certificates for every
+      verdict and an independent certificate checker;
     - {!Protocol}, {!Network}: joint protocols compiled to pps;
     - {!Systems}: every example system of the paper. *)
 
@@ -51,7 +53,18 @@ module Sweep = Pak_pps.Sweep
 module Tree_io = Pak_pps.Tree_io
 module Formula = Pak_logic.Formula
 module Parser = Pak_logic.Parser
-module Semantics = Pak_logic.Semantics
+
+(** {!Pak_logic.Semantics} extended with the provenance layer's
+    certifying evaluator: [Semantics.certify] produces a
+    {!Cert.t} witness tree whose root verdict always agrees with
+    [Semantics.eval]. *)
+module Semantics : sig
+  include module type of Pak_logic.Semantics
+
+  val certify : Pak_pps.Tree.t -> valuation:valuation -> Pak_logic.Formula.t -> Pak_cert.Cert.t
+end
+
+module Cert = Pak_cert.Cert
 module Axioms = Pak_logic.Axioms
 module Simplify = Pak_logic.Simplify
 module Protocol = Pak_protocol.Protocol

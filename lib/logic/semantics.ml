@@ -47,6 +47,18 @@ let op_tag : Formula.t -> string = function
 
 type valuation = string -> Gstate.t -> bool
 
+let generic_valuation atom g =
+  (* generic atoms: "a<i>_<label>" tests agent i's label. The agent
+     index is every digit up to the first underscore, so the valuation
+     works for systems with any number of agents. *)
+  match String.index_opt atom '_' with
+  | Some sep when sep > 1 && atom.[0] = 'a' ->
+    (match int_of_string_opt (String.sub atom 1 (sep - 1)) with
+     | Some i when i >= 0 && i < Gstate.n_agents g ->
+       Gstate.local g i = String.sub atom (sep + 1) (String.length atom - sep - 1)
+     | _ -> false)
+  | _ -> false
+
 (* A fact from a per-local-state boolean: true at (r,t) iff the bit for
    the local state of [agent] at (r,t) is set. Used for K and B, whose
    truth value only depends on the agent's local state. *)

@@ -15,9 +15,39 @@ type valuation = string -> Gstate.t -> bool
 (** [valuation atom state] decides the atom at a global state.
     Unknown atoms should raise or return [false] consistently. *)
 
+val generic_valuation : valuation
+(** The label-testing valuation shared by the CLI and the provenance
+    layer: atom ["a<i>_<label>"] holds iff agent [i]'s current
+    local-state label is [label] (any agent count); every other atom is
+    false. *)
+
 val eval : Tree.t -> valuation:valuation -> Formula.t -> Fact.t
 (** Evaluate a formula to the fact (set of points) where it holds.
     Subformulas are memoized, so shared structure is evaluated once. *)
+
+(** {1 Evaluation primitives}
+
+    The building blocks [eval] combines, exposed so the provenance
+    layer ([Pak_cert]) can certify with {e exactly} the evaluator's
+    semantics rather than a reimplementation. *)
+
+val satisfies_cmp : Formula.cmp -> Pak_rational.Q.t -> Pak_rational.Q.t -> bool
+(** [satisfies_cmp cmp degree threshold] is [degree ⋈ threshold]. *)
+
+val knows_fact : Tree.t -> agent:int -> Fact.t -> Fact.t
+(** The fact [K_i ϕ] given the fact for ϕ: true at a point iff ϕ holds
+    at every run of the agent's indistinguishability cell there. *)
+
+val believes_fact :
+  Tree.t ->
+  agent:int ->
+  cmp:Formula.cmp ->
+  threshold:Pak_rational.Q.t ->
+  Fact.t ->
+  Fact.t
+(** The fact [B_i^{⋈q} ϕ] given the fact for ϕ: true at a point iff the
+    agent's degree of belief ({!Pak_pps.Belief.degree_at_lstate}) at
+    its local state compares as required against the threshold. *)
 
 val sat : Tree.t -> valuation:valuation -> Formula.t -> run:int -> time:int -> bool
 (** [(T, r, t) ⊨ ϕ]. *)

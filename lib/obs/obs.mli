@@ -199,6 +199,30 @@ val pp_summary : Format.formatter -> unit -> unit
 
 val print_summary : out_channel -> unit
 
+(** {1 Minimal JSON reader}
+
+    The zero-dependency JSON parser used internally to validate traces
+    and parse {!Snapshot} values back, exposed so other layers (the
+    certificate decoder in [Pak_cert], tools) can read the JSON this
+    library and its clients emit without adding a dependency. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+  (** Raised by {!parse} on malformed input, with a position-bearing
+      message. *)
+
+  val parse : string -> t
+  (** Parse one JSON document. @raise Bad on malformed input. *)
+end
+
 (** {1 Versioned metrics snapshots} *)
 
 module Snapshot : sig

@@ -48,19 +48,25 @@ let passed r = r.violations = [] && r.checked > 0
 
 type outcome = Checked of bool | Skipped
 
-(* One seed: generate, pick, check. A pure function of
-   (params, eps, check, seed) — the property every determinism
-   guarantee of this module rests on. The per-seed semantics mirror
-   the reproduction bench's random sweeps exactly. *)
-let run_seed ~params ~eps check seed =
+(* The instance a seed contributes: generate the tree, pick the proper
+   action, derive the past-based fact. A pure function of
+   (params, seed) — the property every determinism guarantee of this
+   module rests on. *)
+let seed_instance ?(params = Gen.default_params) seed =
   let tree = Gen.tree ~params seed in
   match Gen.pick_proper_action tree ~seed with
+  | None -> None
+  | Some (agent, act) -> Some (tree, (agent, act), Gen.past_based_fact tree ~seed)
+
+(* One seed: generate, pick, check. The per-seed semantics mirror the
+   reproduction bench's random sweeps exactly. *)
+let run_seed ~params ~eps check seed =
+  match seed_instance ~params seed with
   | None ->
     Obs.incr c_skipped;
     Skipped
-  | Some (agent, act) ->
+  | Some (_tree, (agent, act), fact) ->
     Obs.incr c_checked;
-    let fact = Gen.past_based_fact tree ~seed in
     let ok =
       match check with
       | Expectation ->

@@ -41,6 +41,14 @@ val of_name : string -> check option
 val paper_result : check -> string
 (** The paper result the check exercises, e.g. ["Theorem 6.2"]. *)
 
+val seed_instance : ?params:Gen.params -> int -> (Tree.t * (int * string) * Fact.t) option
+(** The per-seed instance a sweep checks: the generated tree, the
+    picked proper (agent, action) pair and the past-based fact — [None]
+    when the seed's tree offers no proper action. A pure function of
+    [(params, seed)]; {!run} checks exactly these instances, and the
+    certificate layer ([Pak_cert.certify_sweep]) re-derives them from
+    the same seeds. *)
+
 type report = {
   check : check;
   eps : Q.t;  (** the ε used by [Pak_corollary]; recorded for all. *)

@@ -1,5 +1,6 @@
 (* bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS]
                [--allow NAME]...
+   bench_diff --write-baseline
 
    Compare a fresh metrics snapshot (pak --metrics-json / bench
    --metrics-json) against a committed baseline from bench/baselines/.
@@ -9,16 +10,77 @@
    within the relative tolerance, with an absolute floor under which
    noise drowns any signal. Exits 0 when the snapshots agree, 1 with
    one readable line per violation, 2 on usage or unreadable input.
-   CI runs this as the perf-regression gate. *)
+   CI runs this as the perf-regression gate.
+
+   --write-baseline regenerates both committed baselines in one
+   command: it runs the sibling bench and CLI executables with the
+   exact flags doc/PERFORMANCE.md documents, writes
+   bench/baselines/{bench,sweep}.json relative to the current
+   directory (run it from the repository root), and re-parses each
+   file as a round-trip check. *)
 
 module Obs = Pak_obs.Obs
 
 let usage () =
   prerr_endline
     "usage: bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS] [--allow NAME]...";
+  prerr_endline "       bench_diff --write-baseline";
   exit 2
 
+(* The two baseline commands of doc/PERFORMANCE.md, run against the
+   executables built next to this one so the snapshots always reflect
+   the current build. *)
+let write_baseline () =
+  let dir = Filename.dirname Sys.executable_name in
+  let sibling parts = List.fold_left Filename.concat dir parts in
+  let bench_exe = sibling [ Filename.parent_dir_name; "bench"; "main.exe" ] in
+  let cli_exe = sibling [ Filename.parent_dir_name; "bin"; "pak_cli.exe" ] in
+  List.iter
+    (fun exe ->
+      if not (Sys.file_exists exe) then begin
+        Printf.eprintf "bench_diff: %s not built — run `dune build` first\n" exe;
+        exit 2
+      end)
+    [ bench_exe; cli_exe ];
+  let out_dir = Filename.concat "bench" "baselines" in
+  if not (Sys.file_exists out_dir && Sys.is_directory out_dir) then begin
+    Printf.eprintf "bench_diff: %s/ not found — run from the repository root\n" out_dir;
+    exit 2
+  end;
+  let run cmd =
+    print_endline cmd;
+    match Sys.command cmd with
+    | 0 -> ()
+    | code ->
+      Printf.eprintf "bench_diff: baseline command failed with exit %d\n" code;
+      exit 1
+  in
+  run
+    (Printf.sprintf "%s --no-timing --metrics-json %s" (Filename.quote bench_exe)
+       (Filename.quote (Filename.concat out_dir "bench.json")));
+  run
+    (Printf.sprintf "%s sweep --count 20 --jobs 1 --metrics-json %s"
+       (Filename.quote cli_exe)
+       (Filename.quote (Filename.concat out_dir "sweep.json")));
+  List.iter
+    (fun name ->
+      let file = Filename.concat out_dir name in
+      match Obs.Snapshot.of_file file with
+      | Ok s ->
+        Printf.printf "bench_diff: wrote %s (schema %d, %d counters, %d histograms)\n" file
+          s.Obs.Snapshot.version
+          (List.length s.Obs.Snapshot.counters)
+          (List.length s.Obs.Snapshot.histograms)
+      | Error msg ->
+        Printf.eprintf "bench_diff: %s does not parse back: %s\n" file msg;
+        exit 1)
+    [ "bench.json"; "sweep.json" ]
+
 let () =
+  if Array.to_list Sys.argv |> List.tl = [ "--write-baseline" ] then begin
+    write_baseline ();
+    exit 0
+  end;
   let files = ref [] in
   let cfg = ref Obs.Diff.default in
   let rec parse = function

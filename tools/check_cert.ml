@@ -1,0 +1,65 @@
+(* check_cert SYSTEM.pps CERT.json — independently re-verify a witness
+   certificate emitted by `pak explain --json` against the system it
+   certifies. The checker shares no code with the evaluator: it decodes
+   the JSON with the zero-dependency reader and re-derives every point
+   set, conditioning cell, rational measure and fixpoint approximant
+   from the pps document alone. CERT.json may be "-" to read stdin, so
+   `pak explain FILE --formula F --json | check_cert FILE -` is the CI
+   smoke pipeline.
+
+   Exits 0 when the certificate verifies, 1 when it is rejected (the
+   precise violation is printed), 2 on usage errors, 3 on unreadable or
+   unparsable inputs. *)
+
+module Cert = Pak_cert.Cert
+module Tree_io = Pak_pps.Tree_io
+module Semantics = Pak_logic.Semantics
+module Error = Pak_guard.Error
+
+let read_file path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_bin path In_channel.input_all
+
+let () =
+  let system_file, cert_file =
+    match Sys.argv with
+    | [| _; system_file; cert_file |] -> (system_file, cert_file)
+    | _ ->
+      prerr_endline "usage: check_cert SYSTEM.pps CERT.json   (CERT.json may be -)";
+      exit 2
+  in
+  let doc =
+    try read_file system_file
+    with Sys_error msg ->
+      Printf.eprintf "check_cert: %s\n" msg;
+      exit 3
+  in
+  let tree =
+    match Tree_io.of_string_result doc with
+    | Ok tree -> tree
+    | Error e ->
+      Printf.eprintf "check_cert: %s: %s\n" system_file (Error.to_string e);
+      exit 3
+  in
+  let cert_text =
+    try read_file cert_file
+    with Sys_error msg ->
+      Printf.eprintf "check_cert: %s\n" msg;
+      exit 3
+  in
+  let cert =
+    match Cert.of_json_string cert_text with
+    | Ok cert -> cert
+    | Error msg ->
+      Printf.eprintf "check_cert: %s: %s\n" cert_file msg;
+      exit 3
+  in
+  match Cert.check ~valuation:Semantics.generic_valuation tree cert with
+  | Ok () ->
+    Printf.printf "%s: certificate verified (%d nodes, root holds at %d of %d points)\n"
+      cert_file (Cert.size cert)
+      (List.length cert.Cert.root.Cert.points)
+      cert.Cert.n_points
+  | Error v ->
+    Printf.eprintf "check_cert: REJECTED: %s\n" (Cert.violation_to_string v);
+    exit 1

@@ -1,11 +1,12 @@
-(* fuzz [--iters N] [--seed S] [--corpus DIR] [--jobs J] — in-process
-   fuzzer for the untrusted-input boundaries.
+(* fuzz [--mode boundaries|explain] [--iters N] [--seed S]
+        [--corpus DIR] [--jobs J] — in-process fuzzer for the
+   untrusted-input boundaries.
 
-   Feeds three input streams to Parser.parse_result and
-   Tree_io.of_string_result, asserting the crash-free contract: every
-   input yields Ok or a typed Pak_guard.Error.t — never an escaped
-   exception, never a stack overflow, and (under the built-in budget)
-   never a hang. Streams:
+   The default mode feeds three input streams to Parser.parse_result
+   and Tree_io.of_string_result, asserting the crash-free contract:
+   every input yields Ok or a typed Pak_guard.Error.t — never an
+   escaped exception, never a stack overflow, and (under the built-in
+   budget) never a hang. Streams:
 
    - random byte strings, length 0..400;
    - mutations of valid round-trip documents and formulas (byte flips,
@@ -13,6 +14,16 @@
      truncation);
    - the committed regression corpus, replayed first when --corpus is
      given.
+
+   --mode explain drives the same streams through the provenance
+   pipeline instead: parse -> certify -> independent check -> JSON
+   round-trip -> re-check, on a fixed small system. The contract is
+   stricter than crash-freedom: a parsed formula must always certify,
+   the fresh certificate must always verify, and its JSON must parse
+   back to a certificate that verifies again — a rejection anywhere in
+   that chain is a finding, not a graceful Rejected. Mutated
+   certificate JSON additionally probes Cert.of_json_string, which
+   must return Ok or Error without raising.
 
    Every iteration derives its own generator from (seed, iteration
    index), so the probed inputs — and therefore any finding — are
@@ -32,13 +43,18 @@ let iters = ref 10_000
 let seed = ref 0
 let corpus = ref ""
 let jobs = ref 1
+let mode = ref "boundaries"
 
 let usage () =
-  prerr_endline "usage: fuzz [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
+  prerr_endline
+    "usage: fuzz [--mode boundaries|explain] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
   exit 2
 
 let rec parse_args = function
   | [] -> ()
+  | "--mode" :: v :: rest ->
+    (match v with "boundaries" | "explain" -> mode := v | _ -> usage ());
+    parse_args rest
   | "--iters" :: v :: rest ->
     (match int_of_string_opt v with Some n when n > 0 -> iters := n | _ -> usage ());
     parse_args rest
@@ -71,8 +87,47 @@ let boundaries =
 (* Each probe runs under a modest budget so a pathological input that
    is merely slow (rather than crashing) also counts as a finding:
    the contract includes "never a hang". The budget scope is
-   domain-local, so parallel probes cannot exhaust each other. *)
-let probe_limits = Budget.limits ~max_nodes:100_000 ~max_limbs:1_000_000 ~timeout_ms:2_000 ()
+   domain-local, so parallel probes cannot exhaust each other. The
+   iteration cap exists for --mode explain, where a parsed formula may
+   drive common-knowledge fixpoints. *)
+let probe_limits =
+  Budget.limits ~max_nodes:100_000 ~max_limbs:1_000_000 ~max_iters:100_000 ~timeout_ms:2_000 ()
+
+(* --mode explain: the provenance pipeline on one small fixed system.
+   Everything past a successful parse is covered by the soundness
+   contract, so any rejection downstream is raised (and so counted as
+   a crash finding) rather than returned as Rejected. *)
+let explain_tree = lazy (Systems.Figure_one.tree ~p_alpha:Q.half ())
+
+let explain_boundaries =
+  [ ( "explain",
+      fun input ->
+        match Parser.parse_result input with
+        | Error e -> Rejected e
+        | Ok f ->
+          let tree = Lazy.force explain_tree in
+          let valuation = Semantics.generic_valuation in
+          (match Cert.certify_result tree ~valuation f with
+          | Error e -> Rejected e
+          | Ok cert ->
+            (match Cert.check ~valuation tree cert with
+            | Ok () -> ()
+            | Error v ->
+              failwith ("fresh certificate rejected: " ^ Cert.violation_to_string v));
+            (match Cert.of_json_string (Cert.to_json cert) with
+            | Error msg -> failwith ("emitted JSON does not parse back: " ^ msg)
+            | Ok cert' ->
+              (match Cert.check ~valuation tree cert' with
+              | Ok () -> Accepted
+              | Error v ->
+                failwith
+                  ("re-parsed certificate rejected: " ^ Cert.violation_to_string v)))) );
+    ( "cert_json",
+      fun input ->
+        match Cert.of_json_string input with
+        | Ok _ -> Accepted
+        | Error msg -> Rejected (Error.make Error.Parse msg) )
+  ]
 
 let crashes = Atomic.make 0
 
@@ -157,11 +212,29 @@ let seed_doc =
     (let t = Systems.Figure_one.tree ~p_alpha:Q.half () in
      Tree_io.to_string t)
 
+(* --mode explain seeds: formulas over the fixed system's generic
+   atoms, covering every certificate node kind, plus one valid
+   certificate JSON for the cert_json boundary's mutants. *)
+let explain_formulas =
+  [| "K[0] a0_g0 & B[0]>=1/2 F a0_h";
+     "CB[0]>=3/4 (a0_g0 | !a0_g0)";
+     "C[0] (a0_g1 -> X a0_g2)";
+     "does[0](alpha) -> B[0]>=1/3 O a0_g1";
+     "EB[0]>=2/3 G (a0_g0 <-> H a0_g0)"
+  |]
+
+let seed_cert_json =
+  lazy
+    (let tree = Lazy.force explain_tree in
+     Cert.to_json
+       (Semantics.certify tree ~valuation:Semantics.generic_valuation
+          (Parser.parse "K[0] a0_g0 | B[0]>=1/4 F a0_g1")))
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let replay_corpus dir =
+let replay_corpus boundaries dir =
   let files = try Sys.readdir dir with Sys_error _ -> [||] in
   Array.sort compare files;
   Array.iter
@@ -184,21 +257,30 @@ let replay_corpus dir =
 
 let () =
   parse_args (List.tl (Array.to_list Sys.argv));
-  let replayed = if !corpus = "" then 0 else replay_corpus !corpus in
-  (* Force the seed document before any domain spawns: Lazy values are
+  let boundaries = if !mode = "explain" then explain_boundaries else boundaries in
+  let replayed = if !corpus = "" then 0 else replay_corpus boundaries !corpus in
+  (* Force the seed inputs before any domain spawns: Lazy values are
      not safe to force concurrently. *)
   let doc = Lazy.force seed_doc in
+  let cert_json = if !mode = "explain" then Lazy.force seed_cert_json else "" in
   let run_iteration i =
     let r = rng_for !seed i in
     let input =
-      match i mod 3 with
-      | 0 -> random_bytes r
-      | 1 -> mutate r seed_formulas.(next r mod Array.length seed_formulas)
-      | _ -> mutate r doc
+      if !mode = "explain" then
+        match i mod 3 with
+        | 0 -> random_bytes r
+        | 1 -> mutate r explain_formulas.(next r mod Array.length explain_formulas)
+        | _ -> mutate r cert_json
+      else
+        match i mod 3 with
+        | 0 -> random_bytes r
+        | 1 -> mutate r seed_formulas.(next r mod Array.length seed_formulas)
+        | _ -> mutate r doc
     in
     (* Round-robin keeps both boundaries at iters/2 probes minimum;
-       formula mutants also go to tree_io and vice versa, which is the
-       point — boundaries must reject foreign input gracefully too. *)
+       formula mutants also go to the other boundary and vice versa,
+       which is the point — boundaries must reject foreign input
+       gracefully too. *)
     List.filter_map (fun (name, b) -> probe name b input) boundaries
   in
   let indices = Array.init !iters Fun.id in
