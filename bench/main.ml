@@ -326,8 +326,22 @@ let scaling_series () =
 (* ------------------------------------------------------------------ *)
 
 (* Version stamp of the BENCH_obs.json / BENCH_par.json layout; bumped
-   on incompatible change. v1 was the unversioned PR 1-3 layout. *)
-let bench_schema_version = 2
+   on incompatible change. v1 was the unversioned PR 1-3 layout; v3
+   added the allocated-words columns. *)
+let bench_schema_version = 3
+
+(* Process-total minor words: the domain-local precise counter
+   combined with quick_stat's collection-time total (which also
+   absorbs terminated pool domains) — exact on a single domain,
+   accurate to one unflushed minor heap per live domain otherwise. *)
+let minor_words_total () =
+  Float.max (Gc.minor_words ()) (Gc.quick_stat ()).Gc.minor_words
+
+(* Words allocated directly on the major heap (allocations too large
+   for the minor heap), excluding promotions. *)
+let major_direct_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.major_words -. s.Gc.promoted_words
 
 let obs_scenarios () =
   let fs_tree = FS.tree FS.Original in
@@ -414,7 +428,32 @@ let obs_scenarios () =
               done)
         with
         | Ok () -> ()
-        | Error _ -> assert false )
+        | Error _ -> assert false );
+    (* Alloc-attribution overhead: the same span-heavy workload with
+       per-span Gc counter reads disabled vs enabled. Comparing the
+       wall_ms of the _off/_on pair in BENCH_obs.json is the allocation
+       telemetry's measured cost; if it ever exceeds ~2% on these
+       scenarios, --no-alloc is the kill switch. *)
+    ( "alloc_off_cb_fixpoint_x50",
+      fun () ->
+        let prev = Obs.track_allocations () in
+        Obs.set_track_allocations false;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_track_allocations prev)
+          (fun () ->
+            for _ = 1 to 50 do
+              ignore (Semantics.eval fs_tree ~valuation cb_formula)
+            done) );
+    ( "alloc_on_cb_fixpoint_x50",
+      fun () ->
+        let prev = Obs.track_allocations () in
+        Obs.set_track_allocations true;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_track_allocations prev)
+          (fun () ->
+            for _ = 1 to 50 do
+              ignore (Semantics.eval fs_tree ~valuation cb_formula)
+            done) )
   ]
 
 let export_obs () =
@@ -425,10 +464,14 @@ let export_obs () =
     List.map
       (fun (name, f) ->
         Obs.reset ();
+        let mj0 = major_direct_words () in
+        let mw0 = Gc.minor_words () in
         let t0 = Sys.time () in
         f ();
         let ms = (Sys.time () -. t0) *. 1000. in
-        (name, ms, List.filter (fun (_, v) -> v <> 0) (Obs.counters ())))
+        let minor_aw = Float.max 0. (Gc.minor_words () -. mw0) in
+        let major_aw = Float.max 0. (major_direct_words () -. mj0) in
+        (name, ms, minor_aw, major_aw, List.filter (fun (_, v) -> v <> 0) (Obs.counters ())))
       scenarios
   in
   Obs.reset ();
@@ -437,10 +480,12 @@ let export_obs () =
   Buffer.add_string buf (Printf.sprintf "{\n  \"schema_version\": %d,\n" bench_schema_version);
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
-    (fun i (name, ms, counters) ->
+    (fun i (name, ms, minor_aw, major_aw, counters) ->
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf (Printf.sprintf "    {\n      \"name\": \"%s\",\n" name);
       Buffer.add_string buf (Printf.sprintf "      \"wall_ms\": %.3f,\n" ms);
+      Buffer.add_string buf (Printf.sprintf "      \"minor_words\": %.0f,\n" minor_aw);
+      Buffer.add_string buf (Printf.sprintf "      \"major_words\": %.0f,\n" major_aw);
       Buffer.add_string buf "      \"counters\": {";
       List.iteri
         (fun j (cname, v) ->
@@ -469,12 +514,33 @@ let export_snapshot file =
   let was_enabled = Obs.enabled () in
   Obs.reset ();
   Obs.enable ();
+  let mw0 = Gc.minor_words () in
   List.iter (fun (name, f) -> Obs.span ("bench." ^ name) f) scenarios;
+  let process_minor = Gc.minor_words () -. mw0 in
+  (* Attribution coverage: the scenarios run single-domain and each is
+     wrapped in a root span, so self words over the whole tree
+     telescope to the roots' inclusive words and must account for
+     (nearly) every minor word the process allocated — what escapes is
+     the per-span instrumentation cost and the list iteration between
+     scenarios. More than 10% unattributed means the span deltas are
+     wrong (e.g. a counter read got reordered). *)
+  let attributed =
+    List.fold_left
+      (fun acc n -> acc +. n.Obs.sn_minor_aw)
+      0. (Obs.span_tree ())
+  in
+  let coverage = if process_minor > 0. then attributed /. process_minor else 1. in
+  if Obs.track_allocations () && Float.abs (coverage -. 1.) > 0.1 then begin
+    incr failures;
+    Printf.printf "  alloc attribution MISMATCH: spans account for %.1f%% of %.0f minor words\n"
+      (100. *. coverage) process_minor
+  end;
   Obs.Snapshot.write file (Obs.Snapshot.capture ());
   Obs.reset ();
   if not was_enabled then Obs.disable ();
-  Printf.printf "\n== Metrics snapshot: %s (%d scenarios, schema v%d) ==\n" file
-    (List.length scenarios) Obs.Snapshot.schema_version
+  Printf.printf
+    "\n== Metrics snapshot: %s (%d scenarios, schema v%d, %.1f%% of minor words attributed) ==\n"
+    file (List.length scenarios) Obs.Snapshot.schema_version (100. *. coverage)
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: timing benchmarks                                           *)
@@ -618,30 +684,47 @@ let export_par () =
           List.map
             (fun jobs ->
               let run pool = let t0 = wall () in let v = f pool in ((wall () -. t0) *. 1000., v) in
+              (* Allocation is measured around the whole with_pool
+                 expression: quick_stat absorbs the joined workers'
+                 counters, so the delta is the engine's process-total
+                 allocation at this job count. *)
+              let mw0 = minor_words_total () in
               let ms, v =
                 if jobs = 1 then run None
                 else Pool.with_pool ~jobs (fun pool -> run (Some pool))
               in
-              (jobs, ms, v))
+              let aw = Float.max 0. (minor_words_total () -. mw0) in
+              (jobs, ms, aw, v))
             jobs_list
         in
         (* Determinism cross-check: every job count must compute the
-           same value, or the timings compare different work. *)
+           same value, or the timings compare different work. And the
+           same work should allocate the same words: minor words must
+           be jobs-invariant to within 2x + a 1M-word floor (slack for
+           per-worker pool setup and GC-timing jitter in promotion). *)
         (match timings with
-         | (_, _, v1) :: rest ->
+         | (_, _, aw1, v1) :: rest ->
            List.iter
-             (fun (jobs, _, v) ->
+             (fun (jobs, _, aw, v) ->
                if v <> v1 then begin
                  incr failures;
                  Printf.printf "  %-22s MISMATCH: jobs=%d computed %s, jobs=1 computed %s\n"
                    name jobs v v1
+               end;
+               if Float.abs (aw -. aw1) > 1e6
+                  && (aw > aw1 *. 2. || aw1 > aw *. 2.)
+               then begin
+                 incr failures;
+                 Printf.printf
+                   "  %-22s ALLOC MISMATCH: jobs=%d allocated %.0f minor words, jobs=1 %.0f\n"
+                   name jobs aw aw1
                end)
              rest
          | [] -> ());
         (name, timings))
       engines
   in
-  let serial_ms timings = match timings with (1, ms, _) :: _ -> ms | _ -> nan in
+  let serial_ms timings = match timings with (1, ms, _, _) :: _ -> ms | _ -> nan in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "{\n  \"schema_version\": %d,\n" bench_schema_version);
   Buffer.add_string buf
@@ -654,11 +737,13 @@ let export_par () =
       Buffer.add_string buf "      \"runs\": [";
       let s = serial_ms timings in
       List.iteri
-        (fun j (jobs, ms, _) ->
+        (fun j (jobs, ms, aw, _) ->
           if j > 0 then Buffer.add_string buf ",";
           Buffer.add_string buf
-            (Printf.sprintf "\n        {\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f}"
-               jobs ms (s /. ms)))
+            (Printf.sprintf
+               "\n        {\"jobs\": %d, \"wall_ms\": %.3f, \"speedup\": %.3f, \
+                \"minor_words\": %.0f}"
+               jobs ms (s /. ms) aw))
         timings;
       Buffer.add_string buf "\n      ]\n    }")
     rows;
@@ -673,7 +758,7 @@ let export_par () =
   List.iter
     (fun (name, timings) ->
       Printf.printf "  %-22s" name;
-      List.iter (fun (jobs, ms, _) -> Printf.printf "  j%d %8.1fms" jobs ms) timings;
+      List.iter (fun (jobs, ms, _, _) -> Printf.printf "  j%d %8.1fms" jobs ms) timings;
       print_newline ())
     rows
 

@@ -248,8 +248,16 @@ let obs_t =
              ~doc:"Write a versioned machine-readable metrics snapshot (counters, \
                    gauges, latency histograms, span tree) to $(docv) on exit. Implies \
                    metric collection; compare snapshots with tools/bench_diff.exe.")
+  and no_alloc_t =
+    Arg.(value & flag
+         & info [ "no-alloc" ]
+             ~doc:"Skip per-span allocation attribution (the GC counter reads at every \
+                   span boundary). Timings, counters and the span-tree shape are \
+                   unaffected; allocated-words columns read as zero. The gc.* gauges \
+                   keep reporting.")
   in
-  let setup metrics trace metrics_json =
+  let setup metrics trace metrics_json no_alloc =
+    if no_alloc then Obs.set_track_allocations false;
     (match trace with
      | None -> ()
      | Some file ->
@@ -270,7 +278,7 @@ let obs_t =
       at_exit (fun () -> Obs.print_summary stderr)
     end
   in
-  Term.(const setup $ metrics_t $ trace_t $ metrics_json_t)
+  Term.(const setup $ metrics_t $ trace_t $ metrics_json_t $ no_alloc_t)
 
 (* Resource-budget options, shared by every subcommand. Like [obs_t]
    the term's value is (), evaluated for its effect: installing the
@@ -477,9 +485,16 @@ let profile_cmd =
     Arg.(value & flag
          & info [ "tree" ]
              ~doc:"Also print the hierarchical span tree (calls, inclusive and self \
-                   time per span path).")
+                   time and allocated words per span path).")
   in
-  let run () name text prm show_tree =
+  let alloc_arg =
+    Arg.(value & flag
+         & info [ "alloc" ]
+             ~doc:"Also print the allocation profile: span paths ranked by \
+                   self-allocated words, with the fraction of the process's minor \
+                   words the span tree accounts for.")
+  in
+  let run () name text prm show_tree show_alloc =
     handle (fun () ->
         Result.bind (find_system name prm) (fun inst ->
             match Parser.parse_result text with
@@ -505,6 +520,10 @@ let profile_cmd =
                 print_newline ();
                 Obs.print_span_tree stdout
               end;
+              if show_alloc then begin
+                print_newline ();
+                Obs.print_alloc_report stdout
+              end;
               Ok 0))
   in
   Cmd.v
@@ -517,10 +536,11 @@ let profile_cmd =
                enabled, then prints the metrics table: memoization hits and misses, \
                fixpoint iteration counts, tree points visited, measure calls, bitset \
                set operations, and per-operator evaluation spans. Combine with \
-               $(b,--tree) for the hierarchical span tree, or with $(b,--trace) to \
-               also record a Chrome trace-event file."
+               $(b,--tree) for the hierarchical span tree, $(b,--alloc) for the \
+               top-allocating-spans report, or with $(b,--trace) to also record a \
+               Chrome trace-event file."
          ])
-    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t $ tree_arg)
+    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t $ tree_arg $ alloc_arg)
 
 let dot_cmd =
   let run () name prm =

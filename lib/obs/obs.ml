@@ -12,6 +12,28 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
+(* Allocation attribution kill switch. When on (the default), every
+   span site also reads the domain-local GC allocation counters at
+   entry and exit; when off, spans record only time and the alloc
+   columns stay 0. The switch exists so the ~per-span cost of the
+   [Gc.quick_stat] reads can be shed if it ever shows up in the
+   bench overhead pair (BENCH_obs.json, alloc_off/on scenarios). *)
+let alloc_on = ref true
+
+let set_track_allocations b = alloc_on := b
+let track_allocations () = !alloc_on
+
+(* [Gc.minor_words ()] is exact (it includes the un-collected young
+   fill) and domain-local — precisely what per-span attribution
+   wants, at no allocation cost in native code. [Gc.quick_stat ()]
+   supplies the major-heap counters; direct major allocation is
+   [major_words] growth not explained by promotion. The quick_stat
+   record itself costs ~24 minor words per call; reads are ordered so
+   a span's own counters never include its entry/exit bookkeeping. *)
+let major_counters () =
+  let s = Gc.quick_stat () in
+  (s.Gc.major_words, s.Gc.promoted_words)
+
 (* One lock for everything that is not a counter bump: the registries,
    span-statistic and span-tree updates, gauge-provider registration
    and trace emission. Contention is negligible — spans wrap whole
@@ -136,7 +158,12 @@ let percentile counts q =
 (* Spans: flat statistics                                              *)
 (* ------------------------------------------------------------------ *)
 
-type span_stat = { mutable s_count : int; mutable s_total : float }
+type span_stat = {
+  mutable s_count : int;
+  mutable s_total : float;
+  mutable s_minor_aw : float;  (* inclusive minor-heap allocated words *)
+  mutable s_major_aw : float;  (* inclusive direct major-heap allocated words *)
+}
 
 let span_registry : (string, span_stat) Hashtbl.t = Hashtbl.create 32
 
@@ -145,13 +172,20 @@ let span_stat_locked name =
   match Hashtbl.find_opt span_registry name with
   | Some s -> s
   | None ->
-    let s = { s_count = 0; s_total = 0. } in
+    let s = { s_count = 0; s_total = 0.; s_minor_aw = 0.; s_major_aw = 0. } in
     Hashtbl.add span_registry name s;
     s
 
 let spans () =
   locked (fun () ->
       Hashtbl.fold (fun name s acc -> (name, s.s_count, s.s_total) :: acc) span_registry [])
+  |> List.sort compare
+
+let span_allocs () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name s acc -> (name, s.s_minor_aw, s.s_major_aw) :: acc)
+        span_registry [])
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -166,7 +200,12 @@ let spans () =
    Domains merge by path: a worker running a checker at top level
    contributes to the same root node as the caller would. *)
 
-type tree_stat = { mutable t_count : int; mutable t_total : float }
+type tree_stat = {
+  mutable t_count : int;
+  mutable t_total : float;
+  mutable t_minor_aw : float;
+  mutable t_major_aw : float;
+}
 
 let tree_registry : (string list, tree_stat) Hashtbl.t = Hashtbl.create 32
 let path_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
@@ -176,7 +215,7 @@ let tree_stat_locked path =
   match Hashtbl.find_opt tree_registry path with
   | Some s -> s
   | None ->
-    let s = { t_count = 0; t_total = 0. } in
+    let s = { t_count = 0; t_total = 0.; t_minor_aw = 0.; t_major_aw = 0. } in
     Hashtbl.add tree_registry path s;
     s
 
@@ -186,6 +225,10 @@ type span_node = {
   sn_count : int;
   sn_total : float;
   sn_self : float;
+  sn_minor_aw : float;
+  sn_self_minor_aw : float;
+  sn_major_aw : float;
+  sn_self_major_aw : float;
   sn_children : span_node list;
 }
 
@@ -200,31 +243,77 @@ let span_tree () =
   let entries =
     locked (fun () ->
         Hashtbl.fold
-          (fun path st acc -> (List.rev path, st.t_count, st.t_total) :: acc)
+          (fun path st acc ->
+            (List.rev path, (st.t_count, st.t_total, st.t_minor_aw, st.t_major_aw)) :: acc)
           tree_registry [])
   in
   let rec build prefix =
     entries
-    |> List.filter_map (fun (path, c, t) ->
+    |> List.filter_map (fun (path, stat) ->
            match leaf_under prefix path with
-           | Some leaf -> Some (leaf, c, t)
+           | Some leaf -> Some (leaf, stat)
            | None -> None)
     |> List.sort compare
-    |> List.map (fun (leaf, c, t) ->
+    |> List.map (fun (leaf, (c, t, mnr, mjr)) ->
            let path = prefix @ [ leaf ] in
            let children = build path in
-           let child_total = List.fold_left (fun acc n -> acc +. n.sn_total) 0. children in
+           let child_sum f = List.fold_left (fun acc n -> acc +. f n) 0. children in
+           let child_total = child_sum (fun n -> n.sn_total) in
+           (* Clamped: float rounding can push the children's sum a
+              hair past the parent's inclusive total, and a child span
+              can allocate on a domain whose parent frame was opened
+              with allocation tracking off. *)
+           let self incl children_sum = Float.max 0. (incl -. children_sum) in
            { sn_name = leaf;
              sn_path = path;
              sn_count = c;
              sn_total = t;
-             (* Clamped: float rounding can push the children's sum a
-                hair past the parent's inclusive total. *)
-             sn_self = Float.max 0. (t -. child_total);
+             sn_self = self t child_total;
+             sn_minor_aw = mnr;
+             sn_self_minor_aw = self mnr (child_sum (fun n -> n.sn_minor_aw));
+             sn_major_aw = mjr;
+             sn_self_major_aw = self mjr (child_sum (fun n -> n.sn_major_aw));
              sn_children = children
            })
   in
   build []
+
+(* Baseline for the gc.* gauges: the cumulative GC counters captured
+   at the last [reset] (and at module load), so snapshots report
+   allocation since the workload under observation began rather than
+   since the process started. Sampled from the calling domain;
+   [Gc.quick_stat] also absorbs the counters of terminated domains,
+   so a capture taken after a worker pool is torn down covers the
+   workers' allocation too. [Gc.minor_words] is exact but strictly
+   domain-local; quick_stat's minor count excludes the current young
+   fill — the max of the two is exact single-domain and within one
+   minor heap of exact otherwise. *)
+type gc_base = {
+  mutable b_minor_w : float;
+  mutable b_major_w : float;
+  mutable b_promoted_w : float;
+  mutable b_minor_c : int;
+  mutable b_major_c : int;
+  mutable b_compactions : int;
+}
+
+let gc_minor_words_total () =
+  Float.max (Gc.minor_words ()) (Gc.quick_stat ()).Gc.minor_words
+
+let gc_base =
+  { b_minor_w = 0.; b_major_w = 0.; b_promoted_w = 0.;
+    b_minor_c = 0; b_major_c = 0; b_compactions = 0 }
+
+let rebase_gc () =
+  let s = Gc.quick_stat () in
+  gc_base.b_minor_w <- gc_minor_words_total ();
+  gc_base.b_major_w <- s.Gc.major_words;
+  gc_base.b_promoted_w <- s.Gc.promoted_words;
+  gc_base.b_minor_c <- s.Gc.minor_collections;
+  gc_base.b_major_c <- s.Gc.major_collections;
+  gc_base.b_compactions <- s.Gc.compactions
+
+let () = rebase_gc ()
 
 let reset () =
   locked (fun () ->
@@ -235,9 +324,12 @@ let reset () =
       Hashtbl.iter
         (fun _ s ->
           s.s_count <- 0;
-          s.s_total <- 0.)
+          s.s_total <- 0.;
+          s.s_minor_aw <- 0.;
+          s.s_major_aw <- 0.)
         span_registry;
-      Hashtbl.reset tree_registry)
+      Hashtbl.reset tree_registry);
+  rebase_gc ()
 
 (* ------------------------------------------------------------------ *)
 (* Gauges                                                              *)
@@ -248,7 +340,25 @@ let reset () =
    engine) are polled when a summary or snapshot is taken. A provider
    returning [] simply has nothing to report right now. *)
 
-let gauge_providers : (unit -> (string * float) list) list ref = ref []
+(* The built-in provider: per-domain GC gauges, reported as deltas
+   from the last [reset] for the cumulative counters and as levels
+   for the heap sizes. Always available — polling is per-capture, not
+   hot-path, so the allocation kill switch does not disable it. *)
+let gc_gauges () =
+  let s = Gc.quick_stat () in
+  let d f b = Float.max 0. (f -. b) in
+  let di i b = float_of_int (Stdlib.max 0 (i - b)) in
+  [ ("gc.minor_words", d (gc_minor_words_total ()) gc_base.b_minor_w);
+    ("gc.major_words", d s.Gc.major_words gc_base.b_major_w);
+    ("gc.promoted_words", d s.Gc.promoted_words gc_base.b_promoted_w);
+    ("gc.minor_collections", di s.Gc.minor_collections gc_base.b_minor_c);
+    ("gc.major_collections", di s.Gc.major_collections gc_base.b_major_c);
+    ("gc.compactions", di s.Gc.compactions gc_base.b_compactions);
+    ("gc.heap_words", float_of_int s.Gc.heap_words);
+    ("gc.top_heap_words", float_of_int s.Gc.top_heap_words)
+  ]
+
+let gauge_providers : (unit -> (string * float) list) list ref = ref [ gc_gauges ]
 
 let register_gauges f = locked (fun () -> gauge_providers := f :: !gauge_providers)
 
@@ -321,6 +431,35 @@ let emit_counter_sample tr name v =
        "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%d}}"
        (json_escape name) (usec tr (now ())) (tid ()) v)
 
+(* GC heap lanes: "ph":"C" samples of the emitting domain's raw GC
+   counters (always integers, never negative — validated by
+   tools/check_trace.exe). Values are cumulative per domain, not
+   rebased, so each domain's lane is monotone in the viewer. Callers
+   hold [lock]. *)
+let emit_gc_samples_locked () =
+  match !trace_state with
+  | None -> ()
+  | Some tr ->
+    let s = Gc.quick_stat () in
+    let clamp v = Stdlib.max 0 v in
+    List.iter
+      (fun (name, v) -> emit_counter_sample tr name (clamp v))
+      [ ("gc.minor_words", int_of_float (Gc.minor_words ()));
+        ("gc.major_words", int_of_float s.Gc.major_words);
+        ("gc.promoted_words", int_of_float s.Gc.promoted_words);
+        ("gc.minor_collections", s.Gc.minor_collections);
+        ("gc.major_collections", s.Gc.major_collections);
+        ("gc.compactions", s.Gc.compactions);
+        ("gc.heap_words", s.Gc.heap_words);
+        ("gc.top_heap_words", s.Gc.top_heap_words)
+      ]
+
+(* One gc sample burst every [gc_sample_period] span exits per domain:
+   frequent enough to draw heap lanes over time, cheap enough not to
+   swamp the trace with counter events. *)
+let gc_sample_period = 32
+let gc_tick_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
 let trace_stop () =
   locked (fun () ->
       match !trace_state with
@@ -329,6 +468,7 @@ let trace_stop () =
         Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_value) :: acc) counter_registry []
         |> List.sort compare
         |> List.iter (fun (name, v) -> emit_counter_sample tr name v);
+        emit_gc_samples_locked ();
         output_string tr.ch "\n]\n";
         close_out tr.ch;
         trace_state := None)
@@ -351,22 +491,51 @@ let span name f =
     let parent = Domain.DLS.get path_key in
     let path = name :: parent in
     Domain.DLS.set path_key path;
+    (* Read order keeps a span's own bookkeeping out of its counts:
+       at entry the quick_stat record (~24 words) is allocated before
+       [mw0] is read; at exit [mw1] is read before the quick_stat
+       call, whose words land in the parent's self column instead. *)
+    let track = !alloc_on in
+    let mj0, pr0 = if track then major_counters () else (0., 0.) in
+    let mw0 = if track then Gc.minor_words () else 0. in
     let t0 = now () in
     let finish () =
       let t1 = now () in
+      let minor_aw, major_aw =
+        if not track then (0., 0.)
+        else begin
+          let mw1 = Gc.minor_words () in
+          let mj1, pr1 = major_counters () in
+          ( Float.max 0. (mw1 -. mw0),
+            Float.max 0. (mj1 -. mj0 -. Float.max 0. (pr1 -. pr0)) )
+        end
+      in
       Domain.DLS.set path_key parent;
       let dt = Float.max 0. (t1 -. t0) in
       let ns = int_of_float (dt *. 1e9) in
+      let gc_tick =
+        if track && !trace_state <> None then begin
+          let tick = Domain.DLS.get gc_tick_key in
+          Stdlib.incr tick;
+          !tick mod gc_sample_period = 0
+        end
+        else false
+      in
       locked (fun () ->
           let stat = span_stat_locked name in
           stat.s_count <- stat.s_count + 1;
           stat.s_total <- stat.s_total +. dt;
+          stat.s_minor_aw <- stat.s_minor_aw +. minor_aw;
+          stat.s_major_aw <- stat.s_major_aw +. major_aw;
           let h = histogram_locked name in
           ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of ns) 1);
           let ts = tree_stat_locked path in
           ts.t_count <- ts.t_count + 1;
           ts.t_total <- ts.t_total +. dt;
-          emit_complete_locked name ~path ~t_start:t0 ~t_end:t1)
+          ts.t_minor_aw <- ts.t_minor_aw +. minor_aw;
+          ts.t_major_aw <- ts.t_major_aw +. major_aw;
+          emit_complete_locked name ~path ~t_start:t0 ~t_end:t1;
+          if gc_tick then emit_gc_samples_locked ())
     in
     match f () with
     | v ->
@@ -398,8 +567,9 @@ let pp_summary fmt () =
   | [] -> Format.fprintf fmt "  (none recorded)@\n"
   | ss ->
     let hists = histograms () in
-    Format.fprintf fmt "  %-42s %10s %12s %12s %10s %10s %10s@\n" "" "calls" "total ms"
-      "mean us" "p50 us" "p90 us" "p99 us";
+    let allocs = span_allocs () in
+    Format.fprintf fmt "  %-42s %10s %12s %12s %10s %10s %10s %12s@\n" "" "calls" "total ms"
+      "mean us" "p50 us" "p90 us" "p99 us" "alloc kw";
     List.iter
       (fun (name, count, total) ->
         let mean_us = if count = 0 then 0. else total /. float_of_int count *. 1e6 in
@@ -408,8 +578,13 @@ let pp_summary fmt () =
           | Some counts -> percentile counts q /. 1e3
           | None -> 0.
         in
-        Format.fprintf fmt "  %-42s %10d %12.3f %12.3f %10.1f %10.1f %10.1f@\n" name count
-          (total *. 1e3) mean_us (p 0.5) (p 0.9) (p 0.99))
+        let alloc_kw =
+          match List.find_opt (fun (n, _, _) -> String.equal n name) allocs with
+          | Some (_, mnr, mjr) -> (mnr +. mjr) /. 1e3
+          | None -> 0.
+        in
+        Format.fprintf fmt "  %-42s %10d %12.3f %12.3f %10.1f %10.1f %10.1f %12.1f@\n" name
+          count (total *. 1e3) mean_us (p 0.5) (p 0.9) (p 0.99) alloc_kw)
       ss
 
 let print_summary ch =
@@ -422,11 +597,14 @@ let pp_span_tree fmt () =
   match span_tree () with
   | [] -> Format.fprintf fmt "  (no spans recorded)@\n"
   | roots ->
-    Format.fprintf fmt "  %-46s %10s %12s %12s@\n" "" "calls" "incl ms" "self ms";
+    Format.fprintf fmt "  %-46s %10s %12s %12s %12s %12s@\n" "" "calls" "incl ms" "self ms"
+      "incl kw" "self kw";
     let rec pp depth node =
       let label = String.make (2 * depth) ' ' ^ node.sn_name in
-      Format.fprintf fmt "  %-46s %10d %12.3f %12.3f@\n" label node.sn_count
-        (node.sn_total *. 1e3) (node.sn_self *. 1e3);
+      Format.fprintf fmt "  %-46s %10d %12.3f %12.3f %12.1f %12.1f@\n" label node.sn_count
+        (node.sn_total *. 1e3) (node.sn_self *. 1e3)
+        ((node.sn_minor_aw +. node.sn_major_aw) /. 1e3)
+        ((node.sn_self_minor_aw +. node.sn_self_major_aw) /. 1e3);
       List.iter (pp (depth + 1)) node.sn_children
     in
     List.iter (pp 0) roots
@@ -434,6 +612,50 @@ let pp_span_tree fmt () =
 let print_span_tree ch =
   let fmt = Format.formatter_of_out_channel ch in
   pp_span_tree fmt ();
+  Format.pp_print_flush fmt ()
+
+(* The allocation profile: every span path ranked by self-allocated
+   words — where the words actually come from, with double counting
+   removed by the self column (a parent's self excludes children). *)
+let pp_alloc_report ?(top = 20) fmt () =
+  let rec flatten acc n = List.fold_left flatten (n :: acc) n.sn_children in
+  let nodes = List.fold_left flatten [] (span_tree ()) in
+  let self n = n.sn_self_minor_aw +. n.sn_self_major_aw in
+  let ranked =
+    List.filter (fun n -> self n > 0.) nodes
+    |> List.sort (fun a b -> compare (self b, a.sn_path) (self a, b.sn_path))
+  in
+  let attributed = List.fold_left (fun acc n -> acc +. self n) 0. ranked in
+  let process_minor =
+    match List.assoc_opt "gc.minor_words" (gc_gauges ()) with Some v -> v | None -> 0.
+  in
+  Format.fprintf fmt "top allocating spans (self words; kw = 1000 words):@\n";
+  if ranked = [] then Format.fprintf fmt "  (no span allocation recorded)@\n"
+  else begin
+    Format.fprintf fmt "  %-52s %10s %12s %12s %12s@\n" "" "calls" "self kw" "incl kw"
+      "w/call";
+    List.iteri
+      (fun i n ->
+        if i < top then
+          Format.fprintf fmt "  %-52s %10d %12.1f %12.1f %12.0f@\n"
+            (String.concat ";" n.sn_path) n.sn_count (self n /. 1e3)
+            ((n.sn_minor_aw +. n.sn_major_aw) /. 1e3)
+            (if n.sn_count = 0 then 0. else self n /. float_of_int n.sn_count))
+      ranked;
+    if List.length ranked > top then
+      Format.fprintf fmt "  ... %d more span paths@\n" (List.length ranked - top)
+  end;
+  Format.fprintf fmt "  attributed: %.1f kw across %d span paths" (attributed /. 1e3)
+    (List.length ranked);
+  if process_minor > 0. then
+    Format.fprintf fmt " (%.1f%% of %.1f kw minor words since reset)"
+      (100. *. attributed /. process_minor)
+      (process_minor /. 1e3);
+  Format.fprintf fmt "@\n"
+
+let print_alloc_report ?top ch =
+  let fmt = Format.formatter_of_out_channel ch in
+  pp_alloc_report ?top fmt ();
   Format.pp_print_flush fmt ()
 
 (* ------------------------------------------------------------------ *)
@@ -585,13 +807,19 @@ let read_file_string file =
 (* ------------------------------------------------------------------ *)
 
 module Snapshot = struct
-  let schema_version = 1
+  (* v2 adds the four allocated-words columns to span nodes. v1 files
+     (no alloc keys) still decode — the alloc fields default to 0. *)
+  let schema_version = 2
 
   type node = {
     name : string;
     count : int;
     total_s : float;
     self_s : float;
+    minor_aw : float;
+    self_minor_aw : float;
+    major_aw : float;
+    self_major_aw : float;
     children : node list;
   }
 
@@ -608,6 +836,10 @@ module Snapshot = struct
       count = n.sn_count;
       total_s = n.sn_total;
       self_s = n.sn_self;
+      minor_aw = n.sn_minor_aw;
+      self_minor_aw = n.sn_self_minor_aw;
+      major_aw = n.sn_major_aw;
+      self_major_aw = n.sn_self_major_aw;
       children = List.map node_of_span n.sn_children
     }
 
@@ -660,8 +892,12 @@ module Snapshot = struct
     add "\n  },\n  \"span_tree\": [";
     let rec add_node indent first n =
       if not first then add ",";
-      add "\n%s{\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s, \"children\": ["
-        indent (json_escape n.name) n.count (json_float n.total_s) (json_float n.self_s);
+      add
+        "\n%s{\"name\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s, \"minor_aw\": \
+         %s, \"self_minor_aw\": %s, \"major_aw\": %s, \"self_major_aw\": %s, \"children\": ["
+        indent (json_escape n.name) n.count (json_float n.total_s) (json_float n.self_s)
+        (json_float n.minor_aw) (json_float n.self_minor_aw) (json_float n.major_aw)
+        (json_float n.self_major_aw);
       List.iteri (fun i c -> add_node (indent ^ "  ") (i = 0) c) n.children;
       if n.children <> [] then add "\n%s" indent;
       add "]}"
@@ -684,12 +920,19 @@ module Snapshot = struct
     | Some v -> v
     | None -> raise (Decode ("missing field \"" ^ name ^ "\""))
 
+  (* Alloc columns are optional so v1 snapshots decode with 0s. *)
+  let opt_num name o = match List.assoc_opt name o with Some v -> num v | None -> 0.
+
   let rec decode_node v =
     let o = obj v in
     { name = str (field "name" o);
       count = int_ (field "count" o);
       total_s = num (field "total_s" o);
       self_s = num (field "self_s" o);
+      minor_aw = opt_num "minor_aw" o;
+      self_minor_aw = opt_num "self_minor_aw" o;
+      major_aw = opt_num "major_aw" o;
+      self_major_aw = opt_num "self_major_aw" o;
       children = List.map decode_node (arr (field "children" o))
     }
 
@@ -746,9 +989,22 @@ module Diff = struct
      within a relative tolerance, with an absolute floor below which
      noise drowns any signal. *)
 
-  type config = { time_tol : float; time_floor : float; allow : string list }
+  (* Allocated-words columns sit in between: deterministic for a fixed
+     workload on a fixed compiler, but they drift across OCaml versions
+     and with --jobs (per-domain minor heaps), so they get their own
+     relative tolerance [alloc_tol] and absolute floor [alloc_floor]
+     (in words). gc.* gauges are allocation-denominated and use the
+     same pair. *)
+  type config = {
+    time_tol : float;
+    time_floor : float;
+    alloc_tol : float;
+    alloc_floor : float;
+    allow : string list;
+  }
 
-  let default = { time_tol = 1.0; time_floor = 0.01; allow = [] }
+  let default =
+    { time_tol = 1.0; time_floor = 0.01; alloc_tol = 1.0; alloc_floor = 65536.; allow = [] }
 
   let allowed cfg name =
     List.exists
@@ -762,6 +1018,12 @@ module Diff = struct
   let within cfg base fresh =
     Float.abs (fresh -. base) <= cfg.time_floor
     || (fresh <= base *. (1. +. cfg.time_tol) && base <= fresh *. (1. +. cfg.time_tol))
+
+  let within_alloc cfg base fresh =
+    Float.abs (fresh -. base) <= cfg.alloc_floor
+    || (fresh <= base *. (1. +. cfg.alloc_tol) && base <= fresh *. (1. +. cfg.alloc_tol))
+
+  let is_gc_gauge k = String.length k >= 3 && String.sub k 0 3 = "gc."
 
   let diff cfg ~(baseline : Snapshot.t) ~(fresh : Snapshot.t) =
     let out = ref [] in
@@ -790,6 +1052,12 @@ module Diff = struct
         if not (allowed cfg k) then
           match List.assoc_opt k fresh.Snapshot.gauges with
           | None -> fail "gauge   %-40s missing from fresh snapshot" k
+          | Some vf when is_gc_gauge k ->
+            if not (within_alloc cfg vb vf) then
+              fail
+                "gauge   %-40s baseline %g, fresh %g (outside alloc tolerance %g%%, floor %g \
+                 words)"
+                k vb vf (cfg.alloc_tol *. 100.) cfg.alloc_floor
           | Some vf when not (within cfg vb vf) ->
             fail "gauge   %-40s baseline %g, fresh %g (outside tolerance)" k vb vf
           | Some _ -> ())
@@ -817,16 +1085,17 @@ module Diff = struct
       List.concat_map
         (fun (n : Snapshot.node) ->
           let path = if prefix = "" then n.Snapshot.name else prefix ^ "/" ^ n.Snapshot.name in
-          (path, n.Snapshot.count, n.Snapshot.total_s) :: flatten path n.Snapshot.children)
+          (path, (n.Snapshot.count, n.Snapshot.total_s, n.Snapshot.minor_aw +. n.Snapshot.major_aw))
+          :: flatten path n.Snapshot.children)
         nodes
     in
     let fb = flatten "" baseline.Snapshot.spans and ff = flatten "" fresh.Snapshot.spans in
     List.iter
-      (fun (path, cb, tb) ->
+      (fun (path, (cb, tb, ab)) ->
         if not (allowed cfg path) then
-          match List.find_opt (fun (p, _, _) -> String.equal p path) ff with
+          match List.assoc_opt path ff with
           | None -> fail "span    %-40s missing from fresh snapshot" path
-          | Some (_, cf, tf) ->
+          | Some (cf, tf, af) ->
             if cf <> cb then
               fail "span    %-40s baseline %d calls, fresh %d (call counts are deterministic)"
                 path cb cf;
@@ -834,13 +1103,17 @@ module Diff = struct
               fail "span    %-40s inclusive %.3f ms vs baseline %.3f ms (tol %g%%, floor %g ms)"
                 path (tf *. 1e3) (tb *. 1e3)
                 (cfg.time_tol *. 100.)
-                (cfg.time_floor *. 1e3))
+                (cfg.time_floor *. 1e3);
+            if not (within_alloc cfg ab af) then
+              fail
+                "span    %-40s inclusive %.0f words vs baseline %.0f words (alloc tol %g%%, \
+                 floor %g words)"
+                path af ab (cfg.alloc_tol *. 100.) cfg.alloc_floor)
       fb;
     List.iter
-      (fun (path, cf, _) ->
-        if cf <> 0 && (not (allowed cfg path))
-           && not (List.exists (fun (p, _, _) -> String.equal p path) fb)
-        then fail "span    %-40s new span path (%d calls); refresh the baseline" path cf)
+      (fun (path, (cf, _, _)) ->
+        if cf <> 0 && (not (allowed cfg path)) && List.assoc_opt path fb = None then
+          fail "span    %-40s new span path (%d calls); refresh the baseline" path cf)
       ff;
     List.rev !out
 end
@@ -853,6 +1126,7 @@ type trace_stats = {
   trace_events : int;
   trace_complete : int;
   trace_counter_samples : int;
+  trace_gc_samples : int;
   trace_lanes : int;
 }
 
@@ -861,14 +1135,15 @@ let validate_trace_file file =
   | exception Json.Bad msg -> Error ("invalid JSON: " ^ msg)
   | exception Sys_error msg -> Error msg
   | Json.Arr events ->
-    let complete = ref 0 and samples = ref 0 in
+    let complete = ref 0 and samples = ref 0 and gc_samples = ref 0 in
     let tids : (float, unit) Hashtbl.t = Hashtbl.create 8 in
+    let is_gc_lane name = String.length name >= 3 && String.sub name 0 3 = "gc." in
     let check i = function
       | Json.Obj fields ->
         let field k = List.assoc_opt k fields in
         let err fmt = Printf.ksprintf (fun s -> Some (Printf.sprintf "event %d: %s" i s)) fmt in
         (match (field "name", field "ph", field "ts") with
-         | Some (Json.Str _), Some (Json.Str ph), Some (Json.Num _) ->
+         | Some (Json.Str name), Some (Json.Str ph), Some (Json.Num _) ->
            (match (field "pid", field "tid") with
             | Some (Json.Num pid), Some (Json.Num tid)
               when Float.is_integer pid && Float.is_integer tid && tid >= 0. ->
@@ -885,6 +1160,18 @@ let validate_trace_file file =
                  (match field "args" with
                   | Some (Json.Obj args) ->
                     (match List.assoc_opt "value" args with
+                     | Some (Json.Num v) when is_gc_lane name ->
+                       (* GC heap lanes are cumulative word/collection
+                          counts: whole numbers, never negative. *)
+                       if not (Float.is_integer v) then
+                         err "gc counter lane %S with non-integer sample %g" name v
+                       else if v < 0. then
+                         err "gc counter lane %S with negative sample %g" name v
+                       else begin
+                         Stdlib.incr samples;
+                         Stdlib.incr gc_samples;
+                         None
+                       end
                      | Some (Json.Num _) ->
                        Stdlib.incr samples;
                        None
@@ -904,6 +1191,7 @@ let validate_trace_file file =
           { trace_events = List.length events;
             trace_complete = !complete;
             trace_counter_samples = !samples;
+            trace_gc_samples = !gc_samples;
             trace_lanes = Hashtbl.length tids
           }
       | e :: rest -> (match check i e with None -> go (i + 1) rest | Some err -> Error err)

@@ -45,9 +45,20 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
+val set_track_allocations : bool -> unit
+(** Kill switch for per-span allocation attribution. When off, {!span}
+    skips its [Gc] counter reads and records zero allocated words;
+    timings, counters and the span tree shape are unaffected. On by
+    default. The built-in [gc.*] gauges keep reporting either way —
+    they are polled, not on the hot path. *)
+
+val track_allocations : unit -> bool
+
 val reset : unit -> unit
 (** Zero every counter, histogram bucket and span statistic (flat and
-    hierarchical). Does not touch sinks or gauge providers. *)
+    hierarchical, including allocated words), and re-base the built-in
+    [gc.*] gauges so cumulative GC counters read as deltas since this
+    call. Does not touch sinks or gauge providers. *)
 
 (** {1 Counters} *)
 
@@ -132,10 +143,27 @@ val span : string -> (unit -> 'a) -> 'a
     enclosing open spans of the current domain) and, if a trace sink is
     active, a complete ("ph":"X") trace event carrying the full span
     path is emitted. Exceptions still close the span. When off,
-    [span name f] is exactly [f ()]. *)
+    [span name f] is exactly [f ()].
+
+    When {!track_allocations} is on, each call also records the words
+    the span allocated: minor words from the current domain's
+    allocation counter ([Gc.minor_words], precise), and words
+    allocated directly on the major heap as the [Gc.quick_stat] delta
+    of [major_words - promoted_words]. The counter reads are ordered
+    so the instrumentation's own allocation (~24 words per span for
+    the [quick_stat] records) is attributed to the {e enclosing}
+    span's self column, not to the span being measured. Counters are
+    domain-local, so under a parallel sweep each worker's spans
+    measure that worker's allocation and equal paths merge — the same
+    jobs-invariance as call counts, up to GC-timing jitter in
+    promotion. *)
 
 val spans : unit -> (string * int * float) list
 (** [(name, calls, total_seconds)] per span name, sorted by name. *)
+
+val span_allocs : unit -> (string * float * float) list
+(** [(name, minor_words, major_words)] allocated inside each span
+    (flat, inclusive of nested spans), sorted by name. *)
 
 (** {2 Hierarchical span tree}
 
@@ -151,6 +179,10 @@ type span_node = {
   sn_count : int;  (** completed calls at this path *)
   sn_total : float;  (** inclusive seconds *)
   sn_self : float;  (** inclusive minus children's inclusive, clamped at 0 *)
+  sn_minor_aw : float;  (** inclusive minor allocated words *)
+  sn_self_minor_aw : float;  (** minor words minus children's, clamped at 0 *)
+  sn_major_aw : float;  (** inclusive words allocated directly on the major heap *)
+  sn_self_major_aw : float;  (** direct-major words minus children's, clamped at 0 *)
   sn_children : span_node list;  (** sorted by name *)
 }
 
@@ -159,16 +191,36 @@ val span_tree : unit -> span_node list
     by name at every level. *)
 
 val pp_span_tree : Format.formatter -> unit -> unit
-(** Indented tree of calls / inclusive ms / self ms per span path. *)
+(** Indented tree of calls / inclusive ms / self ms / inclusive kw /
+    self kw per span path (kw = thousands of allocated words). *)
 
 val print_span_tree : out_channel -> unit
+
+val pp_alloc_report : ?top:int -> Format.formatter -> unit -> unit
+(** Span paths ranked by self-allocated words (minor + direct major),
+    top [top] (default 20) shown with calls, self/inclusive kw and
+    words per call, followed by the total attributed words and — when
+    the [gc.minor_words] gauge is nonzero — the fraction of the
+    process's minor words since {!reset} that the span tree accounts
+    for. Backs [pak profile --alloc]. *)
+
+val print_alloc_report : ?top:int -> out_channel -> unit
 
 (** {1 Gauges}
 
     Gauges are sampled, not accumulated: other layers register
     providers (budget fuel in [pak_guard], memo hit-rate in the
     semantics engine) that are polled when a summary or snapshot is
-    taken. *)
+    taken.
+
+    A built-in provider reports the GC under [gc.*]: [gc.minor_words],
+    [gc.major_words], [gc.promoted_words], [gc.minor_collections],
+    [gc.major_collections] and [gc.compactions] as deltas since the
+    last {!reset}, plus the absolute heap levels [gc.heap_words] and
+    [gc.top_heap_words]. Word counts come from [Gc.quick_stat]
+    combined with the domain-local [Gc.minor_words] counter, so the
+    minor total is exact on a single domain and accurate to within one
+    unflushed minor heap per live domain otherwise. *)
 
 val register_gauges : (unit -> (string * float) list) -> unit
 (** Register a provider. Providers survive {!reset}; a provider with
@@ -183,11 +235,17 @@ val trace_to : string -> unit
 (** Open [file] and start recording span events as a Chrome
     trace-event JSON array. Implies {!enable}. Raises [Sys_error] if
     the file cannot be opened; calling while a trace is already open
-    closes the previous one first. *)
+    closes the previous one first.
+
+    While a trace is open (and {!track_allocations} is on), every
+    32nd span exit per domain also emits one "ph":"C" sample per
+    [gc.*] lane — raw cumulative values, so the heap lanes render as
+    non-decreasing counter tracks in Perfetto. *)
 
 val trace_stop : unit -> unit
-(** Emit one final "ph":"C" counter sample per registered counter,
-    close the JSON array and the file. A no-op if no trace is open. *)
+(** Emit one final "ph":"C" counter sample per registered counter and
+    per [gc.*] heap lane, close the JSON array and the file. A no-op
+    if no trace is open. *)
 
 val tracing : unit -> bool
 
@@ -227,13 +285,19 @@ end
 
 module Snapshot : sig
   val schema_version : int
-  (** Version of the snapshot schema; bumped on incompatible change. *)
+  (** Version of the snapshot schema; bumped on incompatible change.
+      Currently [2]: v2 added the four allocated-words fields to span
+      nodes. v1 files still decode — the alloc fields read as [0.]. *)
 
   type node = {
     name : string;
     count : int;
     total_s : float;
     self_s : float;
+    minor_aw : float;
+    self_minor_aw : float;
+    major_aw : float;
+    self_major_aw : float;
     children : node list;
   }
 
@@ -277,13 +341,21 @@ module Diff : sig
             from [base] by a factor of [1 + time_tol] either way *)
     time_floor : float;
         (** absolute slack (seconds) below which differences pass *)
+    alloc_tol : float;
+        (** relative tolerance for span allocated words and [gc.*]
+            gauges — deterministic per compiler version and workload,
+            but they drift across OCaml releases and with [--jobs] *)
+    alloc_floor : float;
+        (** absolute slack (words) below which allocation differences
+            pass *)
     allow : string list;
         (** names exempt from comparison; a trailing ['*'] matches a
             prefix *)
   }
 
   val default : config
-  (** [time_tol = 1.0] (2x either way), [time_floor = 0.01] s, empty
+  (** [time_tol = 1.0] (2x either way), [time_floor = 0.01] s,
+      [alloc_tol = 1.0], [alloc_floor = 65536.] words, empty
       allowlist. *)
 
   val diff : config -> baseline:Snapshot.t -> fresh:Snapshot.t -> string list
@@ -300,6 +372,7 @@ type trace_stats = {
   trace_events : int;  (** total events in the array *)
   trace_complete : int;  (** ["ph":"X"] complete events *)
   trace_counter_samples : int;  (** ["ph":"C"] counter samples *)
+  trace_gc_samples : int;  (** the subset of those on [gc.*] heap lanes *)
   trace_lanes : int;  (** distinct [tid] values (domain lanes) *)
 }
 
@@ -308,5 +381,7 @@ val validate_trace_file : string -> (trace_stats, string) result
     carrying a string ["name"], a string ["ph"], a numeric ["ts"] and
     integer ["pid"]/["tid"]; ["ph":"X"] events must carry a
     non-negative numeric ["dur"], ["ph":"C"] events a numeric
-    ["args.value"]. Returns event statistics, or a description of the
-    first violation. *)
+    ["args.value"] — and on [gc.*] heap lanes the value must further
+    be a non-negative integer (cumulative word/collection counts).
+    Returns event statistics, or a description of the first
+    violation. *)

@@ -141,6 +141,7 @@ let test_trace_file () =
         check_bool "trace has events" true (s.Obs.trace_events > 0);
         check_bool "trace has complete span events" true (s.Obs.trace_complete > 0);
         check_bool "trace has counter samples" true (s.Obs.trace_counter_samples > 0);
+        check_bool "trace has gc heap-lane samples" true (s.Obs.trace_gc_samples > 0);
         check_bool "trace has at least one tid lane" true (s.Obs.trace_lanes >= 1)
       | Error msg -> Alcotest.fail ("emitted trace rejected: " ^ msg))
 
@@ -168,7 +169,23 @@ let test_validate_rejects_garbage () =
     (reject "[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0.5,\"dur\":1,\"pid\":1,\"tid\":0}]");
   check_bool "accepts a valid counter sample" false
     (reject
-       "[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":{\"value\":3}}]")
+       "[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":{\"value\":3}}]");
+  (* gc.* heap lanes are held to a stricter contract: integral,
+     non-negative samples. A non-gc lane may carry a fractional value. *)
+  check_bool "gc lane with fractional sample" true
+    (reject
+       "[{\"name\":\"gc.minor_words\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":\
+        {\"value\":3.5}}]");
+  check_bool "gc lane with negative sample" true
+    (reject
+       "[{\"name\":\"gc.heap_words\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":\
+        {\"value\":-1}}]");
+  check_bool "accepts a valid gc lane sample" false
+    (reject
+       "[{\"name\":\"gc.minor_words\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":\
+        {\"value\":4096}}]");
+  check_bool "non-gc lane may carry a fractional value" false
+    (reject "[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0.5,\"pid\":1,\"tid\":0,\"args\":{\"value\":0.5}}]")
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
@@ -275,6 +292,79 @@ let test_span_tree_engine () =
         (List.for_all check_self_invariant forest))
 
 (* ------------------------------------------------------------------ *)
+(* Allocation attribution                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* ~150k minor words (50k boxed pairs) the optimizer cannot elide. *)
+let alloc_work () =
+  let acc = ref 0 in
+  for i = 1 to 50_000 do
+    let pair = Sys.opaque_identity (i, i + 1) in
+    acc := !acc + fst pair
+  done;
+  !acc
+
+let test_span_alloc () =
+  with_metrics (fun () ->
+      ignore (Obs.span "test.alloc" alloc_work);
+      (match
+         List.find_opt (fun (n, _, _) -> n = "test.alloc") (Obs.span_allocs ())
+       with
+       | None -> Alcotest.fail "allocating span missing from span_allocs"
+       | Some (_, minor, major) ->
+         check_bool "allocating span records > 100k minor words" true (minor > 100_000.);
+         check_bool "major words non-negative" true (major >= 0.));
+      (* The kill switch zeroes attribution without touching stats. *)
+      Obs.set_track_allocations false;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_track_allocations true)
+        (fun () ->
+          ignore (Obs.span "test.alloc_off" alloc_work);
+          match
+            List.find_opt (fun (n, _, _) -> n = "test.alloc_off") (Obs.span_allocs ())
+          with
+          | None -> Alcotest.fail "kill-switch span missing from span_allocs"
+          | Some (_, minor, major) ->
+            check_bool "kill switch: zero minor words" true (minor = 0.);
+            check_bool "kill switch: zero major words" true (major = 0.);
+            check_bool "kill switch: calls still counted" true
+              (List.exists (fun (n, c, _) -> n = "test.alloc_off" && c = 1) (Obs.spans ()))))
+
+let rec check_alloc_invariant (n : Obs.span_node) =
+  n.Obs.sn_self_minor_aw >= 0.
+  && n.Obs.sn_self_minor_aw <= n.Obs.sn_minor_aw +. 1e-9
+  && n.Obs.sn_self_major_aw >= 0.
+  && n.Obs.sn_self_major_aw <= n.Obs.sn_major_aw +. 1e-9
+  && List.for_all check_alloc_invariant n.Obs.sn_children
+
+(* The acceptance bar for span attribution: self words summed over the
+   tree (= the roots' inclusive words, telescoping) account for the
+   process's minor-word delta to within 10%. What escapes is only the
+   instrumentation's own allocation at span boundaries. *)
+let test_alloc_coverage () =
+  with_metrics (fun () ->
+      let mw0 = Gc.minor_words () in
+      ignore
+        (Obs.span "cov.outer" (fun () ->
+             ignore (Obs.span "cov.inner" alloc_work);
+             alloc_work ()));
+      let delta = Gc.minor_words () -. mw0 in
+      let forest = Obs.span_tree () in
+      let attributed = List.fold_left (fun acc n -> acc +. n.Obs.sn_minor_aw) 0. forest in
+      check_bool "alloc self/inclusive invariant holds on every node" true
+        (List.for_all check_alloc_invariant forest);
+      check_bool "inner span saw its own allocation" true
+        (List.exists
+           (fun n ->
+             List.exists (fun c -> c.Obs.sn_minor_aw > 100_000.) n.Obs.sn_children)
+           forest);
+      check_bool
+        (Printf.sprintf "spans attribute >= 90%% of process minor words (%.0f of %.0f)"
+           attributed delta)
+        true
+        (delta > 0. && Float.abs ((attributed /. delta) -. 1.) <= 0.1))
+
+(* ------------------------------------------------------------------ *)
 (* Gauges                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -282,6 +372,24 @@ let test_gauges () =
   Obs.register_gauges (fun () -> [ ("test.gauge", 0.25) ]);
   check_bool "registered gauge is polled" true
     (List.assoc_opt "test.gauge" (Obs.gauges ()) = Some 0.25)
+
+let test_gc_gauges () =
+  let g = Obs.gauges () in
+  List.iter
+    (fun k ->
+      match List.assoc_opt k g with
+      | None -> Alcotest.fail ("built-in gc gauge missing: " ^ k)
+      | Some v -> check_bool (k ^ " is non-negative") true (v >= 0.))
+    [ "gc.minor_words"; "gc.major_words"; "gc.promoted_words"; "gc.minor_collections";
+      "gc.major_collections"; "gc.compactions"; "gc.heap_words"; "gc.top_heap_words" ];
+  (* Cumulative gc gauges read as deltas since reset: allocating then
+     resetting brings gc.minor_words back near zero. *)
+  ignore (alloc_work ());
+  let before = List.assoc "gc.minor_words" (Obs.gauges ()) in
+  check_bool "allocation shows up in gc.minor_words" true (before > 100_000.);
+  Obs.reset ();
+  let after = List.assoc "gc.minor_words" (Obs.gauges ()) in
+  check_bool "reset re-bases the gc gauges" true (after < before)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots and diffing                                               *)
@@ -373,6 +481,135 @@ let test_diff_fixtures () =
   | [] -> Alcotest.fail "schema version mismatch not detected"
   | _ -> ()
 
+(* The alloc-regression gate: a synthetic 2x allocation regression in a
+   hot span must be caught under --alloc-tol, and only there — same
+   perturb-and-diff pattern as the time-regression fixtures above. *)
+let test_diff_alloc_regression () =
+  let snap () =
+    with_metrics (fun () ->
+        ignore (Obs.span "hot" alloc_work);
+        Obs.Snapshot.capture ())
+  in
+  let base = snap () in
+  let cfg =
+    { Obs.Diff.default with
+      Obs.Diff.time_tol = 1000.;
+      time_floor = 10.;
+      alloc_tol = 0.5;
+      alloc_floor = 1000.
+    }
+  in
+  let regressed =
+    { base with
+      Obs.Snapshot.spans =
+        List.map
+          (fun (n : Obs.Snapshot.node) ->
+            { n with
+              Obs.Snapshot.minor_aw = n.Obs.Snapshot.minor_aw *. 2.;
+              Obs.Snapshot.self_minor_aw = n.Obs.Snapshot.self_minor_aw *. 2.
+            })
+          base.Obs.Snapshot.spans
+    }
+  in
+  (* Gauges/counters are untouched, so the only possible violation is
+     the span allocation line. *)
+  (match Obs.Diff.diff cfg ~baseline:base ~fresh:regressed with
+   | [] -> Alcotest.fail "2x allocation regression not detected"
+   | vs ->
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+       at 0
+     in
+     check_bool "report names the span and the words" true
+       (List.exists (fun v -> contains v "hot" && contains v "words") vs));
+  (* Within tolerance (1.4x < 1 + 0.5) passes. *)
+  let mild =
+    { base with
+      Obs.Snapshot.spans =
+        List.map
+          (fun (n : Obs.Snapshot.node) ->
+            { n with Obs.Snapshot.minor_aw = n.Obs.Snapshot.minor_aw *. 1.4 })
+          base.Obs.Snapshot.spans
+    }
+  in
+  (match Obs.Diff.diff cfg ~baseline:base ~fresh:mild with
+   | [] -> ()
+   | vs -> Alcotest.fail ("1.4x within alloc-tol 50% still reported: " ^ String.concat "; " vs));
+  (* The allowlist silences the regressed span. *)
+  match
+    Obs.Diff.diff { cfg with Obs.Diff.allow = [ "hot" ] } ~baseline:base ~fresh:regressed
+  with
+  | [] -> ()
+  | vs -> Alcotest.fail ("allowlisted span still reported: " ^ String.concat "; " vs)
+
+(* Committed v1 fixture (the pre-alloc baseline format): must keep
+   parsing, with the alloc columns defaulting to zero. *)
+let test_v1_fixture_parses () =
+  match Obs.Snapshot.of_file "fixtures/snapshot_v1.json" with
+  | Error msg -> Alcotest.fail ("v1 fixture rejected: " ^ msg)
+  | Ok s ->
+    check_int "fixture is schema v1" 1 s.Obs.Snapshot.version;
+    check_bool "fixture has counters" true (s.Obs.Snapshot.counters <> []);
+    check_bool "fixture has a span tree" true (s.Obs.Snapshot.spans <> []);
+    let rec zero_alloc (n : Obs.Snapshot.node) =
+      n.Obs.Snapshot.minor_aw = 0.
+      && n.Obs.Snapshot.self_minor_aw = 0.
+      && n.Obs.Snapshot.major_aw = 0.
+      && n.Obs.Snapshot.self_major_aw = 0.
+      && List.for_all zero_alloc n.Obs.Snapshot.children
+    in
+    check_bool "absent alloc fields decode as zero" true
+      (List.for_all zero_alloc s.Obs.Snapshot.spans)
+
+(* Random v2 snapshots with nonzero alloc fields round-trip through
+   JSON exactly (all numbers integral, so %.17g is trivially exact). *)
+let prop_snapshot_v2_roundtrip =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let fnum = map float_of_int (int_bound 1_000_000) in
+    let leaf name =
+      int_bound 1000 >>= fun count ->
+      fnum >>= fun total_s ->
+      fnum >>= fun self_s ->
+      fnum >>= fun minor_aw ->
+      fnum >>= fun self_minor_aw ->
+      fnum >>= fun major_aw ->
+      fnum >>= fun self_major_aw ->
+      return
+        { Obs.Snapshot.name;
+          count;
+          total_s;
+          self_s;
+          minor_aw;
+          self_minor_aw;
+          major_aw;
+          self_major_aw;
+          children = []
+        }
+    in
+    let node name =
+      leaf name >>= fun n ->
+      list_size (int_bound 3) (leaf "child") >>= fun children ->
+      return { n with Obs.Snapshot.children } in
+    list_size (int_bound 3) (node "root") >>= fun spans ->
+    small_nat >>= fun cv ->
+    fnum >>= fun gv ->
+    return
+      { Obs.Snapshot.version = Obs.Snapshot.schema_version;
+        counters = [ ("test.counter", cv) ];
+        gauges = [ ("test.gauge", gv) ];
+        histograms = [];
+        spans
+      }
+  in
+  Test.make ~count:100 ~name:"v2 snapshots with alloc fields round-trip through JSON"
+    (make gen) (fun s ->
+      match Obs.Snapshot.of_json_string (Obs.Snapshot.to_json s) with
+      | Ok s' -> s = s'
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Instrumentation never changes results                               *)
 (* ------------------------------------------------------------------ *)
@@ -423,7 +660,8 @@ let prop_instrumentation_transparent =
 let qcheck_cases =
   List.map
     (QCheck_alcotest.to_alcotest ~verbose:false)
-    [ prop_instrumentation_transparent; prop_bucket_partition; prop_histogram_merge ]
+    [ prop_instrumentation_transparent; prop_bucket_partition; prop_histogram_merge;
+      prop_snapshot_v2_roundtrip ]
 
 let () =
   Alcotest.run "pak_obs"
@@ -439,11 +677,20 @@ let () =
         [ Alcotest.test_case "nesting and counts" `Quick test_span_tree;
           Alcotest.test_case "engine run invariant" `Quick test_span_tree_engine
         ] );
-      ("gauges", [ Alcotest.test_case "provider polled" `Quick test_gauges ]);
+      ( "alloc",
+        [ Alcotest.test_case "span attribution and kill switch" `Quick test_span_alloc;
+          Alcotest.test_case "coverage of process minor words" `Quick test_alloc_coverage
+        ] );
+      ( "gauges",
+        [ Alcotest.test_case "provider polled" `Quick test_gauges;
+          Alcotest.test_case "built-in gc gauges" `Quick test_gc_gauges
+        ] );
       ( "snapshot",
         [ Alcotest.test_case "json round-trip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "file round-trip" `Quick test_snapshot_file_roundtrip;
-          Alcotest.test_case "diff fixtures" `Quick test_diff_fixtures
+          Alcotest.test_case "diff fixtures" `Quick test_diff_fixtures;
+          Alcotest.test_case "alloc regression gate" `Quick test_diff_alloc_regression;
+          Alcotest.test_case "v1 fixture parse-back" `Quick test_v1_fixture_parses
         ] );
       ( "semantics",
         [ Alcotest.test_case "memo counters" `Quick test_memo_counters;

@@ -1,5 +1,5 @@
 (* bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS]
-               [--allow NAME]...
+               [--alloc-tol PCT] [--alloc-floor-w WORDS] [--allow NAME]...
    bench_diff --write-baseline
 
    Compare a fresh metrics snapshot (pak --metrics-json / bench
@@ -8,9 +8,13 @@
    sample totals — must match exactly (modulo --allow entries; a
    trailing '*' matches a prefix); wall times and gauges must agree
    within the relative tolerance, with an absolute floor under which
-   noise drowns any signal. Exits 0 when the snapshots agree, 1 with
-   one readable line per violation, 2 on usage or unreadable input.
-   CI runs this as the perf-regression gate.
+   noise drowns any signal. Per-span allocated words and gc.* gauges
+   are compared under their own --alloc-tol / --alloc-floor-w pair:
+   allocation is deterministic for a fixed compiler and workload, but
+   drifts across OCaml releases and with --jobs, so the CI flags are
+   looser than exact. Exits 0 when the snapshots agree, 1 with one
+   readable line per violation, 2 on usage or unreadable input. CI
+   runs this as the perf- and alloc-regression gate.
 
    --write-baseline regenerates both committed baselines in one
    command: it runs the sibling bench and CLI executables with the
@@ -23,7 +27,8 @@ module Obs = Pak_obs.Obs
 
 let usage () =
   prerr_endline
-    "usage: bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS] [--allow NAME]...";
+    "usage: bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS] [--alloc-tol PCT]";
+  prerr_endline "                  [--alloc-floor-w WORDS] [--allow NAME]...";
   prerr_endline "       bench_diff --write-baseline";
   exit 2
 
@@ -95,6 +100,18 @@ let () =
       (match float_of_string_opt v with
        | Some ms when ms >= 0. ->
          cfg := { !cfg with Obs.Diff.time_floor = ms /. 1e3 };
+         parse rest
+       | _ -> usage ())
+    | "--alloc-tol" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some pct when pct >= 0. ->
+         cfg := { !cfg with Obs.Diff.alloc_tol = pct /. 100. };
+         parse rest
+       | _ -> usage ())
+    | "--alloc-floor-w" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some w when w >= 0. ->
+         cfg := { !cfg with Obs.Diff.alloc_floor = w };
          parse rest
        | _ -> usage ())
     | "--allow" :: name :: rest ->

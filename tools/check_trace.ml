@@ -1,30 +1,49 @@
-(* check_trace FILE [--min-lanes N] — validate a Chrome trace_event
-   file emitted by pak_obs. Checks every event's shape (name/ph/ts and
-   integer pid/tid), that "ph":"X" complete events carry a duration,
-   and that "ph":"C" counter samples carry a numeric args.value; prints
-   the event/lane statistics. Exits 0 on a valid non-empty trace, 1
-   with a diagnostic. Used by CI as the smoke check behind
-   `pak profile --trace`. *)
+(* check_trace FILE [--min-lanes N] [--min-gc-samples N] — validate a
+   Chrome trace_event file emitted by pak_obs. Checks every event's
+   shape (name/ph/ts and integer pid/tid), that "ph":"X" complete
+   events carry a duration, that "ph":"C" counter samples carry a
+   numeric args.value, and that samples on gc.* heap lanes are
+   non-negative integers; prints the event/lane statistics. Exits 0 on
+   a valid non-empty trace, 1 with a diagnostic. Used by CI as the
+   smoke check behind `pak profile --trace`. *)
+
+let usage () =
+  prerr_endline "usage: check_trace FILE [--min-lanes N] [--min-gc-samples N]";
+  exit 2
 
 let () =
-  let file, min_lanes =
-    match Sys.argv with
-    | [| _; file |] -> (file, 1)
-    | [| _; file; "--min-lanes"; n |] ->
-      (match int_of_string_opt n with
-       | Some n when n >= 1 -> (file, n)
-       | _ ->
-         prerr_endline "check_trace: --min-lanes expects a positive integer";
-         exit 2)
+  let file = ref None in
+  let min_lanes = ref 1 in
+  let min_gc_samples = ref 0 in
+  let pos_int flag n =
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> n
     | _ ->
-      prerr_endline "usage: check_trace FILE [--min-lanes N]";
+      Printf.eprintf "check_trace: %s expects a non-negative integer\n" flag;
       exit 2
   in
+  let rec parse = function
+    | [] -> ()
+    | "--min-lanes" :: n :: rest ->
+      min_lanes := pos_int "--min-lanes" n;
+      parse rest
+    | "--min-gc-samples" :: n :: rest ->
+      min_gc_samples := pos_int "--min-gc-samples" n;
+      parse rest
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | arg :: rest ->
+      (match !file with None -> file := Some arg | Some _ -> usage ());
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
   match Pak_obs.Obs.validate_trace_file file with
   | Ok s ->
-    Printf.printf "%s: valid trace, %d events (%d complete, %d counter samples, %d lanes)\n"
+    Printf.printf
+      "%s: valid trace, %d events (%d complete, %d counter samples of which %d gc, %d lanes)\n"
       file s.Pak_obs.Obs.trace_events s.Pak_obs.Obs.trace_complete
-      s.Pak_obs.Obs.trace_counter_samples s.Pak_obs.Obs.trace_lanes;
+      s.Pak_obs.Obs.trace_counter_samples s.Pak_obs.Obs.trace_gc_samples
+      s.Pak_obs.Obs.trace_lanes;
     if s.Pak_obs.Obs.trace_events = 0 then begin
       prerr_endline "check_trace: trace contains no events";
       exit 1
@@ -37,9 +56,14 @@ let () =
       prerr_endline "check_trace: trace contains no counter (ph C) samples";
       exit 1
     end;
-    if s.Pak_obs.Obs.trace_lanes < min_lanes then begin
-      Printf.eprintf "check_trace: expected at least %d tid lane(s), found %d\n" min_lanes
+    if s.Pak_obs.Obs.trace_lanes < !min_lanes then begin
+      Printf.eprintf "check_trace: expected at least %d tid lane(s), found %d\n" !min_lanes
         s.Pak_obs.Obs.trace_lanes;
+      exit 1
+    end;
+    if s.Pak_obs.Obs.trace_gc_samples < !min_gc_samples then begin
+      Printf.eprintf "check_trace: expected at least %d gc counter sample(s), found %d\n"
+        !min_gc_samples s.Pak_obs.Obs.trace_gc_samples;
       exit 1
     end
   | Error msg ->
