@@ -353,7 +353,47 @@ let obs_scenarios () =
   let cb_formula = Parser.parse "CB[0,1]>=3/4 go" in
   let ca_tree = CA.tree ~rounds:3 () in
   let ca_both = CA.phi_both ca_tree in
+  (* Serve front end, end-to-end through Serve.run_string. A leading
+     frame + ping warms the parsed-system cache in its own drain, so
+     tree-cache hit/miss counts stay deterministic at any job count;
+     the cold stream uses distinct formulas (all result-cache misses),
+     the warm stream repeats one (one miss, then hits). All serve.*
+     counters in BENCH_obs.json / the snapshot are exact. *)
+  let serve_doc = Tree_io.to_string (Systems.Figure_one.tree ()) in
+  let serve_req id fml =
+    let open Serve.Sexp in
+    Serve.Frame.encode
+      (to_string
+         (List
+            [ Atom "request"; List [ Atom "id"; Atom (string_of_int id) ];
+              List [ Atom "op"; Atom "eval" ]; List [ Atom "system"; Str serve_doc ];
+              List [ Atom "formula"; Str fml ]
+            ]))
+  in
+  let serve_stream ~distinct =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (serve_req 1 "a0_g0");
+    Buffer.add_string b (Serve.Frame.encode "(ping (id 2))");
+    for k = 1 to 40 do
+      let f =
+        if distinct then Printf.sprintf "B[0]>=%d/1000 a0_g0" k else "K[0] a0_g0"
+      in
+      Buffer.add_string b (serve_req (100 + k) f)
+    done;
+    Buffer.contents b
+  in
+  let serve_cold = serve_stream ~distinct:true in
+  let serve_warm = serve_stream ~distinct:false in
+  let serve_run jobs stream () =
+    let config = { Serve.default_config with Serve.jobs; cache_max = 64 } in
+    let _out, code = Serve.run_string ~config stream in
+    if code <> 0 then failwith "bench: serve stream did not drain cleanly"
+  in
   [ ("modelcheck_kb_fs", fun () -> ignore (Semantics.eval fs_tree ~valuation formula));
+    ("serve_j1_cold", serve_run 1 serve_cold);
+    ("serve_j1_warm", serve_run 1 serve_warm);
+    ("serve_j4_cold", serve_run 4 serve_cold);
+    ("serve_j4_warm", serve_run 4 serve_warm);
     ( "common_belief_fixpoint_fs",
       fun () -> ignore (Semantics.eval fs_tree ~valuation cb_formula) );
     ( "theorem62_fs",

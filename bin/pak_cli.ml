@@ -912,6 +912,123 @@ let random_cmd =
     (Cmd.info "random" ~doc:"Generate a random pps and verify the main theorems on it")
     Term.(const run $ common_t $ seed_arg)
 
+let serve_cmd =
+  (* Unlike every other subcommand, serve does NOT install the
+     process-global budget (no [guard_t]): its --max-* flags are
+     server-level per-request caps, installed as a fresh scope around
+     each request so one exhausted query cannot starve the next. *)
+  let max_pending_t =
+    Arg.(value & opt int Serve.default_config.max_pending
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Bound on queued-not-yet-executed requests; beyond it new requests \
+                   are shed immediately with an $(i,overloaded) response carrying a \
+                   retry-after-ms hint.")
+  and batch_t =
+    Arg.(value & opt int Serve.default_config.batch
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Drain the queue once it holds $(docv) requests; 0 means the job \
+                   count (keep the pool busy). Responses are always written in \
+                   arrival order regardless.")
+  and max_frame_t =
+    Arg.(value & opt int Serve.default_config.max_frame
+         & info [ "max-frame" ] ~docv:"BYTES"
+             ~doc:"Frame payload byte cap; oversized frames are skipped and answered \
+                   with a typed protocol error.")
+  and cache_max_t =
+    Arg.(value & opt int Serve.default_config.cache_max
+         & info [ "cache-max" ] ~docv:"N"
+             ~doc:"Cross-request result-cache entries, keyed by (system digest, \
+                   operation, formula, limits); 0 disables the cache.")
+  and tree_cache_max_t =
+    Arg.(value & opt int Serve.default_config.tree_cache_max
+         & info [ "tree-cache-max" ] ~docv:"N"
+             ~doc:"Parsed-system cache entries (documents are content-addressed by \
+                   digest).")
+  and drain_ms_t =
+    Arg.(value & opt (some int) Serve.default_config.drain_ms
+         & info [ "drain-ms" ] ~docv:"MS"
+             ~doc:"Grace deadline for draining in-flight requests on shutdown or EOF; \
+                   requests still pending past it are answered with budget errors.")
+  and retry_after_t =
+    Arg.(value & opt int Serve.default_config.retry_after_ms
+         & info [ "retry-after-ms" ] ~docv:"MS"
+             ~doc:"Back-off hint attached to $(i,overloaded) responses.")
+  and max_points_t =
+    Arg.(value & opt (some int) None
+         & info [ "max-points" ] ~docv:"N"
+             ~doc:"Per-request cap on visited tree points; requests may lower it but \
+                   never raise it.")
+  and max_nodes_t =
+    Arg.(value & opt (some int) None
+         & info [ "max-nodes" ] ~docv:"N" ~doc:"Per-request cap on constructed tree nodes.")
+  and max_limbs_t =
+    Arg.(value & opt (some int) None
+         & info [ "max-limbs" ] ~docv:"N" ~doc:"Per-request cap on big-number limb operations.")
+  and max_iters_t =
+    Arg.(value & opt (some int) None
+         & info [ "max-iters" ] ~docv:"N" ~doc:"Per-request cap on fixpoint iterations.")
+  and timeout_t =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request wall-clock deadline in milliseconds.")
+  in
+  let run () () max_pending batch max_frame cache_max tree_cache_max drain_ms
+      retry_after_ms max_points max_nodes max_limbs max_iters timeout_ms =
+    handle (fun () ->
+        let cfg =
+          {
+            Serve.jobs = !jobs_ref;
+            max_pending;
+            batch;
+            max_frame;
+            cache_max;
+            tree_cache_max;
+            drain_ms;
+            retry_after_ms;
+            limits = { Budget.max_points; max_nodes; max_limbs; max_iters; timeout_ms };
+            clock = Some Unix.gettimeofday;
+          }
+        in
+        match Serve.validate_config cfg with
+        | Result.Error msg -> Result.Error msg
+        | Ok () ->
+          (* A client closing its read end must look like EOF, not a
+             process-killing signal: responses go through [write], which
+             treats the resulting Sys_error as a clean disconnect. *)
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+          set_binary_mode_in stdin true;
+          set_binary_mode_out stdout true;
+          let source = Serve.Frame.source_of_channel stdin in
+          let write s = output_string stdout s; flush stdout in
+          Ok (Serve.run cfg ~source ~write))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve framed evaluation requests from stdin with per-request fault \
+             isolation"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs a long-lived request loop: length-prefixed s-expression frames \
+               ($(b,pak1 <len>\\\\n<payload>)) arrive on stdin, one response frame per \
+               request leaves on stdout. Requests ($(b,eval) or $(b,belief) on an \
+               inline pps document) are scheduled on $(b,--jobs) worker domains; each \
+               runs under its own budget scope, so a malformed frame, an unparsable \
+               document, a runaway fixpoint or an exhausted budget degrades exactly \
+               one response and never the server.";
+           `P "Budget-exhausted belief queries fall back to a budget-exempt \
+               Monte-Carlo estimate marked $(i,estimated). When more than \
+               $(b,--max-pending) requests are queued, new ones are shed with an \
+               $(i,overloaded) response and a retry-after-ms hint. EOF or a \
+               $(b,(shutdown)) frame drains in-flight work under $(b,--drain-ms) and \
+               exits 0. Per-response codes reuse the exit-code contract: 0 ok, 2 \
+               malformed request, 3 invalid input, 4 budget exceeded or shed, 125 \
+               internal."
+         ])
+    Term.(const run $ obs_t $ jobs_t $ max_pending_t $ batch_t $ max_frame_t
+          $ cache_max_t $ tree_cache_max_t $ drain_ms_t $ retry_after_t
+          $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t)
+
 let () =
   Printexc.record_backtrace false;
   (* The CLI links Unix anyway, so deadlines get the wall clock the
@@ -933,7 +1050,7 @@ let () =
     Cmd.group info
       [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; profile_cmd; dot_cmd; dump_cmd;
         simulate_cmd; sweep_cmd; axioms_cmd; frontier_cmd; appendix_cmd; load_cmd;
-        explain_cmd; random_cmd ]
+        explain_cmd; random_cmd; serve_cmd ]
   in
   (* Top-level boundary: no raw exception escapes as a crash. Typed and
      classifiable errors map onto the exit-code contract; anything else

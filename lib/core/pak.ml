@@ -38,6 +38,7 @@ module Semantics = struct
 end
 
 module Cert = Pak_cert.Cert
+module Serve = Pak_serve.Serve
 module Axioms = Pak_logic.Axioms
 module Simplify = Pak_logic.Simplify
 module Protocol = Pak_protocol.Protocol

@@ -20,6 +20,8 @@
       logic with a model checker;
     - {!Cert}: evaluation provenance — witness certificates for every
       verdict and an independent certificate checker;
+    - {!Serve}: the fault-isolated batch/server front end behind
+      [pak serve] — framed requests, budgets, backpressure, caching;
     - {!Protocol}, {!Network}: joint protocols compiled to pps;
     - {!Systems}: every example system of the paper. *)
 
@@ -65,6 +67,7 @@ module Semantics : sig
 end
 
 module Cert = Pak_cert.Cert
+module Serve = Pak_serve.Serve
 module Axioms = Pak_logic.Axioms
 module Simplify = Pak_logic.Simplify
 module Protocol = Pak_protocol.Protocol

@@ -485,6 +485,14 @@ let trace_to file =
 (* Span timing                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let span_detach f =
+  if not !on then f ()
+  else begin
+    let saved = Domain.DLS.get path_key in
+    Domain.DLS.set path_key [];
+    Fun.protect ~finally:(fun () -> Domain.DLS.set path_key saved) f
+  end
+
 let span name f =
   if not !on then f ()
   else begin
@@ -850,6 +858,52 @@ module Snapshot = struct
       histograms = histograms ();
       spans = List.map node_of_span (span_tree ())
     }
+
+  (* Per-call attribution without resetting the global registries:
+     capture, run, capture, subtract. Counters and histograms are
+     after-minus-before with all-zero rows dropped; gauges keep the
+     after values (levels, not flows); the span tree is left empty
+     because span paths accumulate per domain and a single call's
+     share cannot be recovered by subtraction across domains. *)
+  let diff_against ~before after =
+    let counters =
+      List.filter_map
+        (fun (name, v) ->
+          let b =
+            match List.assoc_opt name before.counters with
+            | Some x -> x
+            | None -> 0
+          in
+          if v - b = 0 then None else Some (name, v - b))
+        after.counters
+    in
+    let histograms =
+      List.filter_map
+        (fun (name, counts) ->
+          let b =
+            match List.assoc_opt name before.histograms with
+            | Some x -> x
+            | None -> [||]
+          in
+          let d =
+            Array.mapi
+              (fun i c -> c - (if i < Array.length b then b.(i) else 0))
+              counts
+          in
+          if Array.for_all (fun x -> x = 0) d then None else Some (name, d))
+        after.histograms
+    in
+    { version = schema_version;
+      counters;
+      gauges = after.gauges;
+      histograms;
+      spans = []
+    }
+
+  let diff_capture f =
+    let before = capture () in
+    let x = f () in
+    (x, diff_against ~before (capture ()))
 
   (* %.17g round-trips every finite double through float_of_string
      exactly, so serialize/parse is lossless. *)

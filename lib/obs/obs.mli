@@ -158,6 +158,16 @@ val span : string -> (unit -> 'a) -> 'a
     jobs-invariance as call counts, up to GC-timing jitter in
     promotion. *)
 
+val span_detach : (unit -> 'a) -> 'a
+(** [span_detach f] runs [f ()] with the current domain's open-span
+    stack masked: spans opened inside record as if at top level, and
+    the enclosing stack is restored afterwards. For work whose
+    executing domain is scheduling-dependent — a pool task that may be
+    claimed by a worker (empty stack) or by the caller (inside its
+    open spans) — detaching makes the recorded span paths, and so the
+    span-tree shape, identical at every job count. When off,
+    [span_detach f] is exactly [f ()]. *)
+
 val spans : unit -> (string * int * float) list
 (** [(name, calls, total_seconds)] per span name, sorted by name. *)
 
@@ -323,6 +333,17 @@ module Snapshot : sig
 
   val write : string -> t -> unit
   (** Write [to_json t] to a file. Raises [Sys_error] on failure. *)
+
+  val diff_capture : (unit -> 'a) -> 'a * t
+  (** [diff_capture f] captures a snapshot, runs [f], captures again
+      and returns [f ()] together with the per-call delta — without
+      resetting any global registry. Counters and histograms are
+      after−before (all-zero rows dropped); gauges keep the after
+      values (they are levels, not flows); [spans] is empty, because
+      span paths accumulate per domain and a single call's share
+      cannot be attributed by subtraction. Bumps made by {e other}
+      domains while [f] runs land in the delta; single-domain callers
+      get an exact attribution. *)
 end
 
 (** {1 Snapshot diffing — the perf-regression oracle}

@@ -1,0 +1,1079 @@
+(* pak_serve — a fault-isolated batch/server front end (ROADMAP item 2).
+
+   One long-lived process, many (system × formula) requests:
+   length-prefixed s-expression frames arrive on a byte source,
+   responses leave through a write callback, evaluation is scheduled on
+   the pak_par pool. The invariants this file defends:
+
+   - a request failure of any kind (malformed frame, unparsable
+     system/formula, exhausted budget, worker exception) produces an
+     error *response* and never terminates the loop;
+   - memory is bounded: frames are capped, the pending queue is
+     bounded by shedding, caches are FIFO-bounded;
+   - responses are written in arrival order (shed and error responses
+     join the same queue as real results);
+   - everything observable is a serve.* counter or span. *)
+
+module Error = Pak_guard.Error
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
+module Obs = Pak_obs.Obs
+module Pool = Pak_par.Pool
+module Q = Pak_rational.Q
+module Tree = Pak_pps.Tree
+module Tree_io = Pak_pps.Tree_io
+module Fact = Pak_pps.Fact
+module Belief = Pak_pps.Belief
+module Bitset = Pak_pps.Bitset
+module Parser = Pak_logic.Parser
+module Semantics = Pak_logic.Semantics
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let c_frames = Obs.counter "serve.frames"
+let c_requests = Obs.counter "serve.requests"
+let c_responses = Obs.counter "serve.responses"
+let c_batches = Obs.counter "serve.batches"
+let c_pings = Obs.counter "serve.pings"
+let c_drains = Obs.counter "serve.drains"
+let c_shed = Obs.counter "serve.shed"
+let c_degraded = Obs.counter "serve.degraded"
+let c_err_protocol = Obs.counter "serve.errors.protocol"
+let c_err_request = Obs.counter "serve.errors.request"
+let c_err_input = Obs.counter "serve.errors.input"
+let c_err_budget = Obs.counter "serve.errors.budget"
+let c_err_internal = Obs.counter "serve.errors.internal"
+let c_cache_hits = Obs.counter "serve.cache.hits"
+let c_cache_misses = Obs.counter "serve.cache.misses"
+let c_cache_evictions = Obs.counter "serve.cache.evictions"
+let c_tree_hits = Obs.counter "serve.tree_cache.hits"
+let c_tree_misses = Obs.counter "serve.tree_cache.misses"
+
+(* Live levels for the gauge provider. Deterministic at capture time:
+   the queue is empty whenever control is outside [drain], and the
+   cache level is a pure function of the request history. *)
+let g_pending = Atomic.make 0
+let g_cache_entries = Atomic.make 0
+
+let () =
+  Obs.register_gauges (fun () ->
+      [
+        ("serve.pending", float_of_int (Atomic.get g_pending));
+        ("serve.cache_entries", float_of_int (Atomic.get g_cache_entries));
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* S-expressions (same dialect as Tree_io)                             *)
+(* ------------------------------------------------------------------ *)
+
+module Sexp = struct
+  type t = Atom of string | Str of string | List of t list
+
+  let max_nesting = 200
+
+  exception Bad of string
+
+  let quote buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec add_to_buffer buf = function
+    | Atom s -> Buffer.add_string buf s
+    | Str s -> quote buf s
+    | List xs ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ' ';
+            add_to_buffer buf x)
+          xs;
+        Buffer.add_char buf ')'
+
+  let to_string x =
+    let buf = Buffer.create 64 in
+    add_to_buffer buf x;
+    Buffer.contents buf
+
+  let tokenize input =
+    let n = String.length input in
+    let toks = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let c = input.[!i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+      else if c = '(' then begin
+        toks := `Open :: !toks;
+        incr i
+      end
+      else if c = ')' then begin
+        toks := `Close :: !toks;
+        incr i
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          (match input.[!i] with
+          | '"' -> closed := true
+          | '\\' ->
+              if !i + 1 >= n then raise (Bad "dangling escape in string");
+              incr i;
+              Buffer.add_char buf input.[!i]
+          | c -> Buffer.add_char buf c);
+          incr i
+        done;
+        if not !closed then raise (Bad "unterminated string");
+        toks := `Str (Buffer.contents buf) :: !toks
+      end
+      else begin
+        let start = !i in
+        while
+          !i < n
+          &&
+          let c = input.[!i] in
+          not
+            (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' || c = ')'
+           || c = '"')
+        do
+          incr i
+        done;
+        toks := `Atom (String.sub input start (!i - start)) :: !toks
+      end
+    done;
+    List.rev !toks
+
+  let parse input =
+    try
+      let stack = ref [] in
+      let depth = ref 0 in
+      let result = ref None in
+      let push v =
+        match !stack with
+        | items :: rest -> stack := (v :: items) :: rest
+        | [] -> (
+            match !result with
+            | None -> result := Some v
+            | Some _ -> raise (Bad "trailing data after toplevel form"))
+      in
+      List.iter
+        (function
+          | `Open ->
+              if !depth >= max_nesting then raise (Bad "nesting too deep");
+              incr depth;
+              stack := [] :: !stack
+          | `Close -> (
+              match !stack with
+              | items :: rest ->
+                  decr depth;
+                  stack := rest;
+                  push (List (List.rev items))
+              | [] -> raise (Bad "unbalanced ')'"))
+          | `Atom s -> push (Atom s)
+          | `Str s -> push (Str s))
+        (tokenize input);
+      if !stack <> [] then raise (Bad "unbalanced '('");
+      match !result with None -> raise (Bad "empty frame") | Some v -> Ok v
+    with Bad m -> Result.Error m
+end
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Frame = struct
+  let magic = "pak1 "
+  let magic_len = String.length magic
+  let default_max_frame = 1 lsl 20
+
+  type source = bytes -> int -> int -> int
+
+  let source_of_channel ic buf pos len = input ic buf pos len
+
+  let source_of_string s =
+    let off = ref 0 in
+    fun buf pos len ->
+      let n = min len (String.length s - !off) in
+      Bytes.blit_string s !off buf pos n;
+      off := !off + n;
+      n
+
+  type junk = Garbage of int | Oversized of int | Truncated
+  type event = Eof | Payload of string | Junk of junk
+
+  type reader = {
+    source : source;
+    max_frame : int;
+    mutable buf : Bytes.t;
+    mutable pos : int;  (* start of unconsumed data *)
+    mutable len : int;  (* end of valid data *)
+    mutable eof : bool;  (* the source is exhausted *)
+  }
+
+  let reader ?(max_frame = default_max_frame) source =
+    { source; max_frame; buf = Bytes.create 8192; pos = 0; len = 0; eof = false }
+
+  (* Refill until at least [n] bytes are buffered past [pos] or the
+     source ends; returns how many are available. A source exception is
+     end-of-stream (robustness: a dying client must not kill us). *)
+  let ensure r n =
+    while r.len - r.pos < n && not r.eof do
+      if r.pos > 0 then begin
+        Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+        r.len <- r.len - r.pos;
+        r.pos <- 0
+      end;
+      if Bytes.length r.buf < n then begin
+        let b = Bytes.create (max n (2 * Bytes.length r.buf)) in
+        Bytes.blit r.buf 0 b 0 r.len;
+        r.buf <- b
+      end;
+      let got =
+        try r.source r.buf r.len (Bytes.length r.buf - r.len) with _ -> 0
+      in
+      if got <= 0 then r.eof <- true else r.len <- r.len + got
+    done;
+    r.len - r.pos
+
+  let magic_at r i =
+    let ok = ref true in
+    for k = 0 to magic_len - 1 do
+      if Bytes.get r.buf (i + k) <> magic.[k] then ok := false
+    done;
+    !ok
+
+  (* Skip up to [n] payload bytes without growing the buffer; returns
+     how many were actually consumed (fewer only at EOF). *)
+  let skip_n r n =
+    let remaining = ref n in
+    let stop = ref false in
+    while !remaining > 0 && not !stop do
+      let avail = r.len - r.pos in
+      if avail > 0 then begin
+        let take = min avail !remaining in
+        r.pos <- r.pos + take;
+        remaining := !remaining - take
+      end
+      else if ensure r 1 = 0 then stop := true
+    done;
+    n - !remaining
+
+  (* The reader is mispositioned: drop at least one byte, then scan
+     forward to the next magic (or EOF) and report how much was
+     dropped. *)
+  let resync r =
+    r.pos <- r.pos + 1;
+    let skipped = ref 1 in
+    let result = ref (-1) in
+    while !result < 0 do
+      let avail = ensure r magic_len in
+      if avail < magic_len then begin
+        (* EOF tail shorter than a magic: drop it. *)
+        skipped := !skipped + avail;
+        r.pos <- r.len;
+        result := 0
+      end
+      else begin
+        let last = r.len - magic_len in
+        let found = ref (-1) in
+        let i = ref r.pos in
+        while !found < 0 && !i <= last do
+          if Bytes.get r.buf !i = 'p' && magic_at r !i then found := !i
+          else incr i
+        done;
+        match !found with
+        | -1 ->
+            (* Keep a magic-sized tail for the next scan. *)
+            let keep_from = r.len - (magic_len - 1) in
+            skipped := !skipped + (keep_from - r.pos);
+            r.pos <- keep_from
+        | at ->
+            skipped := !skipped + (at - r.pos);
+            r.pos <- at;
+            result := 0
+      end
+    done;
+    Junk (Garbage !skipped)
+
+  let is_digit c = c >= '0' && c <= '9'
+
+  (* At most 11 length digits: fits in an int, and anything longer is
+     garbage by fiat. *)
+  let max_digits = 11
+
+  let read r =
+    if ensure r 1 = 0 then Eof
+    else begin
+      let avail = ensure r (magic_len + max_digits + 2) in
+      if avail < magic_len || not (magic_at r r.pos) then resync r
+      else begin
+        let base = r.pos + magic_len in
+        let limit = min r.len (base + max_digits + 1) in
+        let j = ref base in
+        while !j < limit && is_digit (Bytes.get r.buf !j) do
+          incr j
+        done;
+        let ndigits = !j - base in
+        if ndigits = 0 || ndigits > max_digits then resync r
+        else if !j >= r.len then
+          if r.eof then begin
+            (* "pak1 123" then EOF: a frame was started, never finished. *)
+            r.pos <- r.len;
+            Junk Truncated
+          end
+          else resync r
+        else if Bytes.get r.buf !j <> '\n' then resync r
+        else begin
+          let len = int_of_string (Bytes.sub_string r.buf base ndigits) in
+          r.pos <- !j + 1;
+          if len > r.max_frame then
+            (* Oversized but plausibly honest: skip the declared
+               payload so the next frame parses. Absurd declared
+               lengths (16x the cap) are treated as garbage instead of
+               skipping gigabytes of a hostile stream. *)
+            if len > 16 * r.max_frame then begin
+              r.pos <- r.pos - 1;
+              resync r
+            end
+            else begin
+              let skipped = skip_n r len in
+              if skipped < len then Junk Truncated else Junk (Oversized len)
+            end
+          else begin
+            let got = ensure r len in
+            if got < len then begin
+              r.pos <- r.len;
+              Junk Truncated
+            end
+            else begin
+              let payload = Bytes.sub_string r.buf r.pos len in
+              r.pos <- r.pos + len;
+              Payload payload
+            end
+          end
+        end
+      end
+    end
+
+  let encode payload =
+    let b = Buffer.create (String.length payload + magic_len + 8) in
+    Buffer.add_string b magic;
+    Buffer.add_string b (string_of_int (String.length payload));
+    Buffer.add_char b '\n';
+    Buffer.add_string b payload;
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Op_eval
+  | Op_belief of {
+      agent : int;
+      run : int;
+      time : int;
+      samples : int option;
+      seed : int option;
+    }
+
+type request = {
+  req_id : int;
+  op : op;
+  system : string;
+  formula : string;
+  req_limits : Budget.limits;
+  want_metrics : bool;
+}
+
+exception Bad_request of string
+
+let parse_request fields =
+  let id = ref None in
+  let op = ref None in
+  let system = ref None in
+  let formula = ref None in
+  let agent = ref None in
+  let run = ref None in
+  let time = ref None in
+  let samples = ref None in
+  let seed = ref None in
+  let mp = ref None in
+  let mn = ref None in
+  let ml = ref None in
+  let mi = ref None in
+  let tm = ref None in
+  let metrics = ref false in
+  try
+    List.iter
+      (function
+        | Sexp.List (Sexp.Atom key :: rest) -> (
+            let one () =
+              match rest with
+              | [ v ] -> v
+              | _ -> raise (Bad_request (key ^ ": expected one value"))
+            in
+            let int_v () =
+              match one () with
+              | Sexp.Atom s -> (
+                  match int_of_string_opt s with
+                  | Some v -> v
+                  | None -> raise (Bad_request (key ^ ": not an integer")))
+              | _ -> raise (Bad_request (key ^ ": not an integer"))
+            in
+            let text_v () =
+              match one () with
+              | Sexp.Atom s | Sexp.Str s -> s
+              | _ -> raise (Bad_request (key ^ ": expected text"))
+            in
+            let cap r =
+              let v = int_v () in
+              if v < 0 then raise (Bad_request (key ^ ": negative"));
+              r := Some v
+            in
+            match key with
+            | "id" -> id := Some (int_v ())
+            | "op" -> (
+                match text_v () with
+                | "eval" -> op := Some `Eval
+                | "belief" -> op := Some `Belief
+                | other -> raise (Bad_request ("unknown op " ^ other)))
+            | "system" -> system := Some (text_v ())
+            | "formula" -> formula := Some (text_v ())
+            | "agent" -> agent := Some (int_v ())
+            | "run" -> run := Some (int_v ())
+            | "time" -> time := Some (int_v ())
+            | "samples" ->
+                let v = int_v () in
+                if v < 1 then raise (Bad_request "samples: must be >= 1");
+                samples := Some v
+            | "seed" -> seed := Some (int_v ())
+            | "max-points" -> cap mp
+            | "max-nodes" -> cap mn
+            | "max-limbs" -> cap ml
+            | "max-iters" -> cap mi
+            | "timeout-ms" -> cap tm
+            | "metrics" -> (
+                match text_v () with
+                | "true" -> metrics := true
+                | "false" -> metrics := false
+                | _ -> raise (Bad_request "metrics: expected true or false"))
+            | other -> raise (Bad_request ("unknown field " ^ other)))
+        | _ -> raise (Bad_request "request fields must be (key value) lists"))
+      fields;
+    let need key r =
+      match !r with
+      | Some v -> v
+      | None -> raise (Bad_request ("missing field " ^ key))
+    in
+    let rid = need "id" id in
+    let op =
+      match need "op" op with
+      | `Eval -> Op_eval
+      | `Belief ->
+          Op_belief
+            {
+              agent = need "agent" agent;
+              run = need "run" run;
+              time = need "time" time;
+              samples = !samples;
+              seed = !seed;
+            }
+    in
+    Ok
+      {
+        req_id = rid;
+        op;
+        system = need "system" system;
+        formula = need "formula" formula;
+        req_limits =
+          {
+            Budget.max_points = !mp;
+            max_nodes = !mn;
+            max_limbs = !ml;
+            max_iters = !mi;
+            timeout_ms = !tm;
+          };
+        want_metrics = !metrics;
+      }
+  with Bad_request m ->
+    Result.Error ((match !id with Some i -> i | None -> -1), m)
+
+type item = Item_req of request | Item_bad of int * string
+
+type msg = Msg_items of item list * bool  (* is_batch *) | Msg_ping of int | Msg_shutdown
+
+let item_of_fields fields =
+  match parse_request fields with
+  | Ok r -> Item_req r
+  | Error (id, m) -> Item_bad (id, m)
+
+let parse_msg = function
+  | Sexp.List (Sexp.Atom "request" :: fields) ->
+      Msg_items ([ item_of_fields fields ], false)
+  | Sexp.List (Sexp.Atom "batch" :: entries) ->
+      let items =
+        List.map
+          (function
+            | Sexp.List (Sexp.Atom "request" :: fields) -> item_of_fields fields
+            | _ -> Item_bad (-1, "batch entries must be (request ...)"))
+          entries
+      in
+      Msg_items (items, true)
+  | Sexp.List [ Sexp.Atom "ping" ] -> Msg_ping 0
+  | Sexp.List [ Sexp.Atom "ping"; Sexp.List [ Sexp.Atom "id"; Sexp.Atom v ] ]
+    when int_of_string_opt v <> None ->
+      Msg_ping (int_of_string v)
+  | Sexp.List [ Sexp.Atom "shutdown" ] -> Msg_shutdown
+  | _ -> Msg_items ([ Item_bad (-1, "unknown frame form") ], false)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  jobs : int;
+  max_pending : int;
+  batch : int;
+  max_frame : int;
+  cache_max : int;
+  tree_cache_max : int;
+  drain_ms : int option;
+  retry_after_ms : int;
+  limits : Budget.limits;
+  clock : (unit -> float) option;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    max_pending = 64;
+    batch = 0;
+    max_frame = Frame.default_max_frame;
+    cache_max = 256;
+    tree_cache_max = 32;
+    drain_ms = Some 2_000;
+    retry_after_ms = 50;
+    limits = Budget.unlimited;
+    clock = None;
+  }
+
+let validate_config cfg =
+  let err fmt = Printf.ksprintf (fun m -> Result.Error m) fmt in
+  if cfg.jobs < 1 then err "--jobs must be >= 1 (got %d)" cfg.jobs
+  else if cfg.max_pending < 1 then
+    err "--max-pending must be >= 1 (got %d)" cfg.max_pending
+  else if cfg.batch < 0 then err "--batch must be >= 0 (got %d)" cfg.batch
+  else if cfg.batch > cfg.max_pending then
+    err "--batch %d exceeds --max-pending %d" cfg.batch cfg.max_pending
+  else if cfg.max_frame < 64 then
+    err "--max-frame must be >= 64 bytes (got %d)" cfg.max_frame
+  else if cfg.cache_max < 0 then
+    err "--cache-max must be >= 0 (got %d)" cfg.cache_max
+  else if cfg.tree_cache_max < 1 then
+    err "--tree-cache-max must be >= 1 (got %d)" cfg.tree_cache_max
+  else if cfg.retry_after_ms < 1 then
+    err "--retry-after-ms must be >= 1 (got %d)" cfg.retry_after_ms
+  else if (match cfg.drain_ms with Some d -> d < 0 | None -> false) then
+    err "--drain-ms must be >= 0"
+  else
+    let bad_cap =
+      List.find_opt
+        (fun (_, v) -> match v with Some v -> v <= 0 | None -> false)
+        [
+          ("--max-points", cfg.limits.Budget.max_points);
+          ("--max-nodes", cfg.limits.Budget.max_nodes);
+          ("--max-limbs", cfg.limits.Budget.max_limbs);
+          ("--max-iters", cfg.limits.Budget.max_iters);
+          ("--timeout-ms", cfg.limits.Budget.timeout_ms);
+        ]
+    in
+    match bad_cap with
+    | Some (name, _) ->
+        err "server-level %s of 0 or less would fail every request" name
+    | None -> Ok ()
+
+(* A request may only lower the server-level caps. *)
+let merge_limits server req =
+  let field s r =
+    match (s, r) with
+    | None, v | v, None -> v
+    | Some s, Some r -> Some (min s r)
+  in
+  {
+    Budget.max_points = field server.Budget.max_points req.Budget.max_points;
+    max_nodes = field server.Budget.max_nodes req.Budget.max_nodes;
+    max_limbs = field server.Budget.max_limbs req.Budget.max_limbs;
+    max_iters = field server.Budget.max_iters req.Budget.max_iters;
+    timeout_ms = field server.Budget.timeout_ms req.Budget.timeout_ms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes and rendering                                              *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  out_id : int;
+  out_body : string;  (* rendered "(code ..) (status ..) ..." fields *)
+  out_metrics : string;  (* "" or a rendered " (metrics ...)" *)
+  out_cacheable : bool;
+}
+
+let quoted s =
+  let b = Buffer.create (String.length s + 2) in
+  Sexp.quote b s;
+  Buffer.contents b
+
+let ok_outcome id body ~cacheable =
+  { out_id = id; out_body = body; out_metrics = ""; out_cacheable = cacheable }
+
+let error_outcome id (e : Error.t) =
+  let code =
+    match e.Error.kind with
+    | Error.Budget_exceeded ->
+        Obs.incr c_err_budget;
+        4
+    | Error.Parse | Error.Invalid_system | Error.Io ->
+        Obs.incr c_err_input;
+        3
+  in
+  {
+    out_id = id;
+    out_body =
+      Printf.sprintf "(code %d) (status error) (kind %s) (error %s)" code
+        (Error.kind_name e.Error.kind)
+        (quoted (Error.to_string e));
+    out_metrics = "";
+    out_cacheable = false;
+  }
+
+let internal_outcome id exn =
+  Obs.incr c_err_internal;
+  {
+    out_id = id;
+    out_body =
+      Printf.sprintf "(code 125) (status error) (kind internal) (error %s)"
+        (quoted (Printexc.to_string exn));
+    out_metrics = "";
+    out_cacheable = false;
+  }
+
+let bad_request_outcome id msg =
+  Obs.incr c_err_request;
+  {
+    out_id = id;
+    out_body =
+      Printf.sprintf "(code 2) (status error) (kind request) (error %s)"
+        (quoted msg);
+    out_metrics = "";
+    out_cacheable = false;
+  }
+
+let protocol_outcome msg =
+  {
+    out_id = -1;
+    out_body =
+      Printf.sprintf "(code 3) (status error) (kind protocol) (error %s)"
+        (quoted msg);
+    out_metrics = "";
+    out_cacheable = false;
+  }
+
+let junk_outcome = function
+  | Frame.Garbage n ->
+      protocol_outcome (Printf.sprintf "garbage on stream: skipped %d bytes" n)
+  | Frame.Oversized n ->
+      protocol_outcome (Printf.sprintf "frame of %d bytes exceeds the cap" n)
+  | Frame.Truncated -> protocol_outcome "stream ended inside a frame"
+
+let overloaded_outcome cfg id =
+  {
+    out_id = id;
+    out_body =
+      Printf.sprintf "(code 4) (status overloaded) (retry-after-ms %d)"
+        cfg.retry_after_ms;
+    out_metrics = "";
+    out_cacheable = false;
+  }
+
+let render_metrics (d : Obs.Snapshot.t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b " (metrics (counters";
+  List.iter
+    (fun (n, v) -> Printf.bprintf b " (%s %d)" n v)
+    d.Obs.Snapshot.counters;
+  Buffer.add_string b ") (histograms";
+  List.iter
+    (fun (n, counts) -> Printf.bprintf b " (%s %d)" n (Obs.total_count counts))
+    d.Obs.Snapshot.histograms;
+  Buffer.add_string b "))";
+  Buffer.contents b
+
+let render_response o =
+  Printf.sprintf "(response (id %d) %s%s)" o.out_id o.out_body o.out_metrics
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type pending = P_live of request * string option  (* cache key *) | P_done of outcome
+
+type state = {
+  cfg : config;
+  pool : Pool.t option;
+  q : pending Queue.t;
+  mutable live : int;  (* P_live entries in [q] *)
+  (* Parsed-system cache: written from worker domains, hence the
+     mutex. FIFO-bounded. *)
+  trees : (string, Tree.t) Hashtbl.t;
+  tree_order : string Queue.t;
+  tree_mutex : Mutex.t;
+  (* Cross-request result cache: touched only on the main domain
+     (lookups at enqueue, inserts after a drain), so no lock. *)
+  results : (string, string) Hashtbl.t;
+  result_order : string Queue.t;
+  write_frame : string -> unit;
+}
+
+let now st = match st.cfg.clock with Some f -> f () | None -> Sys.time ()
+
+let cache_key cfg req =
+  if cfg.cache_max = 0 then None
+  else begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b (Digest.to_hex (Digest.string req.system));
+    Buffer.add_char b '|';
+    (match req.op with
+    | Op_eval -> Buffer.add_string b "eval"
+    | Op_belief { agent; run; time; samples; seed } ->
+        Printf.bprintf b "belief:%d:%d:%d:%d:%d" agent run time
+          (Option.value samples ~default:(-1))
+          (Option.value seed ~default:(-1)));
+    Buffer.add_char b '|';
+    Buffer.add_string b req.formula;
+    Buffer.add_char b '|';
+    let lim = function None -> "-" | Some v -> string_of_int v in
+    let l = req.req_limits in
+    Printf.bprintf b "%s,%s,%s,%s,%s" (lim l.Budget.max_points)
+      (lim l.Budget.max_nodes) (lim l.Budget.max_limbs) (lim l.Budget.max_iters)
+      (lim l.Budget.timeout_ms);
+    Some (Buffer.contents b)
+  end
+
+let cache_put st key body =
+  if not (Hashtbl.mem st.results key) then begin
+    Hashtbl.add st.results key body;
+    Queue.add key st.result_order;
+    while Hashtbl.length st.results > st.cfg.cache_max do
+      Obs.incr c_cache_evictions;
+      Hashtbl.remove st.results (Queue.pop st.result_order)
+    done;
+    Atomic.set g_cache_entries (Hashtbl.length st.results)
+  end
+
+let tree_of_system st doc =
+  let digest = Digest.string doc in
+  let cached =
+    Mutex.lock st.tree_mutex;
+    let r = Hashtbl.find_opt st.trees digest in
+    Mutex.unlock st.tree_mutex;
+    r
+  in
+  match cached with
+  | Some t ->
+      Obs.incr c_tree_hits;
+      t
+  | None -> (
+      Obs.incr c_tree_misses;
+      match Tree_io.of_string_result doc with
+      | Result.Error e -> raise (Error.Error (Error.with_context "system" e))
+      | Ok t ->
+          Mutex.lock st.tree_mutex;
+          if not (Hashtbl.mem st.trees digest) then begin
+            Hashtbl.add st.trees digest t;
+            Queue.add digest st.tree_order;
+            while Hashtbl.length st.trees > st.cfg.tree_cache_max do
+              Hashtbl.remove st.trees (Queue.pop st.tree_order)
+            done
+          end;
+          Mutex.unlock st.tree_mutex;
+          t)
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (worker side)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let perform st req =
+  let tree = tree_of_system st req.system in
+  let formula =
+    match Parser.parse_result req.formula with
+    | Ok f -> f
+    | Result.Error e -> raise (Error.Error (Error.with_context "formula" e))
+  in
+  let fact = Semantics.eval tree ~valuation:Semantics.generic_valuation formula in
+  match req.op with
+  | Op_eval ->
+      let sat = ref 0 in
+      Tree.iter_points tree (fun ~run ~time ->
+          if Fact.holds fact ~run ~time then incr sat);
+      let initially = ref (Tree.empty_event tree) in
+      for r = 0 to Tree.n_runs tree - 1 do
+        if Fact.holds fact ~run:r ~time:0 then
+          initially := Bitset.add !initially r
+      done;
+      let prob = Tree.measure tree !initially in
+      ok_outcome req.req_id
+        (Printf.sprintf
+           "(code 0) (status ok) (result (points %d) (sat %d) (valid %b) (prob %s))"
+           (Tree.n_points tree) !sat
+           (!sat = Tree.n_points tree)
+           (Q.to_string prob))
+        ~cacheable:true
+  | Op_belief { agent; run; time; samples; seed } ->
+      let bound name v hi =
+        if v < 0 || v >= hi then
+          raise
+            (Error.Error
+               (Error.makef Error.Invalid_system "%s %d out of range [0,%d)"
+                  name v hi))
+      in
+      bound "agent" agent (Tree.n_agents tree);
+      bound "run" run (Tree.n_runs tree);
+      bound "time" time (Tree.run_length tree run);
+      (match Belief.degree_graded ?samples ?seed fact ~agent ~run ~time with
+      | Graded.Exact q ->
+          ok_outcome req.req_id
+            (Printf.sprintf "(code 0) (status ok) (result (degree %s))"
+               (Q.to_string q))
+            ~cacheable:true
+      | Graded.Estimated { value; samples } ->
+          Obs.incr c_degraded;
+          ok_outcome req.req_id
+            (Printf.sprintf
+               "(code 0) (status estimated) (result (degree %s) (samples %d))"
+               (Q.to_string value) samples)
+            ~cacheable:false)
+
+(* Per-request fault isolation: a fresh budget scope per request, and
+   every failure mode folded into an error outcome. Nothing escapes. *)
+let execute st ~grace req =
+  let eff = merge_limits st.cfg.limits req.req_limits in
+  let eff =
+    match grace with
+    | None -> eff
+    | Some (t0, grace_ms) ->
+        let elapsed_ms = int_of_float ((now st -. t0) *. 1000.) in
+        let remaining = max 0 (grace_ms - elapsed_ms) in
+        {
+          eff with
+          Budget.timeout_ms =
+            Some
+              (match eff.Budget.timeout_ms with
+              | None -> remaining
+              | Some t -> min t remaining);
+        }
+  in
+  if eff.Budget.timeout_ms = Some 0 then
+    error_outcome req.req_id
+      (Error.make Error.Budget_exceeded "drain grace deadline exceeded")
+  else
+    match Budget.with_budget eff (fun () -> perform st req) with
+    | Ok o -> o
+    | Result.Error e -> error_outcome req.req_id e
+    | exception Error.Error e -> error_outcome req.req_id e
+    | exception exn -> (
+        match Error.of_exn exn with
+        | Some e -> error_outcome req.req_id e
+        | None -> internal_outcome req.req_id exn)
+
+let process st ~grace req =
+  let compute () = Obs.span "serve.request" (fun () -> execute st ~grace req) in
+  if req.want_metrics then begin
+    let o, delta = Obs.Snapshot.diff_capture compute in
+    { o with out_metrics = render_metrics delta }
+  end
+  else compute ()
+
+(* ------------------------------------------------------------------ *)
+(* Queue, drain, shed                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let write_response st o =
+  Obs.incr c_responses;
+  st.write_frame (render_response o)
+
+let enqueue st = function
+  | Item_bad (id, msg) -> Queue.add (P_done (bad_request_outcome id msg)) st.q
+  | Item_req req ->
+      Obs.incr c_requests;
+      if st.live >= st.cfg.max_pending then begin
+        Obs.incr c_shed;
+        Queue.add (P_done (overloaded_outcome st.cfg req.req_id)) st.q
+      end
+      else begin
+        let key = cache_key st.cfg req in
+        match key with
+        | Some k when Hashtbl.mem st.results k ->
+            Obs.incr c_cache_hits;
+            Queue.add
+              (P_done
+                 {
+                   out_id = req.req_id;
+                   out_body = Hashtbl.find st.results k;
+                   out_metrics = "";
+                   out_cacheable = false;
+                 })
+              st.q
+        | _ ->
+            if key <> None then Obs.incr c_cache_misses;
+            st.live <- st.live + 1;
+            Atomic.set g_pending st.live;
+            Queue.add (P_live (req, key)) st.q
+      end
+
+let drain st ~final =
+  if not (Queue.is_empty st.q) then begin
+    Obs.incr c_drains;
+    Obs.span "serve.drain" (fun () ->
+        let entries = Array.make (Queue.length st.q) (P_done (protocol_outcome "")) in
+        let n = Array.length entries in
+        for i = 0 to n - 1 do
+          entries.(i) <- Queue.pop st.q
+        done;
+        st.live <- 0;
+        Atomic.set g_pending 0;
+        let grace =
+          if final then
+            match st.cfg.drain_ms with
+            | Some ms -> Some (now st, ms)
+            | None -> None
+          else None
+        in
+        let live_ix = ref [] in
+        Array.iteri
+          (fun i e -> match e with P_live _ -> live_ix := i :: !live_ix | P_done _ -> ())
+          entries;
+        let ixs = Array.of_list (List.rev !live_ix) in
+        let compute i =
+          match entries.(i) with
+          | P_live (req, _) -> (i, process st ~grace req)
+          | P_done _ -> assert false
+        in
+        let outcomes =
+          match st.pool with
+          | Some pool when Array.length ixs > 1 ->
+              (* A pool task may be claimed by a worker (empty span
+                 stack) or by the caller (inside serve.drain): detach
+                 the span stack so every pooled request records the
+                 same root-level serve.request path and the span tree
+                 stays deterministic at every job count. *)
+              Pool.map pool (fun i -> Obs.span_detach (fun () -> compute i)) ixs
+          | _ -> Array.map compute ixs
+        in
+        let resolved = Hashtbl.create (max 1 (Array.length outcomes)) in
+        Array.iter (fun (i, o) -> Hashtbl.replace resolved i o) outcomes;
+        Array.iteri
+          (fun i e ->
+            match e with
+            | P_done o -> write_response st o
+            | P_live (_, key) ->
+                let o = Hashtbl.find resolved i in
+                (match key with
+                | Some k when o.out_cacheable -> cache_put st k o.out_body
+                | _ -> ());
+                write_response st o)
+          entries)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The request loop                                                    *)
+(* ------------------------------------------------------------------ *)
+
+exception Client_gone
+
+let run cfg ~source ~write =
+  match validate_config cfg with
+  | Result.Error _ -> 3
+  | Ok () ->
+      let rd = Frame.reader ~max_frame:cfg.max_frame source in
+      let write_frame text =
+        try write (Frame.encode text) with Sys_error _ -> raise Client_gone
+      in
+      let st =
+        {
+          cfg;
+          pool = (if cfg.jobs > 1 then Some (Pool.create ~jobs:cfg.jobs) else None);
+          q = Queue.create ();
+          live = 0;
+          trees = Hashtbl.create 8;
+          tree_order = Queue.create ();
+          tree_mutex = Mutex.create ();
+          results = Hashtbl.create 64;
+          result_order = Queue.create ();
+          write_frame;
+        }
+      in
+      let batch_threshold = if cfg.batch = 0 then cfg.jobs else cfg.batch in
+      let maybe_drain () =
+        if Queue.length st.q >= batch_threshold then drain st ~final:false
+      in
+      let finish reason =
+        drain st ~final:true;
+        write_frame (Printf.sprintf "(bye (reason %s))" reason);
+        0
+      in
+      let rec loop () =
+        match Frame.read rd with
+        | Frame.Eof -> finish "eof"
+        | Frame.Junk j ->
+            Obs.incr c_err_protocol;
+            Queue.add (P_done (junk_outcome j)) st.q;
+            maybe_drain ();
+            loop ()
+        | Frame.Payload p -> (
+            Obs.incr c_frames;
+            match Sexp.parse p with
+            | Result.Error m ->
+                Obs.incr c_err_protocol;
+                Queue.add
+                  (P_done (protocol_outcome ("unparsable frame payload: " ^ m)))
+                  st.q;
+                maybe_drain ();
+                loop ()
+            | Ok sx -> (
+                match parse_msg sx with
+                | Msg_ping id ->
+                    Obs.incr c_pings;
+                    drain st ~final:false;
+                    write_frame (Printf.sprintf "(pong (id %d))" id);
+                    loop ()
+                | Msg_shutdown -> finish "shutdown"
+                | Msg_items (items, is_batch) ->
+                    if is_batch then Obs.incr c_batches;
+                    List.iter (enqueue st) items;
+                    maybe_drain ();
+                    loop ()))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (match st.pool with Some p -> Pool.close p | None -> ());
+          Atomic.set g_pending 0)
+        (fun () -> try loop () with Client_gone -> 0)
+
+let run_string ?(config = default_config) input =
+  let buf = Buffer.create 1024 in
+  let code =
+    run config ~source:(Frame.source_of_string input)
+      ~write:(Buffer.add_string buf)
+  in
+  (Buffer.contents buf, code)

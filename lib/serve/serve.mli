@@ -1,0 +1,139 @@
+(** [pak serve] — a fault-isolated batch/server front end.
+
+    A long-lived request loop: length-prefixed s-expression frames
+    arrive on a byte source, one response frame leaves per request, and
+    evaluation is scheduled on the {!Pak_par.Pool}. The defining
+    property is {e fault isolation}: a malformed frame, a runaway
+    fixpoint, an exhausted budget or a worker exception degrades exactly
+    one response — never the server process.
+
+    {2 Frame format}
+
+    Every frame, in both directions, is
+
+    {v pak1 <len>\n<payload> v}
+
+    where ["pak1 "] is a literal 5-byte magic, [<len>] is the payload
+    length in bytes as decimal ASCII, and [<payload>] is one
+    s-expression. Anything else on the stream is junk: the reader emits
+    a typed {!Frame.junk} event and resynchronizes at the next magic.
+
+    {2 Request grammar}
+
+    {v
+(request (id 1) (op eval) (system "<pps document>") (formula "K[0] a0_g0"))
+(request (id 2) (op belief) (system "...") (formula "a0_g0")
+         (agent 0) (run 1) (time 1) (samples 500) (seed 7)
+         (max-limbs 1) (timeout-ms 100) (metrics true))
+(batch (request ...) (request ...) ...)
+(ping (id 9))
+(shutdown)
+    v}
+
+    Per-request [max-points]/[max-nodes]/[max-limbs]/[max-iters]/
+    [timeout-ms] override the server-level caps but can only lower
+    them; [metrics true] attaches a per-request
+    {!Pak_obs.Obs.Snapshot.diff_capture} delta to the response.
+
+    {2 Responses}
+
+    [(response (id I) (code C) (status S) ...)] where [code] reuses the
+    CLI exit-code taxonomy per request: 0 ok, 2 malformed request,
+    3 invalid input (unparsable system/formula, protocol junk), 4 budget
+    exceeded or shed under load, 125 internal bug. [status] is [ok],
+    [estimated] (budget-degraded Monte-Carlo fallback), [overloaded]
+    (shed, with a [(retry-after-ms N)] hint) or [error] (with
+    [(kind ...)] and [(error "...")]). [ping] gets [(pong (id I))];
+    shutdown and EOF drain in-flight requests under the configured grace
+    deadline and end with [(bye (reason ...))] and exit code 0. *)
+
+(** Minimal s-expression values shared by the request and response
+    grammar (same dialect as [Tree_io]: atoms, quoted strings with
+    backslash escapes for the quote and backslash characters, lists). *)
+module Sexp : sig
+  type t = Atom of string | Str of string | List of t list
+
+  val parse : string -> (t, string) result
+  (** One toplevel form; depth-capped, never raises. *)
+
+  val add_to_buffer : Buffer.t -> t -> unit
+  val to_string : t -> string
+end
+
+(** The length-prefixed frame codec. *)
+module Frame : sig
+  val magic : string
+  (** ["pak1 "]. *)
+
+  val default_max_frame : int
+  (** 1 MiB. *)
+
+  type source = bytes -> int -> int -> int
+  (** [source buf pos len] reads at most [len] bytes into [buf] at
+      [pos] and returns how many were read; 0 (or any exception) means
+      end of stream. *)
+
+  val source_of_string : string -> source
+  val source_of_channel : in_channel -> source
+
+  type junk =
+    | Garbage of int  (** [n] bytes skipped to the next magic/EOF *)
+    | Oversized of int  (** declared length above the frame cap; payload skipped *)
+    | Truncated  (** stream ended inside a frame *)
+
+  type event = Eof | Payload of string | Junk of junk
+
+  type reader
+
+  val reader : ?max_frame:int -> source -> reader
+
+  val read : reader -> event
+  (** Next event. Never raises; after [Junk] the reader is positioned
+      at the next plausible frame (resync). [Eof] is sticky. *)
+
+  val encode : string -> string
+  (** Wrap a payload in a frame header. *)
+end
+
+(** Server configuration. All limits are validated by
+    {!validate_config}; `pak serve` refuses to start (exit 3) on an
+    invalid configuration. *)
+type config = {
+  jobs : int;  (** worker domains; 1 = run requests on the caller *)
+  max_pending : int;
+      (** bound on queued-not-yet-executed requests; beyond it new
+          requests are shed with an [overloaded] response *)
+  batch : int;
+      (** drain the queue once it holds this many entries; 0 means
+          [jobs] (keep the pool busy) *)
+  max_frame : int;  (** frame payload byte cap *)
+  cache_max : int;
+      (** cross-request result-cache entries; 0 disables the cache *)
+  tree_cache_max : int;  (** parsed-system cache entries *)
+  drain_ms : int option;
+      (** grace deadline for draining in-flight requests on
+          shutdown/EOF; [None] = drain without a deadline *)
+  retry_after_ms : int;  (** hint attached to [overloaded] responses *)
+  limits : Pak_guard.Budget.limits;
+      (** server-level per-request caps; requests may only lower them *)
+  clock : (unit -> float) option;
+      (** wall clock for the drain deadline (e.g. [Unix.gettimeofday]);
+          [None] falls back to [Sys.time] *)
+}
+
+val default_config : config
+
+val validate_config : config -> (unit, string) result
+
+val run : config -> source:Frame.source -> write:(string -> unit) -> int
+(** Serve until EOF or a [shutdown] frame; returns the process exit
+    code (0 on a clean drain, including when the client disappears
+    mid-write; 3 if the configuration is invalid). [write] receives
+    complete response frames; if it raises [Sys_error] (broken pipe)
+    the server drains quietly and still returns 0. Request failures
+    never escape: they become error responses. *)
+
+val run_string : ?config:config -> string -> string * int
+(** In-process convenience (tests, soak, bench): feed a whole input
+    stream, collect the response stream, return it with the exit
+    code. *)

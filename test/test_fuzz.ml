@@ -132,8 +132,15 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Corpus naming convention: files starting with [formula] feed the
-   formula parser, files starting with [doc] feed Tree_io. Every file
-   is a past (or would-be) crasher; the contract is typed-error-only. *)
+   formula parser, files starting with [doc] feed Tree_io, files
+   starting with [frame] feed the serve front end's wire loop (whose
+   contract is stronger still: any byte stream must drain to exit 0,
+   faults becoming typed error responses). Every file is a past (or
+   would-be) crasher; the contract is typed-error-only. *)
+let frame_boundary s =
+  let _out, code = Pak_serve.Serve.run_string s in
+  if code = 0 then Ok ()
+  else Error (Error.make Error.Io "server exited nonzero on corpus stream")
 let test_corpus () =
   let dir = "corpus" in
   let entries = Array.to_list (Sys.readdir dir) in
@@ -150,7 +157,8 @@ let test_corpus () =
       in
       if String.length name >= 7 && String.sub name 0 7 = "formula" then run parse_boundary
       else if String.length name >= 3 && String.sub name 0 3 = "doc" then run doc_boundary
-      else Alcotest.fail (describe "unknown corpus prefix (want formula* or doc*)"))
+      else if String.length name >= 5 && String.sub name 0 5 = "frame" then run frame_boundary
+      else Alcotest.fail (describe "unknown corpus prefix (want formula*, doc* or frame*)"))
     (List.sort compare entries)
 
 (* Pin the typed outcome of a few corpus members so the classification

@@ -657,6 +657,53 @@ let prop_instrumentation_transparent =
       List.for_all2 (facts_agree tree) plain instrumented
       && List.for_all2 Q.equal plain_mu instr_mu)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot.diff_capture                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_capture_attribution () =
+  with_metrics (fun () ->
+      let c = Obs.counter "diffcap.inner" in
+      let before_only = Obs.counter "diffcap.before" in
+      Obs.add before_only 7;
+      Obs.add c 3;
+      let x, d =
+        Obs.Snapshot.diff_capture (fun () ->
+            Obs.add c 5;
+            Obs.record (Obs.histogram "diffcap.h") 1_000;
+            "result")
+      in
+      check_bool "value passes through" true (x = "result");
+      check_int "only the inner bumps" 5
+        (match List.assoc_opt "diffcap.inner" d.Obs.Snapshot.counters with
+         | Some n -> n
+         | None -> 0);
+      check_bool "counters untouched before the scope are dropped" true
+        (List.assoc_opt "diffcap.before" d.Obs.Snapshot.counters = None);
+      check_int "no global reset: totals still accumulate" 8 (Obs.value c);
+      check_bool "inner histogram records appear" true
+        (match List.assoc_opt "diffcap.h" d.Obs.Snapshot.histograms with
+         | Some buckets -> Array.fold_left ( + ) 0 buckets = 1
+         | None -> false))
+
+(* At --jobs 1 every request runs on the captured domain, so a
+   per-request delta must never carry span rows from a surrounding or
+   preceding request: diff_capture excludes the (cumulative,
+   cross-request) span tree entirely rather than misattributing it. *)
+let test_diff_capture_no_span_leakage () =
+  with_metrics (fun () ->
+      Obs.span "diffcap.outer" (fun () ->
+          let _, d =
+            Obs.Snapshot.diff_capture (fun () ->
+                Obs.span "diffcap.request" (fun () -> ignore (Sys.opaque_identity 1)))
+          in
+          check_bool "no span rows in a delta" true (d.Obs.Snapshot.spans = []));
+      let full = Obs.Snapshot.capture () in
+      check_bool "spans still reach a full snapshot" true
+        (List.exists
+           (fun (n : Obs.Snapshot.node) -> n.Obs.Snapshot.name = "diffcap.outer")
+           full.Obs.Snapshot.spans))
+
 let qcheck_cases =
   List.map
     (QCheck_alcotest.to_alcotest ~verbose:false)
@@ -690,7 +737,10 @@ let () =
           Alcotest.test_case "file round-trip" `Quick test_snapshot_file_roundtrip;
           Alcotest.test_case "diff fixtures" `Quick test_diff_fixtures;
           Alcotest.test_case "alloc regression gate" `Quick test_diff_alloc_regression;
-          Alcotest.test_case "v1 fixture parse-back" `Quick test_v1_fixture_parses
+          Alcotest.test_case "v1 fixture parse-back" `Quick test_v1_fixture_parses;
+          Alcotest.test_case "diff_capture attribution" `Quick test_diff_capture_attribution;
+          Alcotest.test_case "diff_capture span leakage" `Quick
+            test_diff_capture_no_span_leakage
         ] );
       ( "semantics",
         [ Alcotest.test_case "memo counters" `Quick test_memo_counters;

@@ -1,0 +1,313 @@
+(* Tests for pak_serve: the frame codec's round-trip and resync
+   behavior, per-request budget isolation, backpressure shedding,
+   graceful degradation to marked estimates, result-cache identity,
+   and the protocol-error/recovery and shutdown semantics — all
+   in-process through Serve.run_string. *)
+
+open Pak_rational
+open Pak_pps
+open Pak_logic
+module Obs = Pak_obs.Obs
+module Budget = Pak_guard.Budget
+module Graded = Pak_guard.Graded
+module Serve = Pak_serve.Serve
+module Belief = Pak_pps.Belief
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Serve counters are Obs counters: enable metrics around a run and
+   read deltas off the new Snapshot.diff_capture, restoring the null
+   sink afterwards so tests cannot leak global state. *)
+let with_metrics f =
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable f
+
+let delta snapshot name =
+  match List.assoc_opt name snapshot.Obs.Snapshot.counters with
+  | Some n -> n
+  | None -> 0
+
+let fig1 = lazy (Pak_systems.Figure_one.tree ())
+let doc1 = lazy (Tree_io.to_string (Lazy.force fig1))
+
+let request ?(extras = []) ~id ~op ~formula () =
+  let open Serve.Sexp in
+  let field k v = List [ Atom k; v ] in
+  to_string
+    (List
+       (Atom "request"
+       :: field "id" (Atom (string_of_int id))
+       :: field "op" (Atom op)
+       :: field "system" (Str (Lazy.force doc1))
+       :: field "formula" (Str formula)
+       :: extras))
+
+let ping id = Printf.sprintf "(ping (id %d))" id
+
+let run ?config payloads =
+  let input = String.concat "" (List.map Serve.Frame.encode payloads) in
+  Serve.run_string ?config input
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_payload =
+  QCheck.string_of_size (QCheck.Gen.int_range 0 300)
+
+let test_frame_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame encode/read round-trip"
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 8) gen_payload) (fun payloads ->
+      let stream = String.concat "" (List.map Serve.Frame.encode payloads) in
+      let reader = Serve.Frame.reader (Serve.Frame.source_of_string stream) in
+      let rec go acc =
+        match Serve.Frame.read reader with
+        | Serve.Frame.Eof -> List.rev acc
+        | Serve.Frame.Payload p -> go (p :: acc)
+        | Serve.Frame.Junk _ -> acc (* forces the inequality below *)
+      in
+      go [] = payloads)
+
+let test_frame_junk () =
+  let stream =
+    Serve.Frame.encode "(a)" ^ "!!garbage!!" ^ Serve.Frame.encode "(b)"
+  in
+  let reader = Serve.Frame.reader (Serve.Frame.source_of_string stream) in
+  check_bool "first payload" true (Serve.Frame.read reader = Serve.Frame.Payload "(a)");
+  (match Serve.Frame.read reader with
+  | Serve.Frame.Junk (Serve.Frame.Garbage n) -> check_int "garbage bytes" 11 n
+  | _ -> Alcotest.fail "expected Garbage junk");
+  check_bool "resynced payload" true (Serve.Frame.read reader = Serve.Frame.Payload "(b)");
+  check_bool "eof" true (Serve.Frame.read reader = Serve.Frame.Eof)
+
+let test_frame_truncated_and_oversized () =
+  let reader =
+    Serve.Frame.reader (Serve.Frame.source_of_string "pak1 4096\ntoo short")
+  in
+  check_bool "truncated" true
+    (Serve.Frame.read reader = Serve.Frame.Junk Serve.Frame.Truncated);
+  check_bool "eof after truncation" true (Serve.Frame.read reader = Serve.Frame.Eof);
+  let big = String.make 200 'z' in
+  let stream = Serve.Frame.encode big ^ Serve.Frame.encode "(ok)" in
+  let reader = Serve.Frame.reader ~max_frame:64 (Serve.Frame.source_of_string stream) in
+  (match Serve.Frame.read reader with
+  | Serve.Frame.Junk (Serve.Frame.Oversized n) -> check_int "declared length" 200 n
+  | _ -> Alcotest.fail "expected Oversized junk");
+  check_bool "frame after oversized payload skipped" true
+    (Serve.Frame.read reader = Serve.Frame.Payload "(ok)")
+
+(* ------------------------------------------------------------------ *)
+(* Request isolation, shedding, degradation, caching                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_isolation () =
+  (* A doomed fixpoint query must fail alone: the same query without
+     the cap, later in the same server run, still succeeds. *)
+  let doomed =
+    request ~id:1 ~op:"eval" ~formula:"CB[0]>=1/2 a0_g0"
+      ~extras:[ Serve.Sexp.List [ Serve.Sexp.Atom "max-iters"; Serve.Sexp.Atom "0" ] ]
+      ()
+  in
+  let fine = request ~id:2 ~op:"eval" ~formula:"CB[0]>=1/2 a0_g0" () in
+  let out, code = run [ doomed; fine ] in
+  check_int "clean drain" 0 code;
+  check_bool "doomed is a typed budget error" true
+    (contains out "(id 1) (code 4)" && contains out "budget-exceeded");
+  check_bool "same query later succeeds" true (contains out "(id 2) (code 0) (status ok)")
+
+let test_shed_at_capacity () =
+  let cfg = { Serve.default_config with Serve.max_pending = 2; retry_after_ms = 9 } in
+  let members =
+    List.init 5 (fun j ->
+        (* distinct thresholds: no result-cache interference *)
+        Printf.sprintf "B[0]>=%d/1000 a0_g0" (j + 1))
+  in
+  let batch =
+    let open Serve.Sexp in
+    to_string
+      (List
+         (Atom "batch"
+         :: List.mapi
+              (fun j f ->
+                match Serve.Sexp.parse (request ~id:(10 + j) ~op:"eval" ~formula:f ())
+                with
+                | Ok sx -> sx
+                | Error e -> Alcotest.fail e)
+              members))
+  in
+  with_metrics (fun () ->
+      let (out, code), snap =
+        Obs.Snapshot.diff_capture (fun () -> run ~config:cfg [ batch ])
+      in
+      check_int "clean drain" 0 code;
+      check_int "three shed" 3 (delta snap "serve.shed");
+      check_bool "first two answered" true
+        (contains out "(id 10) (code 0)" && contains out "(id 11) (code 0)");
+      List.iter
+        (fun id ->
+          check_bool
+            (Printf.sprintf "id %d overloaded" id)
+            true
+            (contains out
+               (Printf.sprintf "(id %d) (code 4) (status overloaded) (retry-after-ms 9)" id)))
+        [ 12; 13; 14 ])
+
+(* Size a points budget to exactly what the formula eval spends, so
+   the eval succeeds and the first conditional measure inside
+   Belief.degree busts (Q's small-int fast path keeps these fractions
+   away from the limb counter entirely). *)
+let eval_points_spend tree formula =
+  match
+    Budget.with_budget
+      (Budget.limits ~max_points:max_int ())
+      (fun () ->
+        ignore (Semantics.eval tree ~valuation:Semantics.generic_valuation
+                  (Parser.parse formula));
+        List.assoc "points" (Budget.spent ()))
+  with
+  | Ok n -> n
+  | Error _ -> Alcotest.fail "spend probe busted"
+
+let test_degraded_identity () =
+  let tree = Lazy.force fig1 in
+  let spend = eval_points_spend tree "a0_g1" in
+  let samples = 300 and seed = 42 in
+  let open Serve.Sexp in
+  let num n = List [ Atom n.(0); Atom n.(1) ] in
+  let req =
+    request ~id:5 ~op:"belief" ~formula:"a0_g1"
+      ~extras:
+        [ num [| "agent"; "0" |]; num [| "run"; "0" |]; num [| "time"; "0" |];
+          num [| "samples"; string_of_int samples |];
+          num [| "seed"; string_of_int seed |];
+          num [| "max-points"; string_of_int spend |]
+        ]
+      ()
+  in
+  (* Warm the parsed-system cache first: document parsing charges the
+     points budget too, and the sized budget accounts only for the
+     eval (the soak harness warms the cache the same way). *)
+  let warm = request ~id:4 ~op:"eval" ~formula:"a0_g0" () in
+  let out, code = run [ warm; ping 9; req ] in
+  check_int "clean drain" 0 code;
+  (* The server's answer must be the exact rendering of the direct
+     degraded computation under the same per-request budget. *)
+  let expected =
+    match
+      Budget.with_budget
+        (Budget.limits ~max_points:spend ())
+        (fun () ->
+          let fact =
+            Semantics.eval tree ~valuation:Semantics.generic_valuation
+              (Parser.parse "a0_g1")
+          in
+          Belief.degree_graded ~samples ~seed fact ~agent:0 ~run:0 ~time:0)
+    with
+    | Ok (Graded.Estimated { value; samples }) ->
+      Printf.sprintf "(id 5) (code 0) (status estimated) (result (degree %s) (samples %d))"
+        (Q.to_string value) samples
+    | Ok (Graded.Exact _) -> Alcotest.fail "direct computation stayed exact"
+    | Error _ -> Alcotest.fail "direct computation failed"
+  in
+  check_bool "ESTIMATED and identical to the direct fallback" true (contains out expected)
+
+let test_cache_hit_identical () =
+  (* The same request twice (same id, so the whole response frame is
+     comparable): the second must be a cache hit and byte-identical. *)
+  let req = request ~id:7 ~op:"eval" ~formula:"K[0] a0_g0" () in
+  with_metrics (fun () ->
+      let (out, code), snap =
+        Obs.Snapshot.diff_capture (fun () -> run [ req; ping 1; req ])
+      in
+      check_int "clean drain" 0 code;
+      check_int "one miss" 1 (delta snap "serve.cache.misses");
+      check_int "one hit" 1 (delta snap "serve.cache.hits");
+      let reader = Serve.Frame.reader (Serve.Frame.source_of_string out) in
+      let rec collect acc =
+        match Serve.Frame.read reader with
+        | Serve.Frame.Eof -> List.rev acc
+        | Serve.Frame.Payload p -> collect (p :: acc)
+        | Serve.Frame.Junk _ -> Alcotest.fail "junk in output"
+      in
+      match collect [] with
+      | [ r1; _pong; r2; _bye ] -> check_string "byte-identical responses" r1 r2
+      | other ->
+        Alcotest.fail (Printf.sprintf "expected 4 output frames, got %d" (List.length other)))
+
+let test_protocol_error_recovery () =
+  let input =
+    Serve.Frame.encode (ping 1) ^ "@@ not a frame @@" ^ Serve.Frame.encode (ping 2)
+  in
+  with_metrics (fun () ->
+      let (out, code), snap =
+        Obs.Snapshot.diff_capture (fun () -> Serve.run_string input)
+      in
+      check_int "clean drain" 0 code;
+      check_int "one protocol error" 1 (delta snap "serve.errors.protocol");
+      check_bool "typed protocol response" true
+        (contains out "(id -1) (code 3)" && contains out "(kind protocol)");
+      check_bool "both pings answered" true
+        (contains out "(pong (id 1))" && contains out "(pong (id 2))"))
+
+let test_shutdown_semantics () =
+  let out, code =
+    run [ ping 1; "(shutdown)"; ping 2 ]
+  in
+  check_int "clean drain" 0 code;
+  check_bool "pong before shutdown" true (contains out "(pong (id 1))");
+  check_bool "bye frame" true (contains out "(bye (reason shutdown))");
+  check_bool "frames after shutdown ignored" false (contains out "(pong (id 2))")
+
+let test_bad_requests () =
+  let bad_op = request ~id:1 ~op:"frobnicate" ~formula:"a0_g0" () in
+  let bad_formula = request ~id:2 ~op:"eval" ~formula:"K[0" () in
+  let bad_system =
+    "(request (id 3) (op eval) (system \"(pps\") (formula \"a0_g0\"))"
+  in
+  let out, code = run [ bad_op; bad_formula; bad_system ] in
+  check_int "clean drain" 0 code;
+  check_bool "unknown op is code 2" true
+    (contains out "(id 1) (code 2)" && contains out "(kind request)");
+  check_bool "bad formula is code 3 parse" true
+    (contains out "(id 2) (code 3)" && contains out "(kind parse)");
+  check_bool "bad system is code 3" true (contains out "(id 3) (code 3)")
+
+let test_validate_config () =
+  let bad cfg = Result.is_error (Serve.validate_config cfg) in
+  check_bool "default ok" true (Serve.validate_config Serve.default_config = Ok ());
+  check_bool "jobs < 1" true (bad { Serve.default_config with Serve.jobs = 0 });
+  check_bool "max_pending < 1" true
+    (bad { Serve.default_config with Serve.max_pending = 0 });
+  check_bool "server-level zero budget" true
+    (bad
+       { Serve.default_config with
+         Serve.limits = Budget.limits ~timeout_ms:0 ()
+       });
+  check_bool "tiny max_frame" true (bad { Serve.default_config with Serve.max_frame = 8 })
+
+let () =
+  Alcotest.run "pak_serve"
+    [ ( "frame",
+        [ QCheck_alcotest.to_alcotest test_frame_roundtrip;
+          Alcotest.test_case "junk and resync" `Quick test_frame_junk;
+          Alcotest.test_case "truncated and oversized" `Quick
+            test_frame_truncated_and_oversized
+        ] );
+      ( "server",
+        [ Alcotest.test_case "budget isolation" `Quick test_budget_isolation;
+          Alcotest.test_case "shed at capacity" `Quick test_shed_at_capacity;
+          Alcotest.test_case "degraded identity" `Quick test_degraded_identity;
+          Alcotest.test_case "cache hit identical" `Quick test_cache_hit_identical;
+          Alcotest.test_case "protocol error recovery" `Quick test_protocol_error_recovery;
+          Alcotest.test_case "shutdown semantics" `Quick test_shutdown_semantics;
+          Alcotest.test_case "bad requests" `Quick test_bad_requests;
+          Alcotest.test_case "validate config" `Quick test_validate_config
+        ] )
+    ]

@@ -1,4 +1,4 @@
-(* fuzz [--mode boundaries|explain] [--iters N] [--seed S]
+(* fuzz [--mode boundaries|explain|frame] [--iters N] [--seed S]
         [--corpus DIR] [--jobs J] — in-process fuzzer for the
    untrusted-input boundaries.
 
@@ -25,6 +25,15 @@
    certificate JSON additionally probes Cert.of_json_string, which
    must return Ok or Error without raising.
 
+   --mode frame targets the serve front end's wire boundary with raw
+   bytes, mutated frame streams and valid headers over mutated
+   payloads. Two contracts: Serve.Frame.read must turn ANY byte stream
+   into a finite sequence of typed events ending in Eof without
+   raising; and the full Serve.run_string loop must answer any byte
+   stream without raising and always drain to exit code 0 — faults
+   become typed error responses, never crashes and never a poisoned
+   server.
+
    Every iteration derives its own generator from (seed, iteration
    index), so the probed inputs — and therefore any finding — are
    identical for every --jobs value; parallelism only divides the wall
@@ -47,13 +56,13 @@ let mode = ref "boundaries"
 
 let usage () =
   prerr_endline
-    "usage: fuzz [--mode boundaries|explain] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
+    "usage: fuzz [--mode boundaries|explain|frame] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
   exit 2
 
 let rec parse_args = function
   | [] -> ()
   | "--mode" :: v :: rest ->
-    (match v with "boundaries" | "explain" -> mode := v | _ -> usage ());
+    (match v with "boundaries" | "explain" | "frame" -> mode := v | _ -> usage ());
     parse_args rest
   | "--iters" :: v :: rest ->
     (match int_of_string_opt v with Some n when n > 0 -> iters := n | _ -> usage ());
@@ -127,6 +136,41 @@ let explain_boundaries =
         match Cert.of_json_string input with
         | Ok _ -> Accepted
         | Error msg -> Rejected (Error.make Error.Parse msg) )
+  ]
+
+(* --mode frame: the serve wire boundary. The server's own per-request
+   budgets (frame_config.limits) bound fuzzed requests that happen to
+   parse; the reader event cap turns a non-terminating resync loop
+   into a finding rather than a hang. *)
+let frame_config =
+  { Serve.default_config with
+    Serve.max_pending = 8;
+    max_frame = 4096;
+    cache_max = 8;
+    tree_cache_max = 4;
+    drain_ms = Some 1000;
+    limits = probe_limits
+  }
+
+let frame_boundaries =
+  [ ( "frame",
+      fun input ->
+        let reader =
+          Serve.Frame.reader ~max_frame:4096 (Serve.Frame.source_of_string input)
+        in
+        let rec drain n =
+          if n > 100_000 then failwith "frame reader did not reach Eof"
+          else
+            match Serve.Frame.read reader with
+            | Serve.Frame.Eof -> Accepted
+            | Serve.Frame.Payload _ | Serve.Frame.Junk _ -> drain (n + 1)
+        in
+        drain 0 );
+    ( "serve",
+      fun input ->
+        let _out, code = Serve.run_string ~config:frame_config input in
+        if code = 0 then Accepted
+        else failwith (Printf.sprintf "server exited %d on fuzzed stream" code) )
   ]
 
 let crashes = Atomic.make 0
@@ -230,6 +274,37 @@ let seed_cert_json =
        (Semantics.certify tree ~valuation:Semantics.generic_valuation
           (Parser.parse "K[0] a0_g0 | B[0]>=1/4 F a0_g1")))
 
+(* --mode frame seeds: one valid request/ping/shutdown payload set over
+   the small fixed system (the Sexp printer handles escaping), and the
+   concatenated frame stream built from them. *)
+let seed_frame_payloads =
+  lazy
+    (let open Serve.Sexp in
+     let doc = Lazy.force seed_doc in
+     let field k v = List [ Atom k; v ] in
+     let req id op formula extras =
+       to_string
+         (List
+            (Atom "request"
+            :: field "id" (Atom (string_of_int id))
+            :: field "op" (Atom op)
+            :: field "system" (Str doc)
+            :: field "formula" (Str formula)
+            :: extras))
+     in
+     [| req 1 "eval" "K[0] a0_g0" [];
+        req 2 "belief" "a0_g1"
+          [ field "agent" (Atom "0"); field "run" (Atom "0"); field "time" (Atom "0") ];
+        req 3 "eval" "CB[0]>=1/2 a0_g0" [ field "max-iters" (Atom "0") ];
+        to_string (List [ Atom "ping"; field "id" (Atom "4") ]);
+        to_string (List [ Atom "shutdown" ])
+     |])
+
+let seed_frame_stream =
+  lazy
+    (Lazy.force seed_frame_payloads |> Array.to_list
+    |> List.map Serve.Frame.encode |> String.concat "")
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -257,25 +332,45 @@ let replay_corpus boundaries dir =
 
 let () =
   parse_args (List.tl (Array.to_list Sys.argv));
-  let boundaries = if !mode = "explain" then explain_boundaries else boundaries in
+  let boundaries =
+    match !mode with
+    | "explain" -> explain_boundaries
+    | "frame" -> frame_boundaries
+    | _ -> boundaries
+  in
   let replayed = if !corpus = "" then 0 else replay_corpus boundaries !corpus in
   (* Force the seed inputs before any domain spawns: Lazy values are
      not safe to force concurrently. *)
   let doc = Lazy.force seed_doc in
   let cert_json = if !mode = "explain" then Lazy.force seed_cert_json else "" in
+  let frame_payloads, frame_stream =
+    if !mode = "frame" then (Lazy.force seed_frame_payloads, Lazy.force seed_frame_stream)
+    else ([||], "")
+  in
   let run_iteration i =
     let r = rng_for !seed i in
     let input =
-      if !mode = "explain" then
-        match i mod 3 with
-        | 0 -> random_bytes r
-        | 1 -> mutate r explain_formulas.(next r mod Array.length explain_formulas)
-        | _ -> mutate r cert_json
-      else
-        match i mod 3 with
-        | 0 -> random_bytes r
-        | 1 -> mutate r seed_formulas.(next r mod Array.length seed_formulas)
-        | _ -> mutate r doc
+      match !mode with
+      | "explain" ->
+        (match i mod 3 with
+         | 0 -> random_bytes r
+         | 1 -> mutate r explain_formulas.(next r mod Array.length explain_formulas)
+         | _ -> mutate r cert_json)
+      | "frame" ->
+        (* Whole-stream mutants attack the reader's resync; valid
+           headers over mutated payloads get past it and attack the
+           request parser and evaluator. *)
+        (match i mod 3 with
+         | 0 -> random_bytes r
+         | 1 -> mutate r frame_stream
+         | _ ->
+           Serve.Frame.encode
+             (mutate r frame_payloads.(next r mod Array.length frame_payloads)))
+      | _ ->
+        (match i mod 3 with
+         | 0 -> random_bytes r
+         | 1 -> mutate r seed_formulas.(next r mod Array.length seed_formulas)
+         | _ -> mutate r doc)
     in
     (* Round-robin keeps both boundaries at iters/2 probes minimum;
        formula mutants also go to the other boundary and vice versa,
