@@ -390,6 +390,16 @@ let obs_scenarios () =
     if code <> 0 then failwith "bench: serve stream did not drain cleanly"
   in
   [ ("modelcheck_kb_fs", fun () -> ignore (Semantics.eval fs_tree ~valuation formula));
+    (* Engine pair: the same formulas through the explicit recursive
+       and vectorized entry points, so bench_diff tracks the two
+       engines side by side (doc/PERFORMANCE.md, "Vectorized
+       evaluation"). modelcheck_kb_fs/common_belief_fixpoint_fs above
+       are the historical recursive-engine numbers and keep their
+       names for baseline continuity. *)
+    ( "modelcheck_kb_fs_vectorized",
+      fun () -> ignore (Semantics.eval_vec fs_tree ~valuation formula) );
+    ( "common_belief_fixpoint_fs_vectorized",
+      fun () -> ignore (Semantics.eval_vec fs_tree ~valuation cb_formula) );
     ("serve_j1_cold", serve_run 1 serve_cold);
     ("serve_j1_warm", serve_run 1 serve_warm);
     ("serve_j4_cold", serve_run 4 serve_cold);
@@ -628,6 +638,10 @@ let timing_tests () =
       (Staged.stage (fun () -> Semantics.eval fs_tree ~valuation formula));
     Test.make ~name:"common_belief_fixpoint_fs"
       (Staged.stage (fun () -> Semantics.eval fs_tree ~valuation cb_formula));
+    Test.make ~name:"modelcheck_kb_fs_vectorized"
+      (Staged.stage (fun () -> Semantics.eval_vec fs_tree ~valuation formula));
+    Test.make ~name:"common_belief_fixpoint_fs_vectorized"
+      (Staged.stage (fun () -> Semantics.eval_vec fs_tree ~valuation cb_formula));
     Test.make ~name:"policy_frontier_fs"
       (Staged.stage (fun () -> Policy.frontier fs_both ~agent:FS.alice ~act:FS.fire));
     Test.make ~name:"simulate_1k_runs_fs"

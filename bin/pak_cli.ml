@@ -342,7 +342,27 @@ let with_jobs_pool f =
   | jobs when jobs <= 1 -> f None
   | jobs -> Pool.with_pool ~jobs (fun pool -> f (Some pool))
 
-let common_t = Term.(const (fun () () () -> ()) $ obs_t $ guard_t $ jobs_t)
+(* Evaluation-engine option, shared by every subcommand. Effectful like
+   [obs_t]/[guard_t]: records the process-wide engine that
+   [Semantics.eval_auto] dispatches on. The engines are equivalent
+   (same verdicts, satisfying points and fixpoint iteration counts —
+   the cross-engine oracle in test/test_logic.ml), so --engine only
+   changes the cost profile, never output. *)
+let engine_t =
+  let engine_conv =
+    Arg.enum [ ("recursive", Semantics.Recursive); ("vectorized", Semantics.Vectorized) ]
+  in
+  let engine_arg =
+    Arg.(value & opt engine_conv Semantics.Vectorized
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Formula-evaluation engine: $(b,vectorized) (subformula closure + \
+                   packed truth vectors, the default) or $(b,recursive) (structural \
+                   recursion with a formula-keyed memo). The engines compute identical \
+                   results; see doc/EVALUATION.md.")
+  in
+  Term.(const Semantics.set_engine $ engine_arg)
+
+let common_t = Term.(const (fun () () () () -> ()) $ obs_t $ guard_t $ jobs_t $ engine_t)
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -456,16 +476,25 @@ let eval_cmd =
             match Parser.parse_result text with
             | Result.Error e -> Error (Error.to_string e)
             | Ok f ->
-              let fact = Semantics.eval inst.tree ~valuation:inst.valuation f in
+              (* One evaluation through the selected engine; validity,
+                 the point count and the time-0 probability are all
+                 derived from the single resulting fact. *)
+              let fact =
+                with_jobs_pool (fun pool ->
+                    Semantics.eval_auto ?pool inst.tree ~valuation:inst.valuation f)
+              in
               let sat_points =
                 Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
                     if Fact.holds fact ~run ~time then acc + 1 else acc)
               in
+              let ev = ref (Tree.empty_event inst.tree) in
+              for run = 0 to Tree.n_runs inst.tree - 1 do
+                if Fact.holds fact ~run ~time:0 then ev := Bitset.add !ev run
+              done;
               Printf.printf "formula : %s\n" (Formula.to_string f);
-              Printf.printf "valid   : %b\n" (Semantics.valid inst.tree ~valuation:inst.valuation f);
+              Printf.printf "valid   : %b\n" (sat_points = Tree.n_points inst.tree);
               Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
-              Printf.printf "P(time-0): %s\n"
-                (Q.to_string (Semantics.probability inst.tree ~valuation:inst.valuation f));
+              Printf.printf "P(time-0): %s\n" (Q.to_string (Tree.measure inst.tree !ev));
               Ok 0))
   in
   Cmd.v
@@ -503,7 +532,10 @@ let profile_cmd =
               Obs.enable ();
               Obs.reset ();
               let t0 = Sys.time () in
-              let fact = Semantics.eval inst.tree ~valuation:inst.valuation f in
+              let fact =
+                with_jobs_pool (fun pool ->
+                    Semantics.eval_auto ?pool inst.tree ~valuation:inst.valuation f)
+              in
               let eval_ms = (Sys.time () -. t0) *. 1000. in
               let sat_points =
                 Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
@@ -771,13 +803,16 @@ let load_cmd =
     | None -> 0
     | Some text ->
       let* f = Parser.parse_result text in
-      let fact = Semantics.eval tree ~valuation:default_valuation f in
+      let fact =
+        with_jobs_pool (fun pool ->
+            Semantics.eval_auto ?pool tree ~valuation:default_valuation f)
+      in
       let sat_points =
         Tree.fold_points tree ~init:0 ~f:(fun acc ~run ~time ->
             if Fact.holds fact ~run ~time then acc + 1 else acc)
       in
       Printf.printf "formula : %s\n" (Formula.to_string f);
-      Printf.printf "valid   : %b\n" (Semantics.valid tree ~valuation:default_valuation f);
+      Printf.printf "valid   : %b\n" (sat_points = Tree.n_points tree);
       Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points tree);
       0
   in
@@ -972,7 +1007,7 @@ let serve_cmd =
          & info [ "timeout-ms" ] ~docv:"MS"
              ~doc:"Per-request wall-clock deadline in milliseconds.")
   in
-  let run () () max_pending batch max_frame cache_max tree_cache_max drain_ms
+  let run () () () max_pending batch max_frame cache_max tree_cache_max drain_ms
       retry_after_ms max_points max_nodes max_limbs max_iters timeout_ms =
     handle (fun () ->
         let cfg =
@@ -1025,7 +1060,7 @@ let serve_cmd =
                malformed request, 3 invalid input, 4 budget exceeded or shed, 125 \
                internal."
          ])
-    Term.(const run $ obs_t $ jobs_t $ max_pending_t $ batch_t $ max_frame_t
+    Term.(const run $ obs_t $ jobs_t $ engine_t $ max_pending_t $ batch_t $ max_frame_t
           $ cache_max_t $ tree_cache_max_t $ drain_ms_t $ retry_after_t
           $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t)
 

@@ -280,6 +280,17 @@ let certify tree ~valuation formula =
       let fact, trace = gfp_trace tree (fun x -> Fact.and_ base (ep x)) in
       mk ~evidence:(Fixpoint trace) fact [ n ]
   in
+  (* The closure table is the certificate skeleton: its entries list
+     every distinct subformula children-before-parents, so walking it
+     in bit order certifies bottom-up — each [go] finds its children
+     already memoized, and the final [go formula] just reads the root
+     entry back. Node structure, sharing and JSON are identical to the
+     plain recursive descent (the memo is keyed the same way); the
+     table only fixes the construction schedule, which is what lets
+     the certificate mirror the vectorized engine's evaluation order. *)
+  Array.iter
+    (fun (e : Closure.entry) -> ignore (go e.formula))
+    (Closure.entries (Closure.of_formula formula));
   let root, _fact = go formula in
   {
     version = schema_version;

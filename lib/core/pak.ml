@@ -28,6 +28,7 @@ module Sweep = Pak_pps.Sweep
 module Tree_io = Pak_pps.Tree_io
 module Formula = Pak_logic.Formula
 module Parser = Pak_logic.Parser
+module Closure = Pak_logic.Closure
 
 module Semantics = struct
   include Pak_logic.Semantics

@@ -195,6 +195,255 @@ let eval tree ~valuation formula =
   in
   Obs.span "semantics.eval" (fun () -> go formula)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized engine: closure table + packed truth vectors              *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Pak_par.Pool
+
+let c_vec_evals = Obs.counter "eval_vec.evals"
+let c_vec_entries = Obs.counter "eval_vec.entries"
+let c_vec_cells = Obs.counter "eval_vec.cells"
+
+(* One evaluation = one Closure.of_formula + one packed Bitset.t over
+   point indices per closure entry, filled bottom-up (children first —
+   the closure's bit order is a valid schedule). Point (r,t) gets the
+   dense index offsets.(r) + t. Counter contract with the recursive
+   engine: semantics.memo_misses = closure entries (one "miss" per
+   distinct subformula), semantics.memo_hits = hash-consed duplicate
+   occurrences, and the gfp iteration counters are bumped step-for-step
+   identically — so the memo and fixpoint telemetry is engine-invariant
+   while bitset.*/eval_vec.*/closure.* profile the vector work. *)
+let eval_vec ?pool tree ~valuation formula =
+  Obs.span "semantics.eval_vec" @@ fun () ->
+  Obs.incr c_vec_evals;
+  let clo = Closure.of_formula formula in
+  let n_runs = Tree.n_runs tree in
+  let offsets = Array.make (max 1 n_runs) 0 in
+  let total = ref 0 in
+  for r = 0 to n_runs - 1 do
+    offsets.(r) <- !total;
+    total := !total + Tree.run_length tree r
+  done;
+  let n = !total in
+  let run_of = Array.make (max 1 n) 0 and time_of = Array.make (max 1 n) 0 in
+  for r = 0 to n_runs - 1 do
+    for t = 0 to Tree.run_length tree r - 1 do
+      run_of.(offsets.(r) + t) <- r;
+      time_of.(offsets.(r) + t) <- t
+    done
+  done;
+  let check_agent i =
+    if i < 0 || i >= Tree.n_agents tree then
+      invalid_arg (Printf.sprintf "Semantics.eval: agent %d out of range" i)
+  in
+  (* Per-indistinguishability-cell sweeps (K/B and their group forms):
+     each of the agent's local states is one independent cell, so the
+     cell array shards on the pool when one is given. The pool
+     re-installs the caller's budget scope in its workers, so charges
+     made inside a cell count against the same budget at any job
+     count; results are assembled in cell order, so the outcome is
+     jobs-invariant. *)
+  let shard cells f =
+    match pool with
+    | Some p when Array.length cells > 1 -> Pool.map p f cells
+    | _ -> Array.map f cells
+  in
+  let cellwise ~agent holds_at =
+    let cells = Array.of_list (Tree.lstates tree ~agent) in
+    Obs.add c_vec_cells (Array.length cells);
+    let holds = shard cells holds_at in
+    let out = Array.make (max 1 n) false in
+    Array.iteri
+      (fun c key ->
+        if holds.(c) then begin
+          let time = Tree.lkey_time key in
+          Bitset.iter
+            (fun run -> out.(offsets.(run) + time) <- true)
+            (Tree.lstate_runs tree key)
+        end)
+      cells;
+    Bitset.init n (Array.get out)
+  in
+  let kvec ~agent inner =
+    cellwise ~agent (fun key ->
+        let time = Tree.lkey_time key in
+        Bitset.for_all
+          (fun run -> Bitset.mem inner (offsets.(run) + time))
+          (Tree.lstate_runs tree key))
+  in
+  let bvec ~agent ~cmp ~threshold inner =
+    cellwise ~agent (fun key ->
+        let time = Tree.lkey_time key in
+        let cell = Tree.lstate_runs tree key in
+        (* [inner@ℓ] as an event, then the same conditional measure the
+           recursive engine takes via Belief.degree_at_lstate. *)
+        let sat =
+          Bitset.init n_runs (fun run ->
+              Bitset.mem cell run && Bitset.mem inner (offsets.(run) + time))
+        in
+        satisfies_cmp cmp (Tree.cond tree sat ~given:cell) threshold)
+  in
+  let inter_all = function
+    | [] -> invalid_arg "Semantics: empty agent group"
+    | v :: rest -> List.fold_left Bitset.inter v rest
+  in
+  let evec grp inner = inter_all (List.map (fun i -> kvec ~agent:i inner) grp) in
+  let epvec grp threshold x =
+    inter_all (List.map (fun i -> bvec ~agent:i ~cmp:Formula.Geq ~threshold x) grp)
+  in
+  (* Same counting discipline as [gfp]: one iteration = one step
+     application, bumped before the step so an exhausted --max-iters
+     budget trips identically; the whole-vector equality test charges
+     the points [facts_equal] would have folded over. The approximant
+     sequences of the two engines are extensionally equal (both start
+     at ⊤ and apply pointwise-equal steps), so the iteration counts
+     match exactly. *)
+  let gfp_vec ~counter step =
+    let rec iterate x =
+      Obs.incr c_gfp_iters;
+      Obs.incr counter;
+      Budget.charge_iters 1;
+      let x' = step x in
+      Budget.charge_points n;
+      if Bitset.equal x x' then x else iterate x'
+    in
+    iterate (Bitset.full n)
+  in
+  let per_run fill =
+    let out = Array.make (max 1 n) false in
+    for r = 0 to n_runs - 1 do
+      fill r (Tree.run_length tree r) offsets.(r) out
+    done;
+    Bitset.init n (Array.get out)
+  in
+  let nvec = Array.make (Closure.size clo) (Bitset.create 0) in
+  Array.iter
+    (fun (e : Closure.entry) ->
+      Obs.incr c_vec_entries;
+      Obs.incr c_memo_misses;
+      (* One whole-vector pass per entry. *)
+      Budget.charge_points n;
+      let v =
+        Obs.span ("semantics.eval_vec." ^ op_tag e.formula) @@ fun () ->
+        let child k = nvec.(e.children.(k)) in
+        match e.formula with
+        | True -> Bitset.full n
+        | False -> Bitset.create n
+        | Atom a ->
+          (* Node-memoized like Fact.of_state_pred: points sharing a
+             prefix query the valuation once. *)
+          let cache : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+          Bitset.init n (fun i ->
+              let node = Tree.run_node tree ~run:run_of.(i) ~time:time_of.(i) in
+              match Hashtbl.find_opt cache node with
+              | Some v -> v
+              | None ->
+                let v = valuation a (Tree.node_state tree node) in
+                Hashtbl.add cache node v;
+                v)
+        | Not _ -> Bitset.complement (child 0)
+        | And _ -> Bitset.inter (child 0) (child 1)
+        | Or _ -> Bitset.union (child 0) (child 1)
+        | Implies _ -> Bitset.union (Bitset.complement (child 0)) (child 1)
+        | Iff _ -> Bitset.complement (Bitset.symdiff (child 0) (child 1))
+        | Does (i, act) ->
+          check_agent i;
+          Bitset.init n (fun p ->
+              Tree.action_at tree ~agent:i ~run:run_of.(p) ~time:time_of.(p) = Some act)
+        | Eventually _ ->
+          let c = child 0 in
+          per_run (fun _ len off out ->
+              let any = ref false in
+              for t = 0 to len - 1 do
+                if Bitset.mem c (off + t) then any := true
+              done;
+              if !any then for t = 0 to len - 1 do out.(off + t) <- true done)
+        | Globally _ ->
+          let c = child 0 in
+          per_run (fun _ len off out ->
+              let all = ref true in
+              for t = 0 to len - 1 do
+                if not (Bitset.mem c (off + t)) then all := false
+              done;
+              if !all then for t = 0 to len - 1 do out.(off + t) <- true done)
+        | Next _ ->
+          let c = child 0 in
+          per_run (fun _ len off out ->
+              for t = 0 to len - 2 do
+                out.(off + t) <- Bitset.mem c (off + t + 1)
+              done)
+        | Once _ ->
+          let c = child 0 in
+          per_run (fun _ len off out ->
+              let seen = ref false in
+              for t = 0 to len - 1 do
+                if Bitset.mem c (off + t) then seen := true;
+                out.(off + t) <- !seen
+              done)
+        | Historically _ ->
+          let c = child 0 in
+          per_run (fun _ len off out ->
+              let sofar = ref true in
+              for t = 0 to len - 1 do
+                if not (Bitset.mem c (off + t)) then sofar := false;
+                out.(off + t) <- !sofar
+              done)
+        | Knows (i, _) ->
+          check_agent i;
+          kvec ~agent:i (child 0)
+        | Believes (i, cmp, threshold, _) ->
+          check_agent i;
+          bvec ~agent:i ~cmp ~threshold (child 0)
+        | EveryoneKnows (grp, _) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          evec grp (child 0)
+        | CommonKnows (grp, _) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let inner = child 0 in
+          gfp_vec ~counter:c_gfp_iters_ck (fun x -> evec grp (Bitset.inter inner x))
+        | EveryoneBelieves (grp, threshold, _) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          epvec grp threshold (child 0)
+        | CommonBelief (grp, threshold, _) ->
+          let grp = check_group grp in
+          List.iter check_agent grp;
+          let base = epvec grp threshold (child 0) in
+          gfp_vec ~counter:c_gfp_iters_cb (fun x -> Bitset.inter base (epvec grp threshold x))
+      in
+      nvec.(e.bit) <- v)
+    (Closure.entries clo);
+  Obs.add c_memo_hits (Closure.duplicates clo);
+  let root = nvec.(Closure.root_bit clo) in
+  Fact.of_pred tree (fun ~run ~time -> Bitset.mem root (offsets.(run) + time))
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type engine = Recursive | Vectorized
+
+let engine_name = function Recursive -> "recursive" | Vectorized -> "vectorized"
+
+let engine_of_string = function
+  | "recursive" -> Some Recursive
+  | "vectorized" -> Some Vectorized
+  | _ -> None
+
+(* Atomic so front ends that set it once at startup and then evaluate
+   from pool domains (serve) read it race-free. *)
+let selected_engine = Atomic.make Vectorized
+let set_engine e = Atomic.set selected_engine e
+let current_engine () = Atomic.get selected_engine
+
+let eval_auto ?pool tree ~valuation formula =
+  match current_engine () with
+  | Recursive -> eval tree ~valuation formula
+  | Vectorized -> eval_vec ?pool tree ~valuation formula
+
 let sat tree ~valuation formula ~run ~time =
   Fact.holds (eval tree ~valuation formula) ~run ~time
 

@@ -22,8 +22,53 @@ val generic_valuation : valuation
     false. *)
 
 val eval : Tree.t -> valuation:valuation -> Formula.t -> Fact.t
-(** Evaluate a formula to the fact (set of points) where it holds.
-    Subformulas are memoized, so shared structure is evaluated once. *)
+(** Evaluate a formula to the fact (set of points) where it holds, by
+    structural recursion with a formula-keyed memo (the {e recursive}
+    engine). Subformulas are memoized, so shared structure is
+    evaluated once. *)
+
+val eval_vec : ?pool:Pak_par.Pool.t -> Tree.t -> valuation:valuation -> Formula.t -> Fact.t
+(** The {e vectorized} engine: build the {!Closure} of the formula
+    once, then evaluate bottom-up with one packed truth-vector
+    ({!Pak_pps.Bitset.t} over dense point indices) per closure entry —
+    connectives are bulk bitset operations, [K_i]/[E_G] and
+    [B_i^{⋈q}]/[EB_G^q] are per-indistinguishability-cell sweeps
+    (sharded on [pool] when given), and the [C_G]/[CB_G^q] fixpoints
+    iterate whole vectors. Extensionally equal to {!eval} — same fact,
+    same raised errors — and bumps [semantics.memo_hits]/[_misses] and
+    the [semantics.gfp_iters*] counters identically (one miss per
+    closure entry, one hit per hash-consed duplicate, one iteration
+    per fixpoint step); the vector work itself is profiled by the
+    [closure.*], [eval_vec.*] and [bitset.*] counters and the
+    [semantics.eval_vec(.op)] spans. Charges the points budget one
+    whole vector per entry and per fixpoint equality test.
+    See [doc/EVALUATION.md] for the pipeline spec. *)
+
+(** {1 Engine selection}
+
+    Front ends choose the engine once (the [--engine] flag); library
+    callers that want the process-wide selection go through
+    {!eval_auto}. Calling {!eval} or {!eval_vec} directly always uses
+    that specific engine. *)
+
+type engine = Recursive | Vectorized
+
+val engine_name : engine -> string
+(** ["recursive"] / ["vectorized"] — the [--engine] flag's values. *)
+
+val engine_of_string : string -> engine option
+
+val set_engine : engine -> unit
+(** Set the process-wide engine used by {!eval_auto}. The default is
+    [Vectorized]. The selection is stored atomically, so setting it
+    once at startup and reading from pool domains is race-free. *)
+
+val current_engine : unit -> engine
+
+val eval_auto : ?pool:Pak_par.Pool.t -> Tree.t -> valuation:valuation -> Formula.t -> Fact.t
+(** {!eval} or {!eval_vec} according to {!current_engine}. [pool] is
+    used only by the vectorized engine (cell sweeps); the recursive
+    engine ignores it. *)
 
 (** {1 Evaluation primitives}
 

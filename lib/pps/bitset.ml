@@ -55,6 +55,17 @@ let remove t i =
 let singleton cap i = add (create cap) i
 let of_list cap is = List.fold_left add (create cap) is
 
+(* Bulk constructor: one fresh words array, no per-bit copying. The
+   loop only ever sets bits below [cap], so the unused high bits of the
+   last word stay zero by construction. *)
+let init cap p =
+  if cap < 0 then invalid_arg "Bitset.init: negative capacity";
+  let words = Array.make (n_words cap) 0 in
+  for i = 0 to cap - 1 do
+    if p i then words.(i / word_bits) <- words.(i / word_bits) lor (1 lsl (i mod word_bits))
+  done;
+  { cap; words }
+
 let map2 name f a b =
   check_same a b name;
   Obs.incr c_set_ops;
@@ -63,6 +74,10 @@ let map2 name f a b =
 let union a b = map2 "Bitset.union" ( lor ) a b
 let inter a b = map2 "Bitset.inter" ( land ) a b
 let diff a b = map2 "Bitset.diff" (fun x y -> x land lnot y) a b
+
+(* lxor preserves the zero-high-bits invariant: both operands have
+   their unused bits at zero, so the xor does too. *)
+let symdiff a b = map2 "Bitset.symdiff" ( lxor ) a b
 
 let complement t =
   let all = full t.cap in

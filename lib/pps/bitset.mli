@@ -18,6 +18,13 @@ val of_list : int -> int list -> t
 val to_list : t -> int list
 (** Members in increasing order. *)
 
+val init : int -> (int -> bool) -> t
+(** [init n p] is the set of capacity [n] containing every
+    [i < n] with [p i]. Bulk constructor: builds the packed words
+    directly, so it costs one word array plus [n] predicate calls —
+    use it instead of folding {!add} (which copies per element).
+    @raise Invalid_argument if [n < 0]. *)
+
 val capacity : t -> int
 val cardinal : t -> int
 val is_empty : t -> bool
@@ -27,6 +34,12 @@ val remove : t -> int -> t
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
+
+val symdiff : t -> t -> t
+(** Symmetric difference: members of exactly one operand. Word-wise
+    [lxor]; counts as one [bitset.set_ops] like the other
+    combinators. *)
+
 val complement : t -> t
 val equal : t -> t -> bool
 val subset : t -> t -> bool

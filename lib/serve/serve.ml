@@ -27,6 +27,7 @@ module Belief = Pak_pps.Belief
 module Bitset = Pak_pps.Bitset
 module Parser = Pak_logic.Parser
 module Semantics = Pak_logic.Semantics
+module Closure = Pak_logic.Closure
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -760,7 +761,18 @@ let cache_key cfg req =
           (Option.value samples ~default:(-1))
           (Option.value seed ~default:(-1)));
     Buffer.add_char b '|';
-    Buffer.add_string b req.formula;
+    (* Formula component: the engine name plus the formula's closure
+       digest when it parses — the digest canonicalizes spelling, so
+       differently written but structurally identical queries share a
+       cache slot (and closure-identical queries at the same limits are
+       subsumed by one computed entry). A formula that does not parse
+       keys on its raw text; its request fails in the worker and is
+       never cached, so the fallback only disambiguates misses. *)
+    Buffer.add_string b (Semantics.engine_name (Semantics.current_engine ()));
+    Buffer.add_char b ':';
+    (match Parser.parse_result req.formula with
+    | Ok f -> Buffer.add_string b (Closure.digest (Closure.of_formula f))
+    | Result.Error _ -> Buffer.add_string b req.formula);
     Buffer.add_char b '|';
     let lim = function None -> "-" | Some v -> string_of_int v in
     let l = req.req_limits in
@@ -820,7 +832,9 @@ let perform st req =
     | Ok f -> f
     | Result.Error e -> raise (Error.Error (Error.with_context "formula" e))
   in
-  let fact = Semantics.eval tree ~valuation:Semantics.generic_valuation formula in
+  (* Engine-dispatching evaluation, no pool: serve's parallelism is
+     across requests (one worker domain each), not within one. *)
+  let fact = Semantics.eval_auto tree ~valuation:Semantics.generic_valuation formula in
   match req.op with
   | Op_eval ->
       let sat = ref 0 in

@@ -4,6 +4,7 @@
 open Pak_rational
 open Pak_pps
 open Pak_logic
+module Obs = Pak_obs.Obs
 
 let q = Q.of_ints
 let check_bool = Alcotest.(check bool)
@@ -344,6 +345,95 @@ let prop_eval_memo_consistent =
           && Fact.holds fact ~run ~time
              = Semantics.sat t ~valuation:gen_valuation f ~run ~time))
 
+(* ------------------------------------------------------------------ *)
+(* Subformula closure                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_closure_invariants () =
+  let f =
+    Parser.parse "K[0] (even0 | even1) & CB[0,1]>=1/3 (even0 | even1) & F even0"
+  in
+  let c = Closure.of_formula f in
+  let entries = Closure.entries c in
+  check_int "size = entries" (Closure.size c) (Array.length entries);
+  (* Eight distinct subformulas: even0, even1, the disjunction, K, CB,
+     K & CB, F even0 and the root conjunction. *)
+  check_int "size" 8 (Closure.size c);
+  Array.iteri
+    (fun b (e : Closure.entry) ->
+      check_int "bits dense and in entry order" b e.Closure.bit;
+      Array.iter
+        (fun child ->
+          check_bool "children precede parent" true (0 <= child && child < b))
+        e.Closure.children)
+    entries;
+  check_int "root is the last bit" (Closure.size c - 1) (Closure.root_bit c);
+  check_bool "root entry is the formula" true
+    (Formula.equal f (Closure.entry c (Closure.root_bit c)).Closure.formula);
+  (* The disjunction under CB and even0 under F are hash-consed hits. *)
+  check_int "duplicates" 2 (Closure.duplicates c);
+  (match Closure.bit_of c (Parser.parse "even0 | even1") with
+  | Some b -> check_bool "shared subformula below root" true (b < Closure.root_bit c)
+  | None -> Alcotest.fail "shared subformula missing from closure");
+  check_string "rebuild is byte-identical" (Closure.digest c)
+    (Closure.digest (Closure.of_formula f))
+
+let prop_closure_deterministic =
+  QCheck.Test.make ~count:300 ~name:"closure build is deterministic" gen_formula
+    (fun f ->
+      let c1 = Closure.of_formula f and c2 = Closure.of_formula f in
+      let ok_invariants c =
+        let n = Closure.size c in
+        Closure.root_bit c = n - 1
+        && Array.for_all
+             (fun (e : Closure.entry) ->
+               Array.for_all (fun child -> 0 <= child && child < e.Closure.bit)
+                 e.Closure.children)
+             (Closure.entries c)
+      in
+      ok_invariants c1
+      && Closure.digest c1 = Closure.digest c2
+      && Closure.duplicates c1 = Closure.duplicates c2)
+
+(* The cross-engine oracle: on random systems and random formulas the
+   recursive and vectorized engines must return the same point set and
+   bump the engine-invariant semantics.* counters identically (memo
+   traffic maps onto closure construction, gfp fixpoints iterate in
+   lock-step — see doc/EVALUATION.md). 1000 cases = 1000 generated
+   systems. *)
+let prop_cross_engine_oracle =
+  let invariant_counters =
+    [ "semantics.gfp_iters";
+      "semantics.gfp_iters.common_knowledge";
+      "semantics.gfp_iters.common_belief";
+      "semantics.memo_misses";
+      "semantics.memo_hits"
+    ]
+  in
+  let observe thunk =
+    Obs.enable ();
+    Fun.protect ~finally:Obs.disable (fun () ->
+        let before = List.map Obs.counter_value invariant_counters in
+        let fact = thunk () in
+        let deltas =
+          List.map2
+            (fun name b -> Obs.counter_value name - b)
+            invariant_counters before
+        in
+        (fact, deltas))
+  in
+  QCheck.Test.make ~count:1000 ~name:"recursive/vectorized engines agree"
+    (QCheck.pair seeds gen_formula)
+    (fun (seed, f) ->
+      let t = Gen.tree seed in
+      let fr, dr = observe (fun () -> Semantics.eval t ~valuation:gen_valuation f) in
+      let fv, dv =
+        observe (fun () -> Semantics.eval_vec t ~valuation:gen_valuation f)
+      in
+      dr = dv
+      && Tree.fold_points t ~init:true ~f:(fun acc ~run ~time ->
+             acc && Fact.holds fr ~run ~time = Fact.holds fv ~run ~time))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_print_parse_roundtrip;
@@ -352,7 +442,9 @@ let qcheck_cases =
       prop_knowledge_implies_certainty;
       prop_common_implies_everyone;
       prop_common_belief_subset;
-      prop_eval_memo_consistent
+      prop_eval_memo_consistent;
+      prop_closure_deterministic;
+      prop_cross_engine_oracle
     ]
 
 let () =
@@ -374,5 +466,6 @@ let () =
           Alcotest.test_case "probability" `Quick test_semantics_probability;
           Alcotest.test_case "agent guard" `Quick test_semantics_agent_guard
         ] );
+      ("closure", [ Alcotest.test_case "invariants" `Quick test_closure_invariants ]);
       ("properties", qcheck_cases)
     ]

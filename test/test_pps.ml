@@ -54,6 +54,52 @@ let test_bitset_word_boundary () =
   check_bool "complement no overflow bits" true
     (Bitset.for_all (fun i -> i < 130) (Bitset.complement s))
 
+(* Bulk constructors and word-parallel set operations against a naive
+   per-bit bool-array oracle. Capacities are deliberately ragged —
+   0, 1, and neighbours of the 62-bit word size — so the masked high
+   bits of the last word are exercised on every operation (the
+   vectorized evaluation engine leans on exactly these invariants,
+   see doc/EVALUATION.md). *)
+let gen_bitset_case =
+  let open QCheck.Gen in
+  let cap_gen = oneof [ oneofl [ 0; 1; 61; 62; 63; 124 ]; int_range 0 200 ] in
+  let members cap =
+    if cap = 0 then return []
+    else list_size (int_range 0 (2 * cap)) (int_range 0 (cap - 1))
+  in
+  let show xs = String.concat ";" (List.map string_of_int xs) in
+  QCheck.make
+    ~print:(fun (cap, xs, ys) -> Printf.sprintf "cap=%d a=[%s] b=[%s]" cap (show xs) (show ys))
+    (cap_gen >>= fun cap -> map2 (fun xs ys -> (cap, xs, ys)) (members cap) (members cap))
+
+let prop_bitset_bulk_oracle =
+  QCheck.Test.make ~count:500 ~name:"bulk bitset ops agree with per-bit oracle"
+    gen_bitset_case (fun (cap, xs, ys) ->
+      let arr zs =
+        let a = Array.make cap false in
+        List.iter (fun i -> a.(i) <- true) zs;
+        a
+      in
+      let ax = arr xs and ay = arr ys in
+      let sx = Bitset.of_list cap xs and sy = Bitset.of_list cap ys in
+      let popcount a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a in
+      (* to_list detects spurious indices, cardinal (a word-level
+         popcount) detects set bits hiding above the capacity. *)
+      let agrees s expect =
+        Bitset.to_list s = List.filter (fun i -> expect.(i)) (List.init cap Fun.id)
+        && Bitset.cardinal s = popcount expect
+      in
+      let map2 f a b = Array.init cap (fun i -> f a.(i) b.(i)) in
+      agrees (Bitset.init cap (Array.get ax)) ax
+      && Bitset.equal (Bitset.init cap (Array.get ax)) sx
+      && agrees (Bitset.union sx sy) (map2 ( || ) ax ay)
+      && agrees (Bitset.inter sx sy) (map2 ( && ) ax ay)
+      && agrees (Bitset.diff sx sy) (map2 (fun a b -> a && not b) ax ay)
+      && agrees (Bitset.symdiff sx sy) (map2 ( <> ) ax ay)
+      && agrees (Bitset.complement sx) (Array.map not ax)
+      && Bitset.equal sx sy = (ax = ay)
+      && Bitset.equal (Bitset.complement (Bitset.complement sx)) sx)
+
 (* ------------------------------------------------------------------ *)
 (* Hand-built trees                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -699,7 +745,8 @@ let prop_belief_complement =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_total_measure_one;
+    [ prop_bitset_bulk_oracle;
+      prop_total_measure_one;
       prop_run_measures_positive;
       prop_generated_actions_proper;
       prop_past_based_fact_is_past_based;
