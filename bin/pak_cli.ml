@@ -255,9 +255,21 @@ let obs_t =
                    span boundary). Timings, counters and the span-tree shape are \
                    unaffected; allocated-words columns read as zero. The gc.* gauges \
                    keep reporting.")
+  and gc_sample_t =
+    Arg.(value & opt int 32
+         & info [ "gc-sample-every" ] ~docv:"N"
+             ~doc:"Sample the gc.* gauges every $(docv)-th span exit (default 32; the \
+                   very first span exit always samples, so short runs still report). \
+                   Lower values sharpen gc.* time-series resolution at the cost of \
+                   more GC counter reads.")
   in
-  let setup metrics trace metrics_json no_alloc =
+  let setup metrics trace metrics_json no_alloc gc_sample =
     if no_alloc then Obs.set_track_allocations false;
+    (if gc_sample < 1 then begin
+       prerr_endline "pak: --gc-sample-every must be >= 1";
+       exit 2
+     end
+     else Obs.set_gauge_sample_interval gc_sample);
     (match trace with
      | None -> ()
      | Some file ->
@@ -278,7 +290,7 @@ let obs_t =
       at_exit (fun () -> Obs.print_summary stderr)
     end
   in
-  Term.(const setup $ metrics_t $ trace_t $ metrics_json_t $ no_alloc_t)
+  Term.(const setup $ metrics_t $ trace_t $ metrics_json_t $ no_alloc_t $ gc_sample_t)
 
 (* Resource-budget options, shared by every subcommand. Like [obs_t]
    the term's value is (), evaluated for its effect: installing the
@@ -523,8 +535,33 @@ let profile_cmd =
                    self-allocated words, with the fraction of the process's minor \
                    words the span tree accounts for.")
   in
-  let run () name text prm show_tree show_alloc =
+  let openmetrics_arg =
+    Arg.(value & flag
+         & info [ "openmetrics" ]
+             ~doc:"Instead of the human-readable tables, print the metrics snapshot \
+                   as Prometheus/OpenMetrics exposition text (counters, gauges, \
+                   histogram buckets with $(i,le) labels) on stdout, ready for a \
+                   scrape endpoint or promtool.")
+  in
+  let flame_arg =
+    Arg.(value & flag
+         & info [ "flame" ]
+             ~doc:"Instead of the human-readable tables, print the span tree in \
+                   collapsed-stack format (one $(i,path;to;span weight) line per \
+                   span path) on stdout, ready for flamegraph.pl or speedscope.")
+  in
+  let weight_arg =
+    let weight_conv = Arg.enum [ ("time", Obs.Flame_time); ("alloc", Obs.Flame_alloc) ] in
+    Arg.(value & opt weight_conv Obs.Flame_time
+         & info [ "weight" ] ~docv:"KIND"
+             ~doc:"Collapsed-stack weight for $(b,--flame): $(b,time) (self \
+                   nanoseconds, the default) or $(b,alloc) (self allocated words).")
+  in
+  let run () name text prm show_tree show_alloc openmetrics flame weight =
     handle (fun () ->
+        if openmetrics && flame then
+          Error "--openmetrics and --flame are mutually exclusive"
+        else
         Result.bind (find_system name prm) (fun inst ->
             match Parser.parse_result text with
             | Result.Error e -> Error (Error.to_string e)
@@ -537,26 +574,37 @@ let profile_cmd =
                     Semantics.eval_auto ?pool inst.tree ~valuation:inst.valuation f)
               in
               let eval_ms = (Sys.time () -. t0) *. 1000. in
-              let sat_points =
-                Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
-                    if Fact.holds fact ~run ~time then acc + 1 else acc)
-              in
-              Printf.printf "%s — %s\n" name inst.description;
-              Printf.printf "pps     : %d nodes, %d runs, %d points\n"
-                (Tree.n_nodes inst.tree) (Tree.n_runs inst.tree) (Tree.n_points inst.tree);
-              Printf.printf "formula : %s\n" (Formula.to_string f);
-              Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
-              Printf.printf "eval    : %.3f ms\n\n" eval_ms;
-              Obs.print_summary stdout;
-              if show_tree then begin
-                print_newline ();
-                Obs.print_span_tree stdout
-              end;
-              if show_alloc then begin
-                print_newline ();
-                Obs.print_alloc_report stdout
-              end;
-              Ok 0))
+              if openmetrics then begin
+                (* Machine-readable mode: exposition text only, pipeable. *)
+                print_string (Obs.Openmetrics.render (Obs.Snapshot.capture ()));
+                Ok 0
+              end
+              else if flame then begin
+                print_string (Obs.flamegraph ~weight ());
+                Ok 0
+              end
+              else begin
+                let sat_points =
+                  Tree.fold_points inst.tree ~init:0 ~f:(fun acc ~run ~time ->
+                      if Fact.holds fact ~run ~time then acc + 1 else acc)
+                in
+                Printf.printf "%s — %s\n" name inst.description;
+                Printf.printf "pps     : %d nodes, %d runs, %d points\n"
+                  (Tree.n_nodes inst.tree) (Tree.n_runs inst.tree) (Tree.n_points inst.tree);
+                Printf.printf "formula : %s\n" (Formula.to_string f);
+                Printf.printf "points  : %d of %d satisfy\n" sat_points (Tree.n_points inst.tree);
+                Printf.printf "eval    : %.3f ms\n\n" eval_ms;
+                Obs.print_summary stdout;
+                if show_tree then begin
+                  print_newline ();
+                  Obs.print_span_tree stdout
+                end;
+                if show_alloc then begin
+                  print_newline ();
+                  Obs.print_alloc_report stdout
+                end;
+                Ok 0
+              end))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -570,9 +618,14 @@ let profile_cmd =
                set operations, and per-operator evaluation spans. Combine with \
                $(b,--tree) for the hierarchical span tree, $(b,--alloc) for the \
                top-allocating-spans report, or with $(b,--trace) to also record a \
-               Chrome trace-event file."
+               Chrome trace-event file.";
+           `P "Machine-readable modes: $(b,--openmetrics) renders the snapshot as \
+               Prometheus/OpenMetrics exposition text, $(b,--flame) renders the span \
+               tree as collapsed stacks for flamegraph.pl/speedscope (weighted by \
+               $(b,--weight) time or alloc). Both print only their format on stdout."
          ])
-    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t $ tree_arg $ alloc_arg)
+    Term.(const run $ common_t $ system_arg $ formula_arg $ params_t $ tree_arg $ alloc_arg
+          $ openmetrics_arg $ flame_arg $ weight_arg)
 
 let dot_cmd =
   let run () name prm =
@@ -1006,10 +1059,46 @@ let serve_cmd =
     Arg.(value & opt (some int) None
          & info [ "timeout-ms" ] ~docv:"MS"
              ~doc:"Per-request wall-clock deadline in milliseconds.")
+  and telemetry_every_t =
+    Arg.(value & opt int 0
+         & info [ "telemetry-every" ] ~docv:"N"
+             ~doc:"Emit a streaming-telemetry frame (one JSON line of counter and \
+                   histogram-total deltas) to $(b,--telemetry-file) every $(docv) \
+                   accepted requests, plus a final frame at shutdown. 0 disables. \
+                   Frames are byte-identical at every $(b,--jobs).")
+  and telemetry_file_t =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-file" ] ~docv:"FILE"
+             ~doc:"Side-channel file for $(b,--telemetry-every) frames, line-delimited \
+                   JSON, flushed per frame so it can be tailed live.")
   in
   let run () () () max_pending batch max_frame cache_max tree_cache_max drain_ms
-      retry_after_ms max_points max_nodes max_limbs max_iters timeout_ms =
+      retry_after_ms max_points max_nodes max_limbs max_iters timeout_ms
+      telemetry_every telemetry_file =
     handle (fun () ->
+        let tele_chan =
+          match telemetry_file with
+          | None -> None
+          | Some file -> (
+              (* Telemetry frames are counter deltas: recording must be
+                 on even without --metrics/--trace. *)
+              Obs.enable ();
+              try Some (open_out file)
+              with Sys_error msg ->
+                prerr_endline ("pak: cannot open telemetry file: " ^ msg);
+                exit 3)
+        in
+        let telemetry =
+          Option.map
+            (fun oc line ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc)
+            tele_chan
+        in
+        let close_telemetry () =
+          match tele_chan with Some oc -> close_out_noerr oc | None -> ()
+        in
         let cfg =
           {
             Serve.jobs = !jobs_ref;
@@ -1022,10 +1111,14 @@ let serve_cmd =
             retry_after_ms;
             limits = { Budget.max_points; max_nodes; max_limbs; max_iters; timeout_ms };
             clock = Some Unix.gettimeofday;
+            telemetry_every;
+            telemetry;
           }
         in
         match Serve.validate_config cfg with
-        | Result.Error msg -> Result.Error msg
+        | Result.Error msg ->
+            close_telemetry ();
+            Result.Error msg
         | Ok () ->
           (* A client closing its read end must look like EOF, not a
              process-killing signal: responses go through [write], which
@@ -1036,7 +1129,8 @@ let serve_cmd =
           set_binary_mode_out stdout true;
           let source = Serve.Frame.source_of_channel stdin in
           let write s = output_string stdout s; flush stdout in
-          Ok (Serve.run cfg ~source ~write))
+          Ok (Fun.protect ~finally:close_telemetry (fun () ->
+                  Serve.run cfg ~source ~write)))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1062,7 +1156,8 @@ let serve_cmd =
          ])
     Term.(const run $ obs_t $ jobs_t $ engine_t $ max_pending_t $ batch_t $ max_frame_t
           $ cache_max_t $ tree_cache_max_t $ drain_ms_t $ retry_after_t
-          $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t)
+          $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t
+          $ telemetry_every_t $ telemetry_file_t)
 
 let () =
   Printexc.record_backtrace false;

@@ -409,21 +409,44 @@ let usec tr t = (t -. tr.t0) *. 1e6
    parallel sweep renders as one lane per worker in Perfetto. *)
 let tid () = (Domain.self () :> int)
 
+(* Request-scoped trace context: an ambient id carried in domain-local
+   storage and stamped into every trace event emitted while it is
+   installed. Deliberately a *separate* DLS key from [path_key], so
+   [span_detach] — which masks the span stack to keep pooled span
+   paths jobs-invariant — does not strip the request identity: a
+   pooled serve request detaches its path but keeps its trace id. *)
+let trace_ctx_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let trace_context () = Domain.DLS.get trace_ctx_key
+
+let with_trace_context id f =
+  let saved = Domain.DLS.get trace_ctx_key in
+  Domain.DLS.set trace_ctx_key (Some id);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_ctx_key saved) f
+
 (* Callers hold [lock]. The full span path rides along as an argument,
    so the hierarchical tree survives into the exported trace even when
-   a viewer flattens the lanes. *)
-let emit_complete_locked name ~path ~t_start ~t_end =
+   a viewer flattens the lanes; [trace] — read from the emitting
+   domain's context *before* the lock is taken — joins a span to the
+   request that ran it. *)
+let emit_complete_locked name ~path ~trace ~t_start ~t_end =
   match !trace_state with
   | None -> ()
   | Some tr ->
+    let trace_arg =
+      match trace with
+      | None -> ""
+      | Some id -> Printf.sprintf ",\"trace\":\"%s\"" (json_escape id)
+    in
     emit_raw tr
       (Printf.sprintf
          "{\"name\":\"%s\",\"cat\":\"pak\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\
-          \"tid\":%d,\"args\":{\"path\":\"%s\"}}"
+          \"tid\":%d,\"args\":{\"path\":\"%s\"%s}}"
          (json_escape name) (usec tr t_start)
          (usec tr (max t_end t_start))
          (tid ())
-         (json_escape (String.concat ";" (List.rev path))))
+         (json_escape (String.concat ";" (List.rev path)))
+         trace_arg)
 
 let emit_counter_sample tr name v =
   emit_raw tr
@@ -454,10 +477,20 @@ let emit_gc_samples_locked () =
         ("gc.top_heap_words", s.Gc.top_heap_words)
       ]
 
-(* One gc sample burst every [gc_sample_period] span exits per domain:
-   frequent enough to draw heap lanes over time, cheap enough not to
-   swamp the trace with counter events. *)
-let gc_sample_period = 32
+(* One gc sample burst every N span exits per domain: frequent enough
+   to draw heap lanes over time, cheap enough not to swamp the trace
+   with counter events. The interval is configurable (--gc-sample-every
+   in the CLI); the very first span exit per domain always samples, so
+   short runs — fewer spans than one interval — still get at least one
+   mid-run heap sample before the closing burst. *)
+let gauge_sample_interval_cell = Atomic.make 32
+
+let set_gauge_sample_interval n =
+  if n < 1 then invalid_arg "Obs.set_gauge_sample_interval: interval must be >= 1";
+  Atomic.set gauge_sample_interval_cell n
+
+let gauge_sample_interval () = Atomic.get gauge_sample_interval_cell
+
 let gc_tick_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let trace_stop () =
@@ -525,10 +558,11 @@ let span name f =
         if track && !trace_state <> None then begin
           let tick = Domain.DLS.get gc_tick_key in
           Stdlib.incr tick;
-          !tick mod gc_sample_period = 0
+          !tick = 1 || !tick mod Atomic.get gauge_sample_interval_cell = 0
         end
         else false
       in
+      let trace_ctx = Domain.DLS.get trace_ctx_key in
       locked (fun () ->
           let stat = span_stat_locked name in
           stat.s_count <- stat.s_count + 1;
@@ -542,7 +576,7 @@ let span name f =
           ts.t_total <- ts.t_total +. dt;
           ts.t_minor_aw <- ts.t_minor_aw +. minor_aw;
           ts.t_major_aw <- ts.t_major_aw +. major_aw;
-          emit_complete_locked name ~path ~t_start:t0 ~t_end:t1;
+          emit_complete_locked name ~path ~trace:trace_ctx ~t_start:t0 ~t_end:t1;
           if gc_tick then emit_gc_samples_locked ())
     in
     match f () with
@@ -665,6 +699,35 @@ let print_alloc_report ?top ch =
   let fmt = Format.formatter_of_out_channel ch in
   pp_alloc_report ?top fmt ();
   Format.pp_print_flush fmt ()
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph export (collapsed-stack format)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per span path, `a;b;c <weight>`, the input format of
+   flamegraph.pl and speedscope. Weights are *self* values — the
+   flamegraph tool re-derives inclusive totals by summing subtrees, so
+   exporting inclusive numbers would double-count. Self time in whole
+   nanoseconds, or self allocated words (minor + direct major). Lines
+   are sorted by path and zero-weight rows dropped, so the output is a
+   pure function of the span registry. *)
+type flame_weight = Flame_time | Flame_alloc
+
+let flamegraph ?(weight = Flame_time) () =
+  let rec flatten acc n = List.fold_left flatten (n :: acc) n.sn_children in
+  let nodes = List.fold_left flatten [] (span_tree ()) in
+  let weight_of n =
+    match weight with
+    | Flame_time -> int_of_float (n.sn_self *. 1e9)
+    | Flame_alloc -> int_of_float (n.sn_self_minor_aw +. n.sn_self_major_aw)
+  in
+  nodes
+  |> List.filter_map (fun n ->
+         let w = weight_of n in
+         if w <= 0 then None else Some (String.concat ";" n.sn_path, w))
+  |> List.sort compare
+  |> List.map (fun (path, w) -> Printf.sprintf "%s %d\n" path w)
+  |> String.concat ""
 
 (* ------------------------------------------------------------------ *)
 (* A minimal JSON reader: enough to validate emitted traces and to
@@ -1029,6 +1092,248 @@ module Snapshot = struct
   let write file t =
     let ch = open_out file in
     Fun.protect ~finally:(fun () -> close_out ch) (fun () -> output_string ch (to_json t))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rolling time-series: a fixed-size ring of metric deltas             *)
+(* ------------------------------------------------------------------ *)
+
+module Series = struct
+  (* Each [record] captures the *delta* since the previous record (or
+     since [create] for the first): counter increments with zero rows
+     dropped, histogram sample-count increments, and gauge levels
+     (gauges are levels, not flows — a delta of a sampled level is
+     noise). The delta basis advances on every record independently of
+     ring eviction, so the recorded deltas always telescope: summing a
+     counter across *all* samples ever recorded equals its total growth
+     since [create], even after old samples fell out of the ring. *)
+
+  type sample = {
+    s_seq : int;
+    s_counters : (string * int) list;
+    s_gauges : (string * float) list;
+    s_hist_totals : (string * int) list;
+  }
+
+  type t = {
+    cap : int;
+    ring : sample option array;
+    mutable next_seq : int;
+    mutable base_counters : (string * int) list;
+    mutable base_hists : (string * int) list;
+    m : Mutex.t;
+  }
+
+  let hist_totals () = List.map (fun (name, counts) -> (name, total_count counts)) (histograms ())
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Obs.Series.create: capacity must be >= 1";
+    { cap = capacity;
+      ring = Array.make capacity None;
+      next_seq = 0;
+      base_counters = counters ();
+      base_hists = hist_totals ();
+      m = Mutex.create ()
+    }
+
+  let delta_int now base =
+    List.filter_map
+      (fun (name, v) ->
+        let b = match List.assoc_opt name base with Some x -> x | None -> 0 in
+        if v - b = 0 then None else Some (name, v - b))
+      now
+
+  let record t =
+    let now_counters = counters () in
+    let now_hists = hist_totals () in
+    let now_gauges = gauges () in
+    Mutex.protect t.m (fun () ->
+        let s =
+          { s_seq = t.next_seq;
+            s_counters = delta_int now_counters t.base_counters;
+            s_gauges = now_gauges;
+            s_hist_totals = delta_int now_hists t.base_hists
+          }
+        in
+        t.ring.(t.next_seq mod t.cap) <- Some s;
+        t.next_seq <- t.next_seq + 1;
+        t.base_counters <- now_counters;
+        t.base_hists <- now_hists;
+        s)
+
+  let capacity t = t.cap
+  let length t = Mutex.protect t.m (fun () -> Stdlib.min t.next_seq t.cap)
+
+  let samples t =
+    Mutex.protect t.m (fun () ->
+        let n = Stdlib.min t.next_seq t.cap in
+        List.init n (fun i ->
+            match t.ring.((t.next_seq - n + i) mod t.cap) with
+            | Some s -> s
+            | None -> assert false))
+end
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics / Prometheus text exposition                            *)
+(* ------------------------------------------------------------------ *)
+
+module Openmetrics = struct
+  (* Renders any snapshot in the OpenMetrics text format: counters as
+     [_total] samples, gauges as levels, span-latency histograms as
+     cumulative [_bucket{le="..."}] series with [_count]/[_sum].
+     Metric names are the pak names with every character outside
+     [a-zA-Z0-9_:] mapped to '_' and a "pak_" prefix (which also
+     guarantees a legal leading character). The histogram [_sum] is a
+     lower-bound estimate (sum of bucket lower bounds times counts):
+     exact sample values are gone by design — the bucket counts are
+     the exact data, the sum is advisory, as the HELP line says. *)
+
+  let sanitize name =
+    let buf = Buffer.create (String.length name + 4) in
+    Buffer.add_string buf "pak_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+        | _ -> Buffer.add_char buf '_')
+      name;
+    Buffer.contents buf
+
+  (* OpenMetrics floats: finite decimal, never "nan"/"inf" out of a
+     snapshot (snapshot floats are already finite by construction, but
+     a hand-edited file must not crash the renderer). *)
+  let num f = if Float.is_finite f then Printf.sprintf "%.17g" f else "0"
+
+  (* HELP text carries the *raw* pak metric name; escape the two
+     characters OpenMetrics escapes in help strings plus anything that
+     would break the line grammar (a fuzzed snapshot can smuggle a
+     newline into a metric name). *)
+  let help_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let render (s : Snapshot.t) =
+    let buf = Buffer.create 4096 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    List.iter
+      (fun (name, v) ->
+        let m = sanitize name in
+        add "# TYPE %s counter\n" m;
+        add "# HELP %s pak counter %s\n" m (help_escape name);
+        add "%s_total %d\n" m v)
+      s.Snapshot.counters;
+    List.iter
+      (fun (name, v) ->
+        let m = sanitize name in
+        add "# TYPE %s gauge\n" m;
+        add "# HELP %s pak gauge %s\n" m (help_escape name);
+        add "%s %s\n" m (num v))
+      s.Snapshot.gauges;
+    List.iter
+      (fun (name, counts) ->
+        let m = sanitize name in
+        add "# TYPE %s histogram\n" m;
+        add "# HELP %s pak span latency ns (sum is a bucket-floor lower bound) %s\n" m
+          (help_escape name);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if c <> 0 then begin
+              cum := !cum + c;
+              add "%s_bucket{le=\"%d\"} %d\n" m (bucket_hi i) !cum
+            end)
+          counts;
+        add "%s_bucket{le=\"+Inf\"} %d\n" m !cum;
+        add "%s_count %d\n" m !cum;
+        let sum =
+          let acc = ref 0. in
+          Array.iteri (fun i c -> acc := !acc +. (float_of_int (bucket_lo i) *. float_of_int c)) counts;
+          !acc
+        in
+        add "%s_sum %s\n" m (num sum))
+      s.Snapshot.histograms;
+    add "# EOF\n";
+    Buffer.contents buf
+
+  (* A minimal line-grammar check, shared by the fuzz mode, the CI
+     smoke and the tests: every line is a comment directive or a
+     sample with a legal metric name, an optional {label="value"} set
+     and a finite numeric value; the text ends with exactly one
+     "# EOF" line and nothing after it. *)
+  let metric_name_ok name =
+    String.length name > 0
+    && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (fun c ->
+           match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         name
+
+  let sample_line_ok line =
+    (* name[{labels}] value — split the name at '{' or ' '. *)
+    let n = String.length line in
+    let name_end =
+      let rec go i = if i >= n then i else (match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)) in
+      go 0
+    in
+    let name = String.sub line 0 name_end in
+    if not (metric_name_ok name) then Error (Printf.sprintf "bad metric name in %S" line)
+    else begin
+      (* Skip a balanced {..} label block; quotes may contain anything
+         except an unescaped quote. *)
+      let i = ref name_end in
+      let ok = ref true in
+      if !i < n && line.[!i] = '{' then begin
+        Stdlib.incr i;
+        let in_str = ref false in
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          (match line.[!i] with
+           | '\\' when !in_str -> Stdlib.incr i (* skip the escaped char *)
+           | '"' -> in_str := not !in_str
+           | '}' when not !in_str -> closed := true
+           | _ -> ());
+          Stdlib.incr i
+        done;
+        if not !closed then ok := false
+      end;
+      if not !ok then Error (Printf.sprintf "unbalanced label block in %S" line)
+      else begin
+        let rest = String.sub line !i (n - !i) in
+        let rest = String.trim rest in
+        match float_of_string_opt rest with
+        | Some f when Float.is_finite f -> Ok ()
+        | _ -> Error (Printf.sprintf "bad sample value in %S" line)
+      end
+    end
+
+  let check text =
+    let lines = String.split_on_char '\n' text in
+    (* A well-formed exposition ends "...# EOF\n", so splitting yields
+       a final empty chunk. *)
+    let rec go = function
+      | [] -> Error "missing # EOF terminator"
+      | [ "# EOF"; "" ] -> Ok ()
+      | [ "# EOF" ] -> Error "missing trailing newline after # EOF"
+      | line :: rest ->
+        if line = "" then Error "empty line before # EOF"
+        else if String.length line >= 1 && line.[0] = '#' then begin
+          if
+            String.length line >= 7
+            && (String.sub line 0 7 = "# TYPE " || String.sub line 0 7 = "# HELP ")
+          then go rest
+          else Error (Printf.sprintf "bad comment directive %S" line)
+        end
+        else (match sample_line_ok line with Ok () -> go rest | Error _ as e -> e)
+    in
+    go lines
 end
 
 (* ------------------------------------------------------------------ *)

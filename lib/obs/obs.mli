@@ -168,6 +168,22 @@ val span_detach : (unit -> 'a) -> 'a
     span-tree shape, identical at every job count. When off,
     [span_detach f] is exactly [f ()]. *)
 
+val with_trace_context : string -> (unit -> 'a) -> 'a
+(** [with_trace_context id f] runs [f ()] with [id] installed as the
+    current domain's ambient {e trace context}: every trace event a
+    {!span} emits while it is installed carries [id] as an
+    ["args.trace"] field, joining the event to the request (or other
+    unit of work) that ran it. Contexts nest — the previous context is
+    restored afterwards, exceptions included. The context is a
+    {e separate} domain-local key from the span stack, so
+    {!span_detach} masks span paths but keeps the trace id: a pooled
+    server request records root-level span paths that still carry its
+    request identity. Pure bookkeeping — installs fine with the null
+    sink too. *)
+
+val trace_context : unit -> string option
+(** The currently installed trace context of the calling domain. *)
+
 val spans : unit -> (string * int * float) list
 (** [(name, calls, total_seconds)] per span name, sorted by name. *)
 
@@ -216,6 +232,23 @@ val pp_alloc_report : ?top:int -> Format.formatter -> unit -> unit
 
 val print_alloc_report : ?top:int -> out_channel -> unit
 
+(** {2 Flamegraph export} *)
+
+type flame_weight =
+  | Flame_time  (** self nanoseconds per span path *)
+  | Flame_alloc  (** self allocated words (minor + direct major) per span path *)
+
+val flamegraph : ?weight:flame_weight -> unit -> string
+(** The current span tree in collapsed-stack format — one
+    [a;b;c <weight>] line per span path, the input format of
+    [flamegraph.pl] and speedscope. Weights are {e self} values
+    (inclusive totals would double-count once the tool sums subtrees):
+    self time in whole nanoseconds ({!Flame_time}, the default) or
+    self allocated words ({!Flame_alloc}). Zero-weight paths are
+    dropped and lines sorted by path, so the output is a deterministic
+    function of the recorded statistics. Backs [pak profile --flame].
+    Empty string when no spans were recorded. *)
+
 (** {1 Gauges}
 
     Gauges are sampled, not accumulated: other layers register
@@ -248,9 +281,20 @@ val trace_to : string -> unit
     closes the previous one first.
 
     While a trace is open (and {!track_allocations} is on), every
-    32nd span exit per domain also emits one "ph":"C" sample per
-    [gc.*] lane — raw cumulative values, so the heap lanes render as
-    non-decreasing counter tracks in Perfetto. *)
+    {!gauge_sample_interval}-th span exit per domain — plus the very
+    first, so short runs get at least one mid-run sample — also emits
+    one "ph":"C" sample per [gc.*] lane: raw cumulative values, so the
+    heap lanes render as non-decreasing counter tracks in Perfetto. *)
+
+val set_gauge_sample_interval : int -> unit
+(** Set how many span exits (per domain) separate consecutive [gc.*]
+    heap-lane sample bursts while a trace is recording. Default [32];
+    [1] samples at every span exit. The first span exit per domain
+    always samples regardless of the interval.
+    @raise Invalid_argument on an interval below 1. *)
+
+val gauge_sample_interval : unit -> int
+(** The current [gc.*] trace-sampling interval. *)
 
 val trace_stop : unit -> unit
 (** Emit one final "ph":"C" counter sample per registered counter and
@@ -344,6 +388,80 @@ module Snapshot : sig
       cannot be attributed by subtraction. Bumps made by {e other}
       domains while [f] runs land in the delta; single-domain callers
       get an exact attribution. *)
+end
+
+(** {1 Rolling time-series}
+
+    A fixed-capacity ring of metric {e deltas}: each {!Series.record}
+    samples the registries and stores what changed since the previous
+    record, so a long-lived process (a [pak serve] session under
+    [--telemetry-every]) exposes rates-over-time, not just
+    totals-at-exit. *)
+
+module Series : sig
+  type t
+
+  type sample = {
+    s_seq : int;  (** 0-based record index, monotone across evictions *)
+    s_counters : (string * int) list;
+        (** counter increments since the previous record, zero rows
+            dropped, sorted by name *)
+    s_gauges : (string * float) list;
+        (** gauge {e levels} at record time (gauges are sampled, not
+            accumulated — a delta of a level is noise) *)
+    s_hist_totals : (string * int) list;
+        (** histogram sample-count increments since the previous
+            record, zero rows dropped *)
+  }
+
+  val create : capacity:int -> t
+  (** A new recorder holding at most [capacity] samples, with its
+      delta basis set to the registries' current values.
+      @raise Invalid_argument when [capacity < 1]. *)
+
+  val record : t -> sample
+  (** Sample the registries, store and return the delta since the
+      previous record (or since {!create} for the first). The basis
+      advances on {e every} record, independent of ring eviction, so
+      summing a counter across all samples ever recorded telescopes to
+      its total growth since {!create} — even after old samples fell
+      out of the ring. Thread-safe. *)
+
+  val capacity : t -> int
+
+  val length : t -> int
+  (** Samples currently held: [min (records so far) capacity]. *)
+
+  val samples : t -> sample list
+  (** Held samples, oldest first. When more than [capacity] records
+      were made, these are the latest [capacity] of them — consecutive
+      [s_seq] values ending at the newest record. *)
+end
+
+(** {1 OpenMetrics exposition} *)
+
+module Openmetrics : sig
+  val render : Snapshot.t -> string
+  (** The snapshot in OpenMetrics / Prometheus text format: counters
+      as [_total] samples, gauges as levels, span-latency histograms
+      as cumulative [_bucket{le="<ns>"}] series with [_count] and
+      [_sum], each preceded by [# TYPE] / [# HELP] directives, ending
+      with the [# EOF] terminator. Metric names are the pak names
+      under a [pak_] prefix with every character outside
+      [\[a-zA-Z0-9_:\]] mapped to ['_']. The histogram [_sum] is a
+      lower-bound estimate (bucket lower bound × count summed): the
+      log-bucket counts are the exact data; exact sample values are
+      gone by design. Total for every snapshot — never raises.
+      Surfaced as [pak profile --openmetrics] and the serve
+      [(op metrics)] request. *)
+
+  val check : string -> (unit, string) result
+  (** Minimal line-grammar validation of an exposition: every line is
+      a [# TYPE] / [# HELP] directive or a sample line with a legal
+      metric name, an optional balanced [{...}] label block and a
+      finite numeric value, and the text ends with exactly one
+      [# EOF] line. [render] output always passes (fuzzed by
+      [tools/fuzz.exe --mode openmetrics]). *)
 end
 
 (** {1 Snapshot diffing — the perf-regression oracle}

@@ -387,6 +387,7 @@ type op =
       samples : int option;
       seed : int option;
     }
+  | Op_metrics
 
 type request = {
   req_id : int;
@@ -395,7 +396,21 @@ type request = {
   formula : string;
   req_limits : Budget.limits;
   want_metrics : bool;
+  req_trace : string;
 }
+
+(* Request-scoped trace id: a digest of (payload-frame sequence number,
+   item index within the frame, payload digest), truncated to 16 hex
+   chars. A pure function of the input byte stream — byte-identical at
+   every --jobs — and unique per request: distinct frames differ in
+   [seq], batch members in [ix]. Returned in the response, installed
+   as the Obs trace context while the request runs (so its spans'
+   trace events carry it), and stamped into per-request metrics. *)
+let trace_id ~seq ~ix payload =
+  String.sub
+    (Digest.to_hex
+       (Digest.string (Printf.sprintf "%d:%d:%s" seq ix (Digest.string payload))))
+    0 16
 
 exception Bad_request of string
 
@@ -448,6 +463,7 @@ let parse_request fields =
                 match text_v () with
                 | "eval" -> op := Some `Eval
                 | "belief" -> op := Some `Belief
+                | "metrics" -> op := Some `Metrics
                 | other -> raise (Bad_request ("unknown op " ^ other)))
             | "system" -> system := Some (text_v ())
             | "formula" -> formula := Some (text_v ())
@@ -490,13 +506,19 @@ let parse_request fields =
               samples = !samples;
               seed = !seed;
             }
+      | `Metrics -> Op_metrics
+    in
+    (* A metrics request introspects the server itself; it carries no
+       system or formula. *)
+    let text key r =
+      if op = Op_metrics then Option.value !r ~default:"" else need key r
     in
     Ok
       {
         req_id = rid;
         op;
-        system = need "system" system;
-        formula = need "formula" formula;
+        system = text "system" system;
+        formula = text "formula" formula;
         req_limits =
           {
             Budget.max_points = !mp;
@@ -506,28 +528,32 @@ let parse_request fields =
             timeout_ms = !tm;
           };
         want_metrics = !metrics;
+        req_trace = "";
       }
   with Bad_request m ->
     Result.Error ((match !id with Some i -> i | None -> -1), m)
 
-type item = Item_req of request | Item_bad of int * string
+type item = Item_req of request | Item_bad of int * string * string  (* trace *)
 
 type msg = Msg_items of item list * bool  (* is_batch *) | Msg_ping of int | Msg_shutdown
 
-let item_of_fields fields =
+let item_of_fields ~trace fields =
   match parse_request fields with
-  | Ok r -> Item_req r
-  | Error (id, m) -> Item_bad (id, m)
+  | Ok r -> Item_req { r with req_trace = trace }
+  | Error (id, m) -> Item_bad (id, m, trace)
 
-let parse_msg = function
+(* [trace ix] yields the trace id for item index [ix] of the frame. *)
+let parse_msg ~trace = function
   | Sexp.List (Sexp.Atom "request" :: fields) ->
-      Msg_items ([ item_of_fields fields ], false)
+      Msg_items ([ item_of_fields ~trace:(trace 0) fields ], false)
   | Sexp.List (Sexp.Atom "batch" :: entries) ->
       let items =
-        List.map
-          (function
-            | Sexp.List (Sexp.Atom "request" :: fields) -> item_of_fields fields
-            | _ -> Item_bad (-1, "batch entries must be (request ...)"))
+        List.mapi
+          (fun ix entry ->
+            match entry with
+            | Sexp.List (Sexp.Atom "request" :: fields) ->
+                item_of_fields ~trace:(trace ix) fields
+            | _ -> Item_bad (-1, "batch entries must be (request ...)", trace ix))
           entries
       in
       Msg_items (items, true)
@@ -536,7 +562,7 @@ let parse_msg = function
     when int_of_string_opt v <> None ->
       Msg_ping (int_of_string v)
   | Sexp.List [ Sexp.Atom "shutdown" ] -> Msg_shutdown
-  | _ -> Msg_items ([ Item_bad (-1, "unknown frame form") ], false)
+  | _ -> Msg_items ([ Item_bad (-1, "unknown frame form", trace 0) ], false)
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -553,6 +579,8 @@ type config = {
   retry_after_ms : int;
   limits : Budget.limits;
   clock : (unit -> float) option;
+  telemetry_every : int;  (* 0 = off: emit a telemetry frame per N requests *)
+  telemetry : (string -> unit) option;  (* side-channel sink, one line per frame *)
 }
 
 let default_config =
@@ -567,6 +595,8 @@ let default_config =
     retry_after_ms = 50;
     limits = Budget.unlimited;
     clock = None;
+    telemetry_every = 0;
+    telemetry = None;
   }
 
 let validate_config cfg =
@@ -587,6 +617,10 @@ let validate_config cfg =
     err "--retry-after-ms must be >= 1 (got %d)" cfg.retry_after_ms
   else if (match cfg.drain_ms with Some d -> d < 0 | None -> false) then
     err "--drain-ms must be >= 0"
+  else if cfg.telemetry_every < 0 then
+    err "--telemetry-every must be >= 0 (got %d)" cfg.telemetry_every
+  else if cfg.telemetry_every > 0 && Option.is_none cfg.telemetry then
+    err "--telemetry-every requires a telemetry sink (--telemetry-file)"
   else
     let bad_cap =
       List.find_opt
@@ -628,6 +662,7 @@ type outcome = {
   out_body : string;  (* rendered "(code ..) (status ..) ..." fields *)
   out_metrics : string;  (* "" or a rendered " (metrics ...)" *)
   out_cacheable : bool;
+  out_trace : string;  (* "" = no trace field (junk/protocol outcomes) *)
 }
 
 let quoted s =
@@ -636,7 +671,13 @@ let quoted s =
   Buffer.contents b
 
 let ok_outcome id body ~cacheable =
-  { out_id = id; out_body = body; out_metrics = ""; out_cacheable = cacheable }
+  {
+    out_id = id;
+    out_body = body;
+    out_metrics = "";
+    out_cacheable = cacheable;
+    out_trace = "";
+  }
 
 let error_outcome id (e : Error.t) =
   let code =
@@ -656,6 +697,7 @@ let error_outcome id (e : Error.t) =
         (quoted (Error.to_string e));
     out_metrics = "";
     out_cacheable = false;
+    out_trace = "";
   }
 
 let internal_outcome id exn =
@@ -667,6 +709,7 @@ let internal_outcome id exn =
         (quoted (Printexc.to_string exn));
     out_metrics = "";
     out_cacheable = false;
+    out_trace = "";
   }
 
 let bad_request_outcome id msg =
@@ -678,6 +721,7 @@ let bad_request_outcome id msg =
         (quoted msg);
     out_metrics = "";
     out_cacheable = false;
+    out_trace = "";
   }
 
 let protocol_outcome msg =
@@ -688,6 +732,7 @@ let protocol_outcome msg =
         (quoted msg);
     out_metrics = "";
     out_cacheable = false;
+    out_trace = "";
   }
 
 let junk_outcome = function
@@ -705,11 +750,14 @@ let overloaded_outcome cfg id =
         cfg.retry_after_ms;
     out_metrics = "";
     out_cacheable = false;
+    out_trace = "";
   }
 
-let render_metrics (d : Obs.Snapshot.t) =
+let render_metrics ~trace (d : Obs.Snapshot.t) =
   let b = Buffer.create 128 in
-  Buffer.add_string b " (metrics (counters";
+  Buffer.add_string b " (metrics";
+  if trace <> "" then Printf.bprintf b " (trace %s)" trace;
+  Buffer.add_string b " (counters";
   List.iter
     (fun (n, v) -> Printf.bprintf b " (%s %d)" n v)
     d.Obs.Snapshot.counters;
@@ -721,7 +769,11 @@ let render_metrics (d : Obs.Snapshot.t) =
   Buffer.contents b
 
 let render_response o =
-  Printf.sprintf "(response (id %d) %s%s)" o.out_id o.out_body o.out_metrics
+  let trace =
+    if o.out_trace = "" then "" else Printf.sprintf " (trace %s)" o.out_trace
+  in
+  Printf.sprintf "(response (id %d)%s %s%s)" o.out_id trace o.out_body
+    o.out_metrics
 
 (* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
@@ -749,7 +801,7 @@ type state = {
 let now st = match st.cfg.clock with Some f -> f () | None -> Sys.time ()
 
 let cache_key cfg req =
-  if cfg.cache_max = 0 then None
+  if cfg.cache_max = 0 || req.op = Op_metrics then None
   else begin
     let b = Buffer.create 96 in
     Buffer.add_string b (Digest.to_hex (Digest.string req.system));
@@ -759,7 +811,8 @@ let cache_key cfg req =
     | Op_belief { agent; run; time; samples; seed } ->
         Printf.bprintf b "belief:%d:%d:%d:%d:%d" agent run time
           (Option.value samples ~default:(-1))
-          (Option.value seed ~default:(-1)));
+          (Option.value seed ~default:(-1))
+    | Op_metrics -> assert false  (* cache_key returns None above *));
     Buffer.add_char b '|';
     (* Formula component: the engine name plus the formula's closure
        digest when it parses — the digest canonicalizes spelling, so
@@ -825,7 +878,19 @@ let tree_of_system st doc =
 (* Request execution (worker side)                                     *)
 (* ------------------------------------------------------------------ *)
 
-let perform st req =
+let rec perform st req =
+  match req.op with
+  | Op_metrics ->
+      (* Introspection: render the server's cumulative metrics as
+         OpenMetrics text. Never cached — the answer changes with every
+         request served. *)
+      ok_outcome req.req_id
+        (Printf.sprintf "(code 0) (status ok) (result (openmetrics %s))"
+           (quoted (Obs.Openmetrics.render (Obs.Snapshot.capture ()))))
+        ~cacheable:false
+  | Op_eval | Op_belief _ -> perform_query st req
+
+and perform_query st req =
   let tree = tree_of_system st req.system in
   let formula =
     match Parser.parse_result req.formula with
@@ -877,6 +942,7 @@ let perform st req =
                "(code 0) (status estimated) (result (degree %s) (samples %d))"
                (Q.to_string value) samples)
             ~cacheable:false)
+  | Op_metrics -> assert false  (* handled in [perform] *)
 
 (* Per-request fault isolation: a fresh budget scope per request, and
    every failure mode folded into an error outcome. Nothing escapes. *)
@@ -911,12 +977,21 @@ let execute st ~grace req =
         | None -> internal_outcome req.req_id exn)
 
 let process st ~grace req =
-  let compute () = Obs.span "serve.request" (fun () -> execute st ~grace req) in
-  if req.want_metrics then begin
-    let o, delta = Obs.Snapshot.diff_capture compute in
-    { o with out_metrics = render_metrics delta }
-  end
-  else compute ()
+  (* The trace context rides its own DLS slot, so it survives the
+     span-stack detach in pooled drains and every span this request
+     opens carries its id in the Chrome trace. *)
+  let compute () =
+    Obs.with_trace_context req.req_trace (fun () ->
+        Obs.span "serve.request" (fun () -> execute st ~grace req))
+  in
+  let o =
+    if req.want_metrics then begin
+      let o, delta = Obs.Snapshot.diff_capture compute in
+      { o with out_metrics = render_metrics ~trace:req.req_trace delta }
+    end
+    else compute ()
+  in
+  { o with out_trace = req.req_trace }
 
 (* ------------------------------------------------------------------ *)
 (* Queue, drain, shed                                                  *)
@@ -927,12 +1002,21 @@ let write_response st o =
   st.write_frame (render_response o)
 
 let enqueue st = function
-  | Item_bad (id, msg) -> Queue.add (P_done (bad_request_outcome id msg)) st.q
+  | Item_bad (id, msg, trace) ->
+      Queue.add
+        (P_done { (bad_request_outcome id msg) with out_trace = trace })
+        st.q
   | Item_req req ->
       Obs.incr c_requests;
       if st.live >= st.cfg.max_pending then begin
         Obs.incr c_shed;
-        Queue.add (P_done (overloaded_outcome st.cfg req.req_id)) st.q
+        Queue.add
+          (P_done
+             {
+               (overloaded_outcome st.cfg req.req_id) with
+               out_trace = req.req_trace;
+             })
+          st.q
       end
       else begin
         let key = cache_key st.cfg req in
@@ -946,6 +1030,7 @@ let enqueue st = function
                    out_body = Hashtbl.find st.results k;
                    out_metrics = "";
                    out_cacheable = false;
+                   out_trace = req.req_trace;
                  })
               st.q
         | _ ->
@@ -1041,11 +1126,64 @@ let run cfg ~source ~write =
       let maybe_drain () =
         if Queue.length st.q >= batch_threshold then drain st ~final:false
       in
+      (* Streaming telemetry: every [telemetry_every] requests, force a
+         drain (so the delta covers whole requests, independent of the
+         jobs-dependent batching cadence) and emit one line-delimited
+         JSON frame of counter / histogram-total deltas since the last
+         frame. The drain-cadence metrics themselves (counter
+         serve.drains, histogram serve.drain) are excluded: they track
+         scheduling, not work, and differ across --jobs. Everything
+         kept is a pure function of the input stream, so frames are
+         byte-identical at every job count. *)
+      let telemetry_on = cfg.telemetry_every > 0 in
+      let series =
+        if telemetry_on then Some (Obs.Series.create ~capacity:64) else None
+      in
+      let tele_reqs = ref 0 in
+      let tele_mark = ref 0 in
+      let emit_telemetry () =
+        match (series, cfg.telemetry) with
+        | Some series, Some sink ->
+            drain st ~final:false;
+            let s = Obs.Series.record series in
+            let b = Buffer.create 256 in
+            Printf.bprintf b "{\"telemetry\":1,\"seq\":%d,\"requests\":%d"
+              s.Obs.Series.s_seq !tele_reqs;
+            let obj label skip rows render =
+              Printf.bprintf b ",\"%s\":{" label;
+              let first = ref true in
+              List.iter
+                (fun (n, v) ->
+                  if n <> skip then begin
+                    if not !first then Buffer.add_char b ',';
+                    first := false;
+                    Printf.bprintf b "\"%s\":%s" n (render v)
+                  end)
+                rows;
+              Buffer.add_char b '}'
+            in
+            obj "counters" "serve.drains" s.Obs.Series.s_counters
+              string_of_int;
+            obj "histogram_totals" "serve.drain" s.Obs.Series.s_hist_totals
+              string_of_int;
+            Buffer.add_char b '}';
+            sink (Buffer.contents b)
+        | _ -> ()
+      in
+      let maybe_telemetry () =
+        if telemetry_on && !tele_reqs - !tele_mark >= cfg.telemetry_every
+        then begin
+          tele_mark := !tele_reqs;
+          emit_telemetry ()
+        end
+      in
       let finish reason =
         drain st ~final:true;
+        if telemetry_on then emit_telemetry ();
         write_frame (Printf.sprintf "(bye (reason %s))" reason);
         0
       in
+      let frame_seq = ref 0 in
       let rec loop () =
         match Frame.read rd with
         | Frame.Eof -> finish "eof"
@@ -1056,6 +1194,9 @@ let run cfg ~source ~write =
             loop ()
         | Frame.Payload p -> (
             Obs.incr c_frames;
+            incr frame_seq;
+            let seq = !frame_seq in
+            let trace ix = trace_id ~seq ~ix p in
             match Sexp.parse p with
             | Result.Error m ->
                 Obs.incr c_err_protocol;
@@ -1065,7 +1206,7 @@ let run cfg ~source ~write =
                 maybe_drain ();
                 loop ()
             | Ok sx -> (
-                match parse_msg sx with
+                match parse_msg ~trace sx with
                 | Msg_ping id ->
                     Obs.incr c_pings;
                     drain st ~final:false;
@@ -1075,7 +1216,11 @@ let run cfg ~source ~write =
                 | Msg_items (items, is_batch) ->
                     if is_batch then Obs.incr c_batches;
                     List.iter (enqueue st) items;
+                    List.iter
+                      (function Item_req _ -> incr tele_reqs | Item_bad _ -> ())
+                      items;
                     maybe_drain ();
+                    maybe_telemetry ();
                     loop ()))
       in
       Fun.protect

@@ -25,6 +25,7 @@
 (request (id 2) (op belief) (system "...") (formula "a0_g0")
          (agent 0) (run 1) (time 1) (samples 500) (seed 7)
          (max-limbs 1) (timeout-ms 100) (metrics true))
+(request (id 3) (op metrics))
 (batch (request ...) (request ...) ...)
 (ping (id 9))
 (shutdown)
@@ -34,18 +35,51 @@
     [timeout-ms] override the server-level caps but can only lower
     them; [metrics true] attaches a per-request
     {!Pak_obs.Obs.Snapshot.diff_capture} delta to the response.
+    [(op metrics)] needs no system or formula: it answers with the
+    server's cumulative metrics rendered as OpenMetrics text,
+    [(result (openmetrics "..."))]; it is never cached.
 
     {2 Responses}
 
-    [(response (id I) (code C) (status S) ...)] where [code] reuses the
-    CLI exit-code taxonomy per request: 0 ok, 2 malformed request,
-    3 invalid input (unparsable system/formula, protocol junk), 4 budget
-    exceeded or shed under load, 125 internal bug. [status] is [ok],
-    [estimated] (budget-degraded Monte-Carlo fallback), [overloaded]
-    (shed, with a [(retry-after-ms N)] hint) or [error] (with
-    [(kind ...)] and [(error "...")]). [ping] gets [(pong (id I))];
-    shutdown and EOF drain in-flight requests under the configured grace
-    deadline and end with [(bye (reason ...))] and exit code 0. *)
+    [(response (id I) (trace T) (code C) (status S) ...)] where [code]
+    reuses the CLI exit-code taxonomy per request: 0 ok, 2 malformed
+    request, 3 invalid input (unparsable system/formula, protocol
+    junk), 4 budget exceeded or shed under load, 125 internal bug.
+    [status] is [ok], [estimated] (budget-degraded Monte-Carlo
+    fallback), [overloaded] (shed, with a [(retry-after-ms N)] hint) or
+    [error] (with [(kind ...)] and [(error "...")]). [ping] gets
+    [(pong (id I))]; shutdown and EOF drain in-flight requests under
+    the configured grace deadline and end with [(bye (reason ...))] and
+    exit code 0.
+
+    {2 Trace ids}
+
+    Every request parsed from a payload frame — including malformed
+    ones — is assigned a 16-hex-char trace id, a digest of (frame
+    sequence number, item index within the frame, payload digest). It
+    is a pure function of the input byte stream, so it is byte-stable
+    across [--jobs] and across re-runs of the same stream. The id comes
+    back as the [(trace T)] response field, is installed as the
+    {!Pak_obs.Obs.with_trace_context} trace context while the request
+    executes (so every span the request opens carries
+    [args.trace = T] in the Chrome trace), and prefixes the
+    per-request [(metrics (trace T) ...)] delta. Frame-level junk
+    ([code 3] protocol responses with no request behind them) carries
+    no trace field.
+
+    {2 Telemetry frames}
+
+    With [telemetry_every = N > 0] and a [telemetry] sink, the server
+    emits one line-delimited JSON object per [N] accepted requests
+    (plus a final frame at shutdown/EOF), each carrying counter and
+    histogram-total {e deltas} since the previous frame — summing a
+    metric over all frames telescopes to its session total. Before
+    sampling, the queue is force-drained so deltas cover whole
+    requests. The drain-cadence metrics (counter [serve.drains],
+    histogram [serve.drain]) are excluded — they track scheduling, not
+    work, and depend on [--jobs]; everything kept is a pure function of
+    the input stream, so telemetry frames are byte-identical at every
+    job count. *)
 
 (** Minimal s-expression values shared by the request and response
     grammar (same dialect as [Tree_io]: atoms, quoted strings with
@@ -119,6 +153,12 @@ type config = {
   clock : (unit -> float) option;
       (** wall clock for the drain deadline (e.g. [Unix.gettimeofday]);
           [None] falls back to [Sys.time] *)
+  telemetry_every : int;
+      (** emit a telemetry frame every N accepted requests; 0 disables.
+          Requires a [telemetry] sink when positive. *)
+  telemetry : (string -> unit) option;
+      (** side-channel sink for telemetry frames: called with one JSON
+          object (no trailing newline) per frame *)
 }
 
 val default_config : config

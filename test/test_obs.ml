@@ -704,6 +704,190 @@ let test_diff_capture_no_span_leakage () =
            (fun (n : Obs.Snapshot.node) -> n.Obs.Snapshot.name = "diffcap.outer")
            full.Obs.Snapshot.spans))
 
+(* ------------------------------------------------------------------ *)
+(* Rolling time-series (Series)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_deltas_telescope () =
+  with_metrics (fun () ->
+      let c = Obs.counter "series.c" in
+      let h = Obs.histogram "series.h" in
+      let s = Obs.Series.create ~capacity:8 in
+      check_int "capacity" 8 (Obs.Series.capacity s);
+      check_int "empty" 0 (Obs.Series.length s);
+      Obs.add c 3;
+      Obs.record h 10;
+      let a = Obs.Series.record s in
+      Obs.add c 4;
+      let b = Obs.Series.record s in
+      let del sample = List.assoc_opt "series.c" sample.Obs.Series.s_counters in
+      check_bool "first delta counts from create" true (del a = Some 3);
+      check_bool "second delta counts from the first record" true (del b = Some 4);
+      check_int "seqs are 0-based and consecutive" 1
+        (b.Obs.Series.s_seq - a.Obs.Series.s_seq);
+      check_bool "histogram totals are deltas too" true
+        (List.assoc_opt "series.h" a.Obs.Series.s_hist_totals = Some 1
+        && List.assoc_opt "series.h" b.Obs.Series.s_hist_totals = None);
+      (* An idle interval records no counter rows: zero deltas drop. *)
+      let idle = Obs.Series.record s in
+      check_bool "zero rows dropped" true
+        (List.assoc_opt "series.c" idle.Obs.Series.s_counters = None);
+      check_int "three samples held" 3 (Obs.Series.length s))
+
+let test_series_ring_eviction () =
+  with_metrics (fun () ->
+      let c = Obs.counter "series.ring" in
+      let s = Obs.Series.create ~capacity:3 in
+      for i = 1 to 7 do
+        Obs.add c i;
+        ignore (Obs.Series.record s)
+      done;
+      check_int "length is capped" 3 (Obs.Series.length s);
+      let held = Obs.Series.samples s in
+      check_bool "latest window, oldest first" true
+        (List.map (fun x -> x.Obs.Series.s_seq) held = [ 4; 5; 6 ]);
+      (* The basis advanced on every record, evicted or not: the held
+         deltas are the original per-record increments. *)
+      check_bool "deltas unaffected by eviction" true
+        (List.map (fun x -> List.assoc "series.ring" x.Obs.Series.s_counters) held
+        = [ 5; 6; 7 ]))
+
+let test_series_capacity_validation () =
+  check_bool "capacity 0 rejected" true
+    (match Obs.Series.create ~capacity:0 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let om_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_openmetrics_render_checks () =
+  let s = snapshot_of_toy_run () in
+  let text = Obs.Openmetrics.render s in
+  (match Obs.Openmetrics.check text with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail ("render output rejected by check: " ^ e));
+  check_bool "counters become pak_*_total samples" true
+    (om_contains text "pak_semantics_memo_misses_total");
+  check_bool "TYPE directives present" true (om_contains text "# TYPE ");
+  check_bool "histograms expose cumulative buckets" true
+    (om_contains text "_bucket{le=\"");
+  check_bool "ends with the EOF terminator" true
+    (let n = String.length text in
+     n >= 6 && String.sub text (n - 6) 6 = "# EOF\n");
+  (* Byte-stable: rendering the same snapshot twice is identical. *)
+  check_bool "render is deterministic" true
+    (String.equal text (Obs.Openmetrics.render s))
+
+let test_openmetrics_sanitizes_names () =
+  (* Hostile metric names (spaces, braces, quotes, newlines) must come
+     out as legal OpenMetrics names — this is what the fuzzer drives. *)
+  with_metrics (fun () ->
+      Obs.add (Obs.counter "evil name{x=\"1\"}") 3;
+      Obs.add (Obs.counter "semi;colon\nnewline") 1;
+      let text = Obs.Openmetrics.render (Obs.Snapshot.capture ()) in
+      match Obs.Openmetrics.check text with
+      | Ok () -> check_bool "sanitized name appears" true (om_contains text "pak_evil_name")
+      | Error e -> Alcotest.fail ("sanitized exposition rejected: " ^ e))
+
+let test_openmetrics_check_rejects () =
+  let bad text =
+    match Obs.Openmetrics.check text with Ok () -> false | Error _ -> true
+  in
+  check_bool "missing EOF" true (bad "pak_x_total 1\n");
+  check_bool "illegal metric name" true (bad "9bad 1\n# EOF\n");
+  check_bool "non-numeric value" true (bad "pak_x_total banana\n# EOF\n");
+  check_bool "unbalanced label block" true (bad "pak_x_total{le=\"1\" 1\n# EOF\n");
+  check_bool "text after EOF" true (bad "# EOF\npak_x_total 1\n")
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph export                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_flamegraph_collapsed_stacks () =
+  with_metrics (fun () ->
+      check_bool "no spans, empty output" true (Obs.flamegraph () = "");
+      for _ = 1 to 3 do
+        Obs.span "flame.outer" (fun () ->
+            Obs.span "flame.inner" (fun () -> ignore (Sys.opaque_identity (alloc_work ()))))
+      done;
+      let lines text = String.split_on_char '\n' (String.trim text) in
+      let parse line =
+        match String.rindex_opt line ' ' with
+        | Some i ->
+          ( String.sub line 0 i,
+            int_of_string (String.sub line (i + 1) (String.length line - i - 1)) )
+        | None -> Alcotest.fail ("malformed collapsed-stack line: " ^ line)
+      in
+      let time_rows = List.map parse (lines (Obs.flamegraph ())) in
+      check_bool "semicolon-joined paths, outermost first" true
+        (List.mem_assoc "flame.outer;flame.inner" time_rows);
+      check_bool "weights are non-negative" true
+        (List.for_all (fun (_, w) -> w >= 0) time_rows);
+      check_bool "paths are sorted" true
+        (let ps = List.map fst time_rows in
+         ps = List.sort compare ps);
+      let alloc_rows = List.map parse (lines (Obs.flamegraph ~weight:Obs.Flame_alloc ())) in
+      check_bool "alloc weight: the allocating leaf dominates" true
+        (match List.assoc_opt "flame.outer;flame.inner" alloc_rows with
+         | Some w -> w > 100_000
+         | None -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Gc gauge sampling interval + trace context                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauge_sample_interval () =
+  let d = Obs.gauge_sample_interval () in
+  Fun.protect
+    ~finally:(fun () -> Obs.set_gauge_sample_interval d)
+    (fun () ->
+      Obs.set_gauge_sample_interval 1;
+      check_int "interval readable" 1 (Obs.gauge_sample_interval ());
+      check_bool "interval 0 rejected" true
+        (match Obs.set_gauge_sample_interval 0 with
+         | exception Invalid_argument _ -> true
+         | () -> false);
+      check_int "rejected set leaves the interval" 1 (Obs.gauge_sample_interval ()))
+
+let test_trace_context () =
+  check_bool "no ambient context" true (Obs.trace_context () = None);
+  let seen =
+    Obs.with_trace_context "deadbeefdeadbeef" (fun () ->
+        let outer = Obs.trace_context () in
+        let inner =
+          Obs.with_trace_context "cafe0000cafe0000" (fun () -> Obs.trace_context ())
+        in
+        (outer, inner, Obs.trace_context ()))
+  in
+  check_bool "context installed, nested and restored" true
+    (seen
+    = (Some "deadbeefdeadbeef", Some "cafe0000cafe0000", Some "deadbeefdeadbeef"));
+  check_bool "context cleared at exit" true (Obs.trace_context () = None);
+  (* The context survives span detachment and lands in the trace file
+     as an args.trace field on the span's X event. *)
+  let file = Filename.temp_file "pak_obs_ctx" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Sys.remove file)
+    (fun () ->
+      Obs.trace_to file;
+      Obs.with_trace_context "feedface00000001" (fun () ->
+          Obs.span_detach (fun () ->
+              Obs.span "ctx.request" (fun () -> ignore (Sys.opaque_identity 1))));
+      Obs.trace_stop ();
+      let text = In_channel.with_open_bin file In_channel.input_all in
+      check_bool "trace event carries the ambient trace id" true
+        (om_contains text "\"trace\":\"feedface00000001\""))
+
 let qcheck_cases =
   List.map
     (QCheck_alcotest.to_alcotest ~verbose:false)
@@ -748,7 +932,21 @@ let () =
         ] );
       ( "trace",
         [ Alcotest.test_case "emit + validate" `Quick test_trace_file;
-          Alcotest.test_case "validator rejects garbage" `Quick test_validate_rejects_garbage
+          Alcotest.test_case "validator rejects garbage" `Quick test_validate_rejects_garbage;
+          Alcotest.test_case "gauge sample interval" `Quick test_gauge_sample_interval;
+          Alcotest.test_case "trace context" `Quick test_trace_context
         ] );
+      ( "series",
+        [ Alcotest.test_case "deltas telescope" `Quick test_series_deltas_telescope;
+          Alcotest.test_case "ring eviction" `Quick test_series_ring_eviction;
+          Alcotest.test_case "capacity validation" `Quick test_series_capacity_validation
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "render passes check" `Quick test_openmetrics_render_checks;
+          Alcotest.test_case "hostile names sanitized" `Quick test_openmetrics_sanitizes_names;
+          Alcotest.test_case "check rejects bad text" `Quick test_openmetrics_check_rejects
+        ] );
+      ( "flamegraph",
+        [ Alcotest.test_case "collapsed stacks" `Quick test_flamegraph_collapsed_stacks ] );
       ("properties", qcheck_cases)
     ]

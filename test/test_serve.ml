@@ -1,8 +1,9 @@
 (* Tests for pak_serve: the frame codec's round-trip and resync
    behavior, per-request budget isolation, backpressure shedding,
    graceful degradation to marked estimates, result-cache identity,
-   and the protocol-error/recovery and shutdown semantics — all
-   in-process through Serve.run_string. *)
+   the protocol-error/recovery and shutdown semantics, request-scoped
+   trace ids, the (op metrics) exposition and the streaming-telemetry
+   side channel — all in-process through Serve.run_string. *)
 
 open Pak_rational
 open Pak_pps
@@ -54,6 +55,61 @@ let ping id = Printf.sprintf "(ping (id %d))" id
 let run ?config payloads =
   let input = String.concat "" (List.map Serve.Frame.encode payloads) in
   Serve.run_string ?config input
+
+let collect_frames out =
+  let reader = Serve.Frame.reader (Serve.Frame.source_of_string out) in
+  let rec go acc =
+    match Serve.Frame.read reader with
+    | Serve.Frame.Eof -> List.rev acc
+    | Serve.Frame.Payload p -> go (p :: acc)
+    | Serve.Frame.Junk _ -> Alcotest.fail "junk in output"
+  in
+  go []
+
+(* Split a response frame into its trace id and the rendering with the
+   trace field removed, so tests can compare responses modulo the
+   (per-request, hence necessarily differing) id. *)
+let split_trace resp =
+  match Serve.Sexp.parse resp with
+  | Ok (Serve.Sexp.List (Serve.Sexp.Atom "response" :: fields)) ->
+    let trace = ref None in
+    let rest =
+      List.filter
+        (function
+          | Serve.Sexp.List [ Serve.Sexp.Atom "trace"; Serve.Sexp.Atom t ] ->
+            trace := Some t;
+            false
+          | _ -> true)
+        fields
+    in
+    (!trace, Serve.Sexp.to_string (Serve.Sexp.List (Serve.Sexp.Atom "response" :: rest)))
+  | _ -> (None, resp)
+
+let is_trace_id t =
+  String.length t = 16
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) t
+
+(* Remove every " (trace <id>)" field from a rendered stream so
+   assertions about adjacent (id N) (code M) fields stay readable. *)
+let sans_traces s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let pre = " (trace " in
+  let plen = String.length pre in
+  let i = ref 0 in
+  while !i < n do
+    if !i + plen <= n && String.sub s !i plen = pre then
+      match String.index_from_opt s (!i + plen) ')' with
+      | Some j -> i := j + 1
+      | None ->
+        Buffer.add_char b s.[!i];
+        incr i
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Frame codec                                                         *)
@@ -117,6 +173,7 @@ let test_budget_isolation () =
   in
   let fine = request ~id:2 ~op:"eval" ~formula:"CB[0]>=1/2 a0_g0" () in
   let out, code = run [ doomed; fine ] in
+  let out = sans_traces out in
   check_int "clean drain" 0 code;
   check_bool "doomed is a typed budget error" true
     (contains out "(id 1) (code 4)" && contains out "budget-exceeded");
@@ -146,6 +203,7 @@ let test_shed_at_capacity () =
       let (out, code), snap =
         Obs.Snapshot.diff_capture (fun () -> run ~config:cfg [ batch ])
       in
+      let out = sans_traces out in
       check_int "clean drain" 0 code;
       check_int "three shed" 3 (delta snap "serve.shed");
       check_bool "first two answered" true
@@ -196,6 +254,7 @@ let test_degraded_identity () =
      eval (the soak harness warms the cache the same way). *)
   let warm = request ~id:4 ~op:"eval" ~formula:"a0_g0" () in
   let out, code = run [ warm; ping 9; req ] in
+  let out = sans_traces out in
   check_int "clean drain" 0 code;
   (* The server's answer must be the exact rendering of the direct
      degraded computation under the same per-request budget. *)
@@ -220,7 +279,9 @@ let test_degraded_identity () =
 
 let test_cache_hit_identical () =
   (* The same request twice (same id, so the whole response frame is
-     comparable): the second must be a cache hit and byte-identical. *)
+     comparable): the second must be a cache hit and byte-identical
+     modulo the trace id, which is scoped to the request — not the
+     cached result — and so must differ. *)
   let req = request ~id:7 ~op:"eval" ~formula:"K[0] a0_g0" () in
   with_metrics (fun () ->
       let (out, code), snap =
@@ -229,17 +290,167 @@ let test_cache_hit_identical () =
       check_int "clean drain" 0 code;
       check_int "one miss" 1 (delta snap "serve.cache.misses");
       check_int "one hit" 1 (delta snap "serve.cache.hits");
-      let reader = Serve.Frame.reader (Serve.Frame.source_of_string out) in
-      let rec collect acc =
-        match Serve.Frame.read reader with
-        | Serve.Frame.Eof -> List.rev acc
-        | Serve.Frame.Payload p -> collect (p :: acc)
-        | Serve.Frame.Junk _ -> Alcotest.fail "junk in output"
-      in
-      match collect [] with
-      | [ r1; _pong; r2; _bye ] -> check_string "byte-identical responses" r1 r2
+      match collect_frames out with
+      | [ r1; _pong; r2; _bye ] ->
+        let t1, b1 = split_trace r1 and t2, b2 = split_trace r2 in
+        check_string "identical responses modulo trace id" b1 b2;
+        (match (t1, t2) with
+         | Some t1, Some t2 ->
+           check_bool "trace ids are 16-hex" true (is_trace_id t1 && is_trace_id t2);
+           check_bool "trace ids are per-request, not per-result" true (t1 <> t2)
+         | _ -> Alcotest.fail "response without a trace id")
       | other ->
         Alcotest.fail (Printf.sprintf "expected 4 output frames, got %d" (List.length other)))
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped trace ids, (op metrics), streaming telemetry         *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_ids_deterministic () =
+  (* Trace ids are a pure function of the input byte stream: distinct
+     per request, byte-identical across runs and across --jobs. *)
+  let payloads =
+    [ request ~id:1 ~op:"eval" ~formula:"a0_g0" ();
+      ping 2;
+      request ~id:3 ~op:"eval" ~formula:"K[0] a0_g0" ()
+    ]
+  in
+  let at jobs = run ~config:{ Serve.default_config with Serve.jobs } payloads in
+  let out1, code1 = at 1 in
+  let out4, code4 = at 4 in
+  check_int "clean drain at jobs 1" 0 code1;
+  check_int "clean drain at jobs 4" 0 code4;
+  check_string "output (trace ids included) is jobs-invariant" out1 out4;
+  let out1', _ = at 1 in
+  check_string "output is run-invariant" out1 out1';
+  let traces =
+    List.filter_map (fun f -> fst (split_trace f)) (collect_frames out1)
+  in
+  check_int "both responses carry trace ids" 2 (List.length traces);
+  check_bool "well-formed ids" true (List.for_all is_trace_id traces);
+  check_bool "ids are distinct" true
+    (match traces with [ a; b ] -> a <> b | _ -> false)
+
+let test_op_metrics () =
+  (* (op metrics) needs no system/formula, answers with an OpenMetrics
+     exposition that passes the grammar check, and is never cached. *)
+  let metrics id = Printf.sprintf "(request (id %d) (op metrics))" id in
+  let eval = request ~id:1 ~op:"eval" ~formula:"a0_g0" () in
+  with_metrics (fun () ->
+      let (out, code), snap =
+        Obs.Snapshot.diff_capture (fun () -> run [ eval; metrics 2; metrics 3 ])
+      in
+      check_int "clean drain" 0 code;
+      check_int "metrics requests never hit the cache" 0 (delta snap "serve.cache.hits");
+      match collect_frames out with
+      | [ _r1; m1; _m2; _bye ] ->
+        check_bool "metrics response is ok" true
+          (contains (sans_traces m1) "(id 2) (code 0) (status ok)");
+        (match Serve.Sexp.parse m1 with
+         | Ok sx ->
+           let rec find_exposition = function
+             | Serve.Sexp.List [ Serve.Sexp.Atom "openmetrics"; Serve.Sexp.Str text ] ->
+               Some text
+             | Serve.Sexp.List xs -> List.find_map find_exposition xs
+             | _ -> None
+           in
+           (match find_exposition sx with
+            | None -> Alcotest.fail "no (openmetrics \"...\") payload in response"
+            | Some text ->
+              (match Obs.Openmetrics.check text with
+               | Ok () -> ()
+               | Error e -> Alcotest.fail ("exposition rejected: " ^ e));
+              check_bool "exposition reports the serve counters" true
+                (contains text "pak_serve_requests_total"))
+         | Error e -> Alcotest.fail ("metrics response does not parse: " ^ e))
+      | other ->
+        Alcotest.fail (Printf.sprintf "expected 4 output frames, got %d" (List.length other)))
+
+let telemetry_run ~jobs ~every payloads =
+  let frames = ref [] in
+  let cfg =
+    { Serve.default_config with
+      Serve.jobs;
+      telemetry_every = every;
+      telemetry = Some (fun line -> frames := line :: !frames)
+    }
+  in
+  let out, code = run ~config:cfg payloads in
+  (out, code, List.rev !frames)
+
+let telemetry_payloads =
+  lazy
+    (List.init 5 (fun j ->
+         (* distinct thresholds: five real evaluations, no cache hits *)
+         request ~id:(20 + j) ~op:"eval"
+           ~formula:(Printf.sprintf "B[0]>=%d/1000 a0_g0" (j + 1))
+           ()))
+
+let test_telemetry_frames_telescope () =
+  let payloads = Lazy.force telemetry_payloads in
+  with_metrics (fun () ->
+      let (_, code, frames), snap =
+        Obs.Snapshot.diff_capture (fun () -> telemetry_run ~jobs:2 ~every:2 payloads)
+      in
+      check_int "clean drain" 0 code;
+      (* 5 requests at --telemetry-every 2: frames after requests 2 and
+         4, plus the final frame at shutdown. *)
+      check_int "three frames" 3 (List.length frames);
+      let field name = function
+        | Obs.Json.Obj fields -> List.assoc_opt name fields
+        | _ -> None
+      in
+      let parsed = List.map Obs.Json.parse frames in
+      List.iter
+        (fun j ->
+          check_bool "frame is marked" true (field "telemetry" j = Some (Obs.Json.Num 1.));
+          check_bool "frame has a seq" true (field "seq" j <> None);
+          check_bool "no drain-cadence counter in a frame" true
+            (match field "counters" j with
+             | Some (Obs.Json.Obj rows) -> not (List.mem_assoc "serve.drains" rows)
+             | _ -> false);
+          check_bool "no drain-cadence histogram in a frame" true
+            (match field "histogram_totals" j with
+             | Some (Obs.Json.Obj rows) -> not (List.mem_assoc "serve.drain" rows)
+             | _ -> false))
+        parsed;
+      (* The deltas telescope: summed per-frame increments equal the
+         run's total for every kept counter. *)
+      let summed name =
+        List.fold_left
+          (fun acc j ->
+            match field "counters" j with
+            | Some (Obs.Json.Obj rows) -> (
+                match List.assoc_opt name rows with
+                | Some (Obs.Json.Num v) -> acc + int_of_float v
+                | _ -> acc)
+            | _ -> acc)
+          0 parsed
+      in
+      List.iter
+        (fun name ->
+          check_int ("frame deltas telescope to the run total: " ^ name)
+            (delta snap name) (summed name))
+        [ "serve.requests"; "serve.responses"; "serve.frames"; "serve.cache.misses" ];
+      match List.rev parsed with
+      | last :: _ ->
+        check_bool "final frame reports all requests" true
+          (field "requests" last = Some (Obs.Json.Num 5.))
+      | [] -> ())
+
+let test_telemetry_jobs_invariant () =
+  (* The telemetry side channel is part of the determinism contract:
+     the frame stream is byte-identical at every --jobs (the
+     drain-cadence metrics, the only jobs-dependent ones, are excluded
+     from frames). *)
+  let payloads = Lazy.force telemetry_payloads in
+  let _, code1, frames1 = telemetry_run ~jobs:1 ~every:2 payloads in
+  let _, code4, frames4 = telemetry_run ~jobs:4 ~every:2 payloads in
+  check_int "clean drain at jobs 1" 0 code1;
+  check_int "clean drain at jobs 4" 0 code4;
+  check_string "telemetry frames are byte-identical across --jobs"
+    (String.concat "\n" frames1)
+    (String.concat "\n" frames4)
 
 let test_protocol_error_recovery () =
   let input =
@@ -272,6 +483,7 @@ let test_bad_requests () =
     "(request (id 3) (op eval) (system \"(pps\") (formula \"a0_g0\"))"
   in
   let out, code = run [ bad_op; bad_formula; bad_system ] in
+  let out = sans_traces out in
   check_int "clean drain" 0 code;
   check_bool "unknown op is code 2" true
     (contains out "(id 1) (code 2)" && contains out "(kind request)");
@@ -290,7 +502,18 @@ let test_validate_config () =
        { Serve.default_config with
          Serve.limits = Budget.limits ~timeout_ms:0 ()
        });
-  check_bool "tiny max_frame" true (bad { Serve.default_config with Serve.max_frame = 8 })
+  check_bool "tiny max_frame" true (bad { Serve.default_config with Serve.max_frame = 8 });
+  check_bool "negative telemetry_every" true
+    (bad { Serve.default_config with Serve.telemetry_every = -1 });
+  check_bool "telemetry_every without a sink" true
+    (bad { Serve.default_config with Serve.telemetry_every = 4 });
+  check_bool "telemetry_every with a sink ok" true
+    (Serve.validate_config
+       { Serve.default_config with
+         Serve.telemetry_every = 4;
+         telemetry = Some ignore
+       }
+    = Ok ())
 
 let () =
   Alcotest.run "pak_serve"
@@ -305,6 +528,12 @@ let () =
           Alcotest.test_case "shed at capacity" `Quick test_shed_at_capacity;
           Alcotest.test_case "degraded identity" `Quick test_degraded_identity;
           Alcotest.test_case "cache hit identical" `Quick test_cache_hit_identical;
+          Alcotest.test_case "trace ids deterministic" `Quick test_trace_ids_deterministic;
+          Alcotest.test_case "op metrics" `Quick test_op_metrics;
+          Alcotest.test_case "telemetry frames telescope" `Quick
+            test_telemetry_frames_telescope;
+          Alcotest.test_case "telemetry jobs-invariant" `Quick
+            test_telemetry_jobs_invariant;
           Alcotest.test_case "protocol error recovery" `Quick test_protocol_error_recovery;
           Alcotest.test_case "shutdown semantics" `Quick test_shutdown_semantics;
           Alcotest.test_case "bad requests" `Quick test_bad_requests;

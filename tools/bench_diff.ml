@@ -1,5 +1,6 @@
 (* bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS]
                [--alloc-tol PCT] [--alloc-floor-w WORDS] [--allow NAME]...
+               [--append-history DIR]
    bench_diff --write-baseline
 
    Compare a fresh metrics snapshot (pak --metrics-json / bench
@@ -21,16 +22,57 @@
    exact flags doc/PERFORMANCE.md documents, writes
    bench/baselines/{bench,sweep}.json relative to the current
    directory (run it from the repository root), and re-parses each
-   file as a round-trip check. *)
+   file as a round-trip check.
+
+   --append-history DIR archives the FRESH snapshot into DIR as
+   <series>-NNNN.json, where <series> is the baseline's basename and
+   NNNN the next zero-padded sequence number — the versioned-snapshot
+   store tools/trend.exe fits per-metric trends over. Archival happens
+   whether or not the diff passes (a run that trips the gate is
+   exactly the one the trend should record). *)
 
 module Obs = Pak_obs.Obs
 
 let usage () =
   prerr_endline
     "usage: bench_diff BASELINE FRESH [--time-tol PCT] [--time-floor-ms MS] [--alloc-tol PCT]";
-  prerr_endline "                  [--alloc-floor-w WORDS] [--allow NAME]...";
+  prerr_endline "                  [--alloc-floor-w WORDS] [--allow NAME]... [--append-history DIR]";
   prerr_endline "       bench_diff --write-baseline";
   exit 2
+
+(* Copy FRESH into the history store as the next <series>-NNNN.json. *)
+let append_history ~baseline_file ~fresh_file dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "bench_diff: history directory %s not found\n" dir;
+    exit 2
+  end;
+  let series =
+    Filename.remove_extension (Filename.basename baseline_file)
+  in
+  let next =
+    Array.fold_left
+      (fun acc name ->
+        match
+          if String.length name > String.length series + 1
+             && String.sub name 0 (String.length series) = series
+             && name.[String.length series] = '-'
+          then
+            String.sub name
+              (String.length series + 1)
+              (String.length name - String.length series - 1)
+            |> Filename.remove_extension |> int_of_string_opt
+          else None
+        with
+        | Some n -> max acc n
+        | None -> acc)
+      0
+      (Sys.readdir dir)
+    + 1
+  in
+  let dst = Filename.concat dir (Printf.sprintf "%s-%04d.json" series next) in
+  let body = In_channel.with_open_bin fresh_file In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc body);
+  Printf.printf "bench_diff: archived %s as %s\n" fresh_file dst
 
 (* The two baseline commands of doc/PERFORMANCE.md, run against the
    executables built next to this one so the snapshots always reflect
@@ -88,8 +130,12 @@ let () =
   end;
   let files = ref [] in
   let cfg = ref Obs.Diff.default in
+  let history = ref None in
   let rec parse = function
     | [] -> ()
+    | "--append-history" :: dir :: rest ->
+      history := Some dir;
+      parse rest
     | "--time-tol" :: v :: rest ->
       (match float_of_string_opt v with
        | Some pct when pct >= 0. ->
@@ -134,6 +180,9 @@ let () =
     in
     let baseline = load "baseline" baseline_file in
     let fresh = load "fresh" fresh_file in
+    (match !history with
+     | Some dir -> append_history ~baseline_file ~fresh_file dir
+     | None -> ());
     (match Obs.Diff.diff !cfg ~baseline ~fresh with
      | [] ->
        Printf.printf "bench_diff: %s vs %s: OK (%d counters, %d histograms checked)\n"

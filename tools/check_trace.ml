@@ -1,20 +1,106 @@
-(* check_trace FILE [--min-lanes N] [--min-gc-samples N] — validate a
-   Chrome trace_event file emitted by pak_obs. Checks every event's
-   shape (name/ph/ts and integer pid/tid), that "ph":"X" complete
-   events carry a duration, that "ph":"C" counter samples carry a
-   numeric args.value, and that samples on gc.* heap lanes are
-   non-negative integers; prints the event/lane statistics. Exits 0 on
-   a valid non-empty trace, 1 with a diagnostic. Used by CI as the
-   smoke check behind `pak profile --trace`. *)
+(* check_trace FILE [--min-lanes N] [--min-gc-samples N]
+   [--require-trace-ids] — validate a Chrome trace_event file emitted
+   by pak_obs. Checks every event's shape (name/ph/ts and integer
+   pid/tid), that "ph":"X" complete events carry a duration, that
+   "ph":"C" counter samples carry a numeric args.value, and that
+   samples on gc.* heap lanes are non-negative integers; prints the
+   event/lane statistics. With --require-trace-ids, additionally
+   re-parses the file and checks the serve request-scoped trace ids:
+   every X event under a serve.request path carries a non-empty
+   args.trace, root serve.request events carry pairwise-distinct ids,
+   and every child span's id matches a root's (stable within the
+   request). Exits 0 on a valid non-empty trace, 1 with a diagnostic.
+   Used by CI as the smoke check behind `pak profile --trace` and the
+   serve soak. *)
+
+module Json = Pak_obs.Obs.Json
 
 let usage () =
-  prerr_endline "usage: check_trace FILE [--min-lanes N] [--min-gc-samples N]";
+  prerr_endline
+    "usage: check_trace FILE [--min-lanes N] [--min-gc-samples N] [--require-trace-ids]";
   exit 2
+
+(* The serve trace-id contract, checked over the raw event list. *)
+let check_trace_ids file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "check_trace: %s: %s\n" file m;
+        exit 1)
+      fmt
+  in
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  let events =
+    match Json.parse text with
+    | Json.Arr evs -> evs
+    | _ -> fail "top level is not an array"
+    | exception Json.Bad m -> fail "bad JSON: %s" m
+  in
+  let field name = function
+    | Json.Obj fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let str = function Some (Json.Str s) -> Some s | _ -> None in
+  (* Root = a path whose LAST segment is serve.request (at --jobs 1 the
+     request runs inline under serve.drain; pooled requests detach to a
+     root-level serve.request — both shapes are one request's span). *)
+  let is_root path =
+    path = "serve.request"
+    || (let sfx = ";serve.request" in
+        let n = String.length path and m = String.length sfx in
+        n > m && String.sub path (n - m) m = sfx)
+  in
+  let is_child path =
+    let rec find i =
+      match String.index_from_opt path i 's' with
+      | None -> false
+      | Some j ->
+          (String.length path - j > 14
+           && String.sub path j 14 = "serve.request;"
+           && (j = 0 || path.[j - 1] = ';'))
+          || find (j + 1)
+    in
+    find 0
+  in
+  let roots = Hashtbl.create 16 in
+  let children = ref [] in
+  List.iter
+    (fun ev ->
+      match (str (field "ph" ev), field "args" ev) with
+      | Some "X", Some args -> (
+          match str (field "path" args) with
+          | Some path when is_root path -> (
+              match str (field "trace" args) with
+              | Some id when id <> "" ->
+                  if Hashtbl.mem roots id then
+                    fail "trace id %s on more than one serve.request root" id;
+                  Hashtbl.add roots id ()
+              | _ -> fail "serve.request root event without a trace id")
+          | Some path when is_child path -> (
+              match str (field "trace" args) with
+              | Some id when id <> "" -> children := (path, id) :: !children
+              | _ -> fail "span under %s without a trace id" path)
+          | _ -> ())
+      | _ -> ())
+    events;
+  if Hashtbl.length roots = 0 then
+    fail "no serve.request span events carry trace ids";
+  List.iter
+    (fun (path, id) ->
+      if not (Hashtbl.mem roots id) then
+        fail "span %s carries trace id %s that matches no serve.request root"
+          path id)
+    !children;
+  Printf.printf
+    "%s: trace ids ok, %d distinct request(s), %d child span(s) correlated\n"
+    file (Hashtbl.length roots)
+    (List.length !children)
 
 let () =
   let file = ref None in
   let min_lanes = ref 1 in
   let min_gc_samples = ref 0 in
+  let require_trace_ids = ref false in
   let pos_int flag n =
     match int_of_string_opt n with
     | Some n when n >= 0 -> n
@@ -29,6 +115,9 @@ let () =
       parse rest
     | "--min-gc-samples" :: n :: rest ->
       min_gc_samples := pos_int "--min-gc-samples" n;
+      parse rest
+    | "--require-trace-ids" :: rest ->
+      require_trace_ids := true;
       parse rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | arg :: rest ->
@@ -65,7 +154,8 @@ let () =
       Printf.eprintf "check_trace: expected at least %d gc counter sample(s), found %d\n"
         !min_gc_samples s.Pak_obs.Obs.trace_gc_samples;
       exit 1
-    end
+    end;
+    if !require_trace_ids then check_trace_ids file
   | Error msg ->
     Printf.eprintf "check_trace: %s: %s\n" file msg;
     exit 1

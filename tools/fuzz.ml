@@ -1,6 +1,6 @@
-(* fuzz [--mode boundaries|explain|frame|eval-vec] [--iters N]
-        [--seed S] [--corpus DIR] [--jobs J] — in-process fuzzer for
-   the untrusted-input boundaries.
+(* fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics]
+        [--iters N] [--seed S] [--corpus DIR] [--jobs J] — in-process
+   fuzzer for the untrusted-input boundaries.
 
    The default mode feeds three input streams to Parser.parse_result
    and Tree_io.of_string_result, asserting the crash-free contract:
@@ -42,6 +42,14 @@
    become typed error responses, never crashes and never a poisoned
    server.
 
+   --mode openmetrics targets the exposition writer: any input that
+   Obs.Snapshot.of_json_string accepts — including mutants smuggling
+   control characters, quotes or UTF-8 junk into metric names — must
+   render through Obs.Openmetrics.render without raising, and the
+   rendered text must pass Obs.Openmetrics.check (the minimal line
+   grammar a Prometheus scraper relies on). A render exception or a
+   grammar rejection is a finding.
+
    Every iteration derives its own generator from (seed, iteration
    index), so the probed inputs — and therefore any finding — are
    identical for every --jobs value; parallelism only divides the wall
@@ -64,14 +72,14 @@ let mode = ref "boundaries"
 
 let usage () =
   prerr_endline
-    "usage: fuzz [--mode boundaries|explain|frame|eval-vec] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
+    "usage: fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
   exit 2
 
 let rec parse_args = function
   | [] -> ()
   | "--mode" :: v :: rest ->
     (match v with
-    | "boundaries" | "explain" | "frame" | "eval-vec" -> mode := v
+    | "boundaries" | "explain" | "frame" | "eval-vec" | "openmetrics" -> mode := v
     | _ -> usage ());
     parse_args rest
   | "--iters" :: v :: rest ->
@@ -197,6 +205,23 @@ let frame_config =
     drain_ms = Some 1000;
     limits = probe_limits
   }
+
+(* --mode openmetrics: snapshot JSON in, exposition text out. The
+   snapshot parser accepts arbitrary strings as metric names, so
+   mutants reach the renderer's sanitize/escape paths directly. *)
+let openmetrics_boundaries =
+  [ ( "openmetrics",
+      fun input ->
+        match Obs.Snapshot.of_json_string input with
+        | Error msg -> Rejected (Error.make Error.Parse msg)
+        | Ok snap -> (
+          let text = Obs.Openmetrics.render snap in
+          match Obs.Openmetrics.check text with
+          | Ok () -> Accepted
+          | Error msg ->
+            failwith
+              (Printf.sprintf "rendered exposition fails the grammar: %s" msg)) )
+  ]
 
 let frame_boundaries =
   [ ( "frame",
@@ -351,6 +376,23 @@ let seed_frame_stream =
     (Lazy.force seed_frame_payloads |> Array.to_list
     |> List.map Serve.Frame.encode |> String.concat "")
 
+(* --mode openmetrics seeds: a real snapshot of this process (after a
+   little recorded activity, so counters/histograms/spans are all
+   non-empty) and a handcrafted one whose metric names smuggle every
+   character class the renderer must neutralize. *)
+let seed_snapshot_json =
+  lazy
+    (Obs.enable ();
+     ignore
+       (Obs.span "fuzz.seed" (fun () ->
+            Semantics.eval (Lazy.force explain_tree)
+              ~valuation:Semantics.generic_valuation
+              (Parser.parse "K[0] a0_g0 | B[0]>=1/4 F a0_g1")));
+     Obs.Snapshot.to_json (Obs.Snapshot.capture ()))
+
+let nasty_snapshot_json =
+  {|{"schema_version":2,"counters":{"evil\nname":3,"a{b}\"c\\":1,"":7,"sp ace":2},"gauges":{"gx":0.5,"huge":1e308},"histograms":{"h;na me":{"count":2,"p50_ns":10,"p90_ns":10,"p99_ns":10,"buckets":[[0,1],[5,1]]}},"span_tree":[]}|}
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -383,6 +425,7 @@ let () =
     | "explain" -> explain_boundaries
     | "frame" -> frame_boundaries
     | "eval-vec" -> eval_vec_boundaries
+    | "openmetrics" -> openmetrics_boundaries
     | _ -> boundaries
   in
   let replayed = if !corpus = "" then 0 else replay_corpus boundaries !corpus in
@@ -393,6 +436,9 @@ let () =
   let frame_payloads, frame_stream =
     if !mode = "frame" then (Lazy.force seed_frame_payloads, Lazy.force seed_frame_stream)
     else ([||], "")
+  in
+  let snapshot_json =
+    if !mode = "openmetrics" then Lazy.force seed_snapshot_json else ""
   in
   let run_iteration i =
     let r = rng_for !seed i in
@@ -420,6 +466,15 @@ let () =
          | _ ->
            Serve.Frame.encode
              (mutate r frame_payloads.(next r mod Array.length frame_payloads)))
+      | "openmetrics" ->
+        (* Mutants of valid snapshot JSON dominate: random bytes rarely
+           parse, and the grammar contract only bites past the snapshot
+           parser. The nasty seed starts inside the renderer's
+           worst-case character classes. *)
+        (match i mod 3 with
+         | 0 -> random_bytes r
+         | 1 -> mutate r snapshot_json
+         | _ -> mutate r nasty_snapshot_json)
       | _ ->
         (match i mod 3 with
          | 0 -> random_bytes r

@@ -39,10 +39,12 @@ let requests = ref 500
 let inject = ref "all"
 let jobs = ref 2
 let shutdown = ref false
+let emit_stream = ref None
 
 let usage () =
   prerr_endline
     "usage: soak [--requests N] [--inject all|none|bitflip|garbage|oversize|truncate] [--jobs J] [--shutdown]";
+  prerr_endline "            [--emit-stream FILE]   write the input stream and exit";
   exit 2
 
 let rec parse_args = function
@@ -65,6 +67,9 @@ let rec parse_args = function
       parse_args rest
   | "--shutdown" :: rest ->
       shutdown := true;
+      parse_args rest
+  | "--emit-stream" :: file :: rest ->
+      emit_stream := Some file;
       parse_args rest
   | _ -> usage ()
 
@@ -397,13 +402,27 @@ let get_atom fields name =
       | _ -> None)
     fields
 
-(* The response body as rendered: everything after "(id N) ". *)
+(* The response body as rendered: everything after "(id N)" and the
+   request-scoped "(trace <id>)" field (present on every response that
+   had a request behind it; its value is input-dependent, so the exact
+   oracle compares the remainder). *)
 let body_of_response payload =
   let marker = ") " in
   match String.index_opt payload ')' with
   | Some i when i + 2 <= String.length payload ->
       let start = i + String.length marker in
-      (* payload = "(response (id N) BODY)" *)
+      (* payload = "(response (id N) [(trace T) ]BODY)" *)
+      let start =
+        let pfx = "(trace " in
+        if
+          String.length payload - start > String.length pfx
+          && String.sub payload start (String.length pfx) = pfx
+        then
+          match String.index_from_opt payload start ')' with
+          | Some j when j + 2 <= String.length payload -> j + 2
+          | _ -> start
+        else start
+      in
       String.sub payload start (String.length payload - start - 1)
   | _ -> payload
 
@@ -462,6 +481,17 @@ let () =
   Obs.enable ();
   Budget.set_wall_clock (Some Unix.gettimeofday);
   let input, expected, protocol_faults, counts = build () in
+  (match !emit_stream with
+  | Some file ->
+      (* Stream-generator mode: write the deterministic input stream
+         for an out-of-process `pak serve` (the CI telemetry and
+         trace-id smoke) and stop — the in-process checks don't run. *)
+      Out_channel.with_open_bin file (fun oc ->
+          Out_channel.output_string oc input);
+      Printf.printf "soak: wrote %d-byte input stream (%d requests) to %s\n"
+        (String.length input) counts#requests file;
+      exit 0
+  | None -> ());
   let cfg =
     {
       Serve.default_config with
