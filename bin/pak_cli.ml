@@ -1071,10 +1071,23 @@ let serve_cmd =
          & info [ "telemetry-file" ] ~docv:"FILE"
              ~doc:"Side-channel file for $(b,--telemetry-every) frames, line-delimited \
                    JSON, flushed per frame so it can be tailed live.")
+  and journal_file_t =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Flight recorder: append every inbound frame and outbound response \
+                   (seq, trace id, timestamp, disposition, exit code, payload bytes) \
+                   to $(docv), flushed per record. Replay the file later with \
+                   $(b,pak replay).")
+  and journal_max_t =
+    Arg.(value & opt (some int) None
+         & info [ "journal-max-bytes" ] ~docv:"BYTES"
+             ~doc:"Rotate the journal once the active segment would exceed $(docv) \
+                   bytes: it is renamed $(i,FILE.1), $(i,FILE.2), ... (oldest first) \
+                   and a fresh segment is opened. Unset = never rotate.")
   in
   let run () () () max_pending batch max_frame cache_max tree_cache_max drain_ms
       retry_after_ms max_points max_nodes max_limbs max_iters timeout_ms
-      telemetry_every telemetry_file =
+      telemetry_every telemetry_file journal_file journal_max =
     handle (fun () ->
         let tele_chan =
           match telemetry_file with
@@ -1113,13 +1126,39 @@ let serve_cmd =
             clock = Some Unix.gettimeofday;
             telemetry_every;
             telemetry;
+            journal = None;
           }
         in
         match Serve.validate_config cfg with
         | Result.Error msg ->
             close_telemetry ();
             Result.Error msg
+        | Ok () when journal_max <> None && journal_file = None ->
+            close_telemetry ();
+            Result.Error "--journal-max-bytes requires --journal"
+        | Ok () when (match journal_max with Some n -> n < 64 | None -> false) ->
+            close_telemetry ();
+            Result.Error "--journal-max-bytes must be >= 64"
         | Ok () ->
+          (* The journal meta records the effective configuration (and
+             engine), so [pak replay] re-executes under the same limits. *)
+          let journal_writer =
+            match journal_file with
+            | None -> None
+            | Some file -> (
+                match
+                  Journal.Writer.create ?max_bytes:journal_max
+                    ~meta:(Replay.meta_of_config cfg) file
+                with
+                | Ok w -> Some w
+                | Result.Error msg ->
+                    close_telemetry ();
+                    prerr_endline ("pak: cannot open journal: " ^ msg);
+                    exit 3)
+          in
+          let cfg =
+            { cfg with Serve.journal = Option.map Journal.Writer.sink journal_writer }
+          in
           (* A client closing its read end must look like EOF, not a
              process-killing signal: responses go through [write], which
              treats the resulting Sys_error as a clean disconnect. *)
@@ -1129,8 +1168,11 @@ let serve_cmd =
           set_binary_mode_out stdout true;
           let source = Serve.Frame.source_of_channel stdin in
           let write s = output_string stdout s; flush stdout in
-          Ok (Fun.protect ~finally:close_telemetry (fun () ->
-                  Serve.run cfg ~source ~write)))
+          Ok (Fun.protect
+                ~finally:(fun () ->
+                  Option.iter Journal.Writer.close journal_writer;
+                  close_telemetry ())
+                (fun () -> Serve.run cfg ~source ~write)))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1157,7 +1199,98 @@ let serve_cmd =
     Term.(const run $ obs_t $ jobs_t $ engine_t $ max_pending_t $ batch_t $ max_frame_t
           $ cache_max_t $ tree_cache_max_t $ drain_ms_t $ retry_after_t
           $ max_points_t $ max_nodes_t $ max_limbs_t $ max_iters_t $ timeout_t
-          $ telemetry_every_t $ telemetry_file_t)
+          $ telemetry_every_t $ telemetry_file_t $ journal_file_t $ journal_max_t)
+
+let replay_cmd =
+  let journal_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOURNAL"
+             ~doc:"Journal base path as given to $(b,pak serve --journal); rotated \
+                   segments $(i,JOURNAL.1), $(i,JOURNAL.2), ... are read first, \
+                   oldest first.")
+  and jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Override the recorded worker-domain count. The response stream is \
+                   a pure function of the input stream, so this must not change the \
+                   outcome — replaying at a different job count is itself a \
+                   determinism check. 0 selects the machine's recommended count.")
+  and strict_t =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Also fail (exit 1) when the journal has a truncated or corrupt \
+                   tail; without it the tail is reported but only response \
+                   divergences fail the replay.")
+  in
+  let run () journal jobs strict =
+    handle (fun () ->
+        match Journal.read journal with
+        | Result.Error msg -> Result.Error msg
+        | Ok rr -> (
+            let jobs =
+              Option.map
+                (fun j ->
+                  if j = 0 then Domain.recommended_domain_count () else max 1 j)
+                jobs
+            in
+            match Replay.run ?jobs ~clock:Unix.gettimeofday rr with
+            | Result.Error msg -> Result.Error msg
+            | Ok rp ->
+                Printf.printf
+                  "replayed %d request frames from %d segment(s): %d/%d responses \
+                   matched (%d junk records skipped)\n"
+                  rp.Replay.rp_requests rr.Journal.r_segments rp.Replay.rp_matched
+                  rp.Replay.rp_compared rp.Replay.rp_skipped_junk;
+                List.iter
+                  (fun d ->
+                    Printf.printf
+                      "divergence at frame seq %d (trace %s):\n  recorded: %s\n  \
+                       replayed: %s\n"
+                      d.Replay.d_seq
+                      (if d.Replay.d_trace = "" then "-" else d.Replay.d_trace)
+                      d.Replay.d_want d.Replay.d_got)
+                  rp.Replay.rp_divergences;
+                if rp.Replay.rp_missing > 0 then
+                  Printf.printf
+                    "missing: %d recorded response(s) the replay did not produce\n"
+                    rp.Replay.rp_missing;
+                if rp.Replay.rp_extra > 0 then
+                  Printf.printf
+                    "extra: %d replayed response(s) beyond the recording\n"
+                    rp.Replay.rp_extra;
+                (match rp.Replay.rp_tail with
+                | Some why -> Printf.printf "journal tail: %s\n" why
+                | None -> ());
+                let diverged =
+                  rp.Replay.rp_divergences <> []
+                  || rp.Replay.rp_missing > 0
+                  || rp.Replay.rp_extra > 0
+                in
+                Ok
+                  (if diverged || (strict && rp.Replay.rp_tail <> None) then 1
+                   else 0)))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-execute a serve journal through the live engine and diff the \
+             responses"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Reads a flight-recorder journal written by $(b,pak serve --journal), \
+               rebuilds the input stream from its request records, re-executes it \
+               under the configuration and engine recorded in the journal meta, and \
+               compares the responses byte-for-byte modulo the observability fields \
+               (trace ids, $(b,(metrics ...)) groups, and the $(b,(result ...)) of \
+               introspection ops, which report the recording process's own state). \
+               Any journal is thus a regression test: exit 0 when every response \
+               matches, 1 with a divergence report naming each frame seq and trace \
+               id otherwise, 3 on an unreadable journal.";
+           `P "Junk records (stream garbage the recorder observed but whose bytes \
+               were not kept) are skipped on both sides of the diff. A truncated \
+               tail — the recorder died mid-record — is reported and, under \
+               $(b,--strict), also fails the replay."
+         ])
+    Term.(const run $ obs_t $ journal_arg $ jobs_arg $ strict_t)
 
 let () =
   Printexc.record_backtrace false;
@@ -1180,7 +1313,7 @@ let () =
     Cmd.group info
       [ list_cmd; analyze_cmd; theorems_cmd; eval_cmd; profile_cmd; dot_cmd; dump_cmd;
         simulate_cmd; sweep_cmd; axioms_cmd; frontier_cmd; appendix_cmd; load_cmd;
-        explain_cmd; random_cmd; serve_cmd ]
+        explain_cmd; random_cmd; serve_cmd; replay_cmd ]
   in
   (* Top-level boundary: no raw exception escapes as a crash. Typed and
      classifiable errors map onto the exit-code contract; anything else

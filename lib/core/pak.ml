@@ -40,6 +40,8 @@ end
 
 module Cert = Pak_cert.Cert
 module Serve = Pak_serve.Serve
+module Journal = Pak_journal.Journal
+module Replay = Pak_serve.Replay
 module Axioms = Pak_logic.Axioms
 module Simplify = Pak_logic.Simplify
 module Protocol = Pak_protocol.Protocol

@@ -1,0 +1,359 @@
+(* The serve flight recorder (see journal.mli for the format).
+
+   Invariants this file defends:
+
+   - the writer's output is byte-reconstructible from [encode_entry]
+     and [segment_header] alone (the fuzzer and tests build journals in
+     memory from exactly those two functions);
+   - the reader NEVER raises: a corrupt or truncated tail degrades to
+     [r_tail] and everything before it is returned intact;
+   - rotation is size-exact: a record that would push the active
+     segment past [max_bytes] rotates first, but a segment always
+     accepts at least one record, so a single oversized record cannot
+     rotate forever. *)
+
+module Obs = Pak_obs.Obs
+
+let schema_version = 1
+let magic = "pakjournal "
+
+let c_appends = Obs.counter "journal.appends"
+let c_append_bytes = Obs.counter "journal.append_bytes"
+let c_rotations = Obs.counter "journal.rotations"
+let c_read_records = Obs.counter "journal.read.records"
+let c_read_tails = Obs.counter "journal.read.tails"
+
+type kind = Request | Response
+
+type entry = {
+  e_kind : kind;
+  e_seq : int;
+  e_code : int;
+  e_disp : string;
+  e_trace : string;
+  e_ts_us : int;
+  e_payload : string;
+}
+
+(* Disposition and trace fields are single space-free tokens on the
+   record header line; anything else would desynchronize the reader. *)
+let token s =
+  if s = "" then "-"
+  else
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+        | _ -> '_')
+      s
+
+let encode_entry e =
+  Printf.sprintf "r %c %d %d %s %s %d %d\n%s\n"
+    (match e.e_kind with Request -> '>' | Response -> '<')
+    e.e_seq e.e_code (token e.e_disp) (token e.e_trace) e.e_ts_us
+    (String.length e.e_payload) e.e_payload
+
+let segment_header ~meta =
+  Printf.sprintf "%s%d %d\n%s\n" magic schema_version (String.length meta) meta
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = {
+  r_meta : string;
+  r_entries : entry list;
+  r_tail : string option;
+  r_segments : int;
+}
+
+(* Decode one segment: returns (meta, entries in order, tail). Written
+   so that no input can raise — every malformed shape maps to either
+   Error (unreadable header) or a tail diagnostic. *)
+let read_segment src =
+  let n = String.length src in
+  let starts_with_magic =
+    String.length src >= String.length magic
+    && String.sub src 0 (String.length magic) = magic
+  in
+  if not starts_with_magic then Result.Error "not a pak journal (bad magic)"
+  else begin
+    (* Header line: "pakjournal <version> <meta-len>\n" *)
+    match String.index_from_opt src 0 '\n' with
+    | None -> Result.Error "truncated journal header"
+    | Some eol -> (
+        let rest =
+          String.sub src (String.length magic) (eol - String.length magic)
+        in
+        match String.split_on_char ' ' rest with
+        | [ v; m ] -> (
+            match (int_of_string_opt v, int_of_string_opt m) with
+            | Some version, _ when version > schema_version ->
+                Result.Error
+                  (Printf.sprintf
+                     "journal version %d is newer than supported version %d"
+                     version schema_version)
+            | Some _, Some meta_len
+              when meta_len >= 0 && eol + 1 + meta_len + 1 <= n
+                   && src.[eol + 1 + meta_len] = '\n' -> (
+                let meta = String.sub src (eol + 1) meta_len in
+                let entries = ref [] in
+                let tail = ref None in
+                let pos = ref (eol + 1 + meta_len + 1) in
+                let stop = ref false in
+                let bad msg =
+                  tail := Some msg;
+                  stop := true
+                in
+                while not !stop do
+                  if !pos >= n then stop := true
+                  else
+                    match String.index_from_opt src !pos '\n' with
+                    | None -> bad "truncated record header"
+                    | Some reol -> (
+                        let line = String.sub src !pos (reol - !pos) in
+                        match String.split_on_char ' ' line with
+                        | [ "r"; k; seq; code; disp; trace; ts; len ] -> (
+                            match
+                              ( (match k with
+                                | ">" -> Some Request
+                                | "<" -> Some Response
+                                | _ -> None),
+                                int_of_string_opt seq,
+                                int_of_string_opt code,
+                                int_of_string_opt ts,
+                                int_of_string_opt len )
+                            with
+                            | Some kind, Some seq, Some code, Some ts, Some len
+                              when len >= 0 ->
+                                if reol + 1 + len + 1 > n then
+                                  bad "truncated record payload"
+                                else if src.[reol + 1 + len] <> '\n' then
+                                  bad "record payload not newline-terminated"
+                                else begin
+                                  entries :=
+                                    {
+                                      e_kind = kind;
+                                      e_seq = seq;
+                                      e_code = code;
+                                      e_disp = disp;
+                                      e_trace = (if trace = "-" then "" else trace);
+                                      e_ts_us = ts;
+                                      e_payload = String.sub src (reol + 1) len;
+                                    }
+                                    :: !entries;
+                                  Obs.incr c_read_records;
+                                  pos := reol + 1 + len + 1
+                                end
+                            | _ ->
+                                bad
+                                  (Printf.sprintf
+                                     "malformed record header at byte %d" !pos))
+                        | _ ->
+                            bad
+                              (Printf.sprintf "malformed record header at byte %d"
+                                 !pos))
+                done;
+                if !tail <> None then Obs.incr c_read_tails;
+                Ok (meta, List.rev !entries, !tail))
+            | Some _, _ -> Result.Error "truncated journal header"
+            | None, _ -> Result.Error "unreadable journal version")
+        | _ -> Result.Error "malformed journal header")
+  end
+
+let read_string src =
+  match read_segment src with
+  | Result.Error _ as e -> e
+  | Ok (meta, entries, tail) ->
+      Ok { r_meta = meta; r_entries = entries; r_tail = tail; r_segments = 1 }
+
+let read_file_string path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Result.Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception _ -> Result.Error (path ^ ": unreadable"))
+
+let read base =
+  (* Rotated segments first (oldest-first), then the active one. *)
+  let exists p = try Sys.file_exists p with Sys_error _ -> false in
+  let rec rotated i acc =
+    let p = Printf.sprintf "%s.%d" base i in
+    if exists p then rotated (i + 1) (p :: acc) else List.rev acc
+  in
+  let segments = rotated 1 [] @ (if exists base then [ base ] else []) in
+  match segments with
+  | [] -> Result.Error (base ^ ": no such journal")
+  | first :: _ -> (
+      let rec go segs acc_entries meta count =
+        match segs with
+        | [] ->
+            Ok
+              {
+                r_meta = meta;
+                r_entries = List.rev acc_entries;
+                r_tail = None;
+                r_segments = count;
+              }
+        | seg :: rest -> (
+            match read_file_string seg with
+            | Result.Error msg ->
+                if count = 0 then Result.Error msg
+                else
+                  Ok
+                    {
+                      r_meta = meta;
+                      r_entries = List.rev acc_entries;
+                      r_tail = Some (seg ^ ": " ^ msg);
+                      r_segments = count;
+                    }
+            | Ok src -> (
+                match read_segment src with
+                | Result.Error msg ->
+                    if count = 0 then Result.Error (seg ^ ": " ^ msg)
+                    else
+                      Ok
+                        {
+                          r_meta = meta;
+                          r_entries = List.rev acc_entries;
+                          r_tail = Some (seg ^ ": " ^ msg);
+                          r_segments = count;
+                        }
+                | Ok (seg_meta, entries, tail) -> (
+                    let meta = if count = 0 then seg_meta else meta in
+                    let acc = List.rev_append entries acc_entries in
+                    match tail with
+                    | Some why ->
+                        (* A damaged segment poisons everything after
+                           it: stop, report, keep what was read. *)
+                        Ok
+                          {
+                            r_meta = meta;
+                            r_entries = List.rev acc;
+                            r_tail = Some (seg ^ ": " ^ why);
+                            r_segments = count + 1;
+                          }
+                    | None -> go rest acc meta (count + 1))))
+      in
+      ignore first;
+      go segments [] "" 0)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  emit : entry -> unit;
+  position : unit -> int;
+  rotations : unit -> int;
+}
+
+module Writer = struct
+  type t = {
+    base : string;
+    meta : string;
+    max_bytes : int option;
+    mutable oc : out_channel;
+    mutable seg_bytes : int;  (* bytes in the active segment *)
+    mutable seg_records : int;
+    mutable total : int;  (* bytes across all segments *)
+    mutable rotated : int;
+    mutable closed : bool;
+  }
+
+  let open_segment w =
+    let oc = open_out_bin w.base in
+    let header = segment_header ~meta:w.meta in
+    output_string oc header;
+    flush oc;
+    w.oc <- oc;
+    w.seg_bytes <- String.length header;
+    w.seg_records <- 0;
+    w.total <- w.total + String.length header
+
+  let create ?max_bytes ~meta base =
+    match
+      (* Stale rotated segments from an earlier session would be
+         prepended by the reader: remove them. *)
+      let i = ref 1 in
+      let continue = ref true in
+      while !continue do
+        let p = Printf.sprintf "%s.%d" base !i in
+        if Sys.file_exists p then begin
+          Sys.remove p;
+          incr i
+        end
+        else continue := false
+      done;
+      let w =
+        {
+          base;
+          meta;
+          max_bytes;
+          oc = stdout (* replaced below *);
+          seg_bytes = 0;
+          seg_records = 0;
+          total = 0;
+          rotated = 0;
+          closed = false;
+        }
+      in
+      let oc = open_out_bin base in
+      let header = segment_header ~meta in
+      output_string oc header;
+      flush oc;
+      w.oc <- oc;
+      w.seg_bytes <- String.length header;
+      w.total <- String.length header;
+      w
+    with
+    | w -> Ok w
+    | exception Sys_error msg -> Result.Error msg
+
+  let rotate w =
+    close_out_noerr w.oc;
+    w.rotated <- w.rotated + 1;
+    (try Sys.rename w.base (Printf.sprintf "%s.%d" w.base w.rotated)
+     with Sys_error _ -> ());
+    Obs.incr c_rotations;
+    open_segment w
+
+  let append w e =
+    if not w.closed then
+      Obs.span "journal.append" (fun () ->
+          let record = encode_entry e in
+          (match w.max_bytes with
+          | Some cap
+            when w.seg_records > 0 && w.seg_bytes + String.length record > cap
+            ->
+              rotate w
+          | _ -> ());
+          output_string w.oc record;
+          flush w.oc;
+          w.seg_bytes <- w.seg_bytes + String.length record;
+          w.seg_records <- w.seg_records + 1;
+          w.total <- w.total + String.length record;
+          Obs.incr c_appends;
+          Obs.add c_append_bytes (String.length record))
+
+  let position w = w.total
+  let rotations w = w.rotated
+  let segments w = w.rotated + 1
+
+  let sink w =
+    {
+      emit = (fun e -> append w e);
+      position = (fun () -> position w);
+      rotations = (fun () -> rotations w);
+    }
+
+  let close w =
+    if not w.closed then begin
+      w.closed <- true;
+      close_out_noerr w.oc
+    end
+end

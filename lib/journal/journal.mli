@@ -1,0 +1,119 @@
+(** The serve flight recorder: an append-only, size-rotated journal of
+    inbound frames and outbound responses.
+
+    A journal is a sequence of {e segments}. The active segment lives
+    at the path given to {!Writer.create}; on rotation it is renamed to
+    [PATH.1], [PATH.2], ... (oldest first) and a fresh active segment
+    is opened. Each segment is self-describing:
+
+    {v
+pakjournal <version> <meta-len>\n<meta-bytes>\n
+r <kind> <seq> <code> <disp> <trace> <ts-us> <payload-len>\n<payload>\n
+r ...
+    v}
+
+    where [<kind>] is [>] (inbound request frame) or [<] (outbound
+    response frame), [<seq>] the originating payload-frame sequence
+    number, [<code>] the response's exit-taxonomy code ([-1] on
+    request records), [<disp>] a disposition token
+    ([frame]/[junk]/[ok]/[estimated]/[cache-hit]/[shed]/[error]/...),
+    [<trace>] the 16-hex request trace id (or [-]), [<ts-us>] the
+    injected-clock timestamp in microseconds since the session began,
+    and the payload is length-prefixed raw bytes. [meta] is an opaque
+    application string (serve records its configuration there so
+    [pak replay] can re-execute under the same limits).
+
+    The format is versioned like [Obs.Snapshot]: {!read} refuses a
+    future [version], ignores nothing it understands, and — the
+    critical robustness property — {e never raises} on corrupt bytes.
+    A truncated or mangled tail is reported via [r_tail], not an
+    exception: everything before it is still usable.
+
+    Recording is observable through the usual Obs families:
+    [journal.appends] / [journal.append_bytes] / [journal.rotations]
+    counters and a [journal.append] span on the write path,
+    [journal.read.records] / [journal.read.tails] on the read path.
+    Reading a journal back completely satisfies
+    [journal.read.records = journal.appends] and (summed over
+    segments) bytes read = [journal.append_bytes]. *)
+
+val schema_version : int
+(** Version written in every segment header (currently 1). *)
+
+type kind = Request | Response
+
+type entry = {
+  e_kind : kind;
+  e_seq : int;  (** payload-frame sequence number (0 if none) *)
+  e_code : int;  (** response exit-taxonomy code; [-1] on requests *)
+  e_disp : string;  (** disposition token; sanitized to [A-Za-z0-9._-] *)
+  e_trace : string;  (** 16-hex trace id, [""] = none *)
+  e_ts_us : int;  (** injected-clock microseconds since session start *)
+  e_payload : string;  (** raw payload bytes *)
+}
+
+val encode_entry : entry -> string
+(** One record, exactly as {!Writer.append} writes it. *)
+
+val segment_header : meta:string -> string
+(** The bytes opening every segment. *)
+
+type read_result = {
+  r_meta : string;  (** from the first segment read *)
+  r_entries : entry list;  (** in append order across segments *)
+  r_tail : string option;
+      (** [Some why] when reading stopped before the end of the bytes
+          (truncated or corrupt tail); the entries before it are
+          intact. [None] = clean. *)
+  r_segments : int;  (** segments read *)
+}
+
+val read_string : string -> (read_result, string) result
+(** Decode one segment's bytes. [Error] only when the bytes do not
+    begin with a readable journal header (wrong magic, unsupported
+    version, truncated header); anything after a valid header
+    degrades to [r_tail]. Never raises. *)
+
+val read : string -> (read_result, string) result
+(** Read a journal by its base path: rotated segments [PATH.1],
+    [PATH.2], ... (consecutive, oldest first) then the active segment
+    [PATH]. [Error] when no segment exists or the first one has no
+    valid header; a bad later segment stops reading with [r_tail] set.
+    Never raises. *)
+
+(** What a recording front end needs from a journal: an append hook
+    plus position introspection (the [(op status)] journal fields).
+    Decoupled from {!Writer} so tests can record in memory. *)
+type sink = {
+  emit : entry -> unit;
+  position : unit -> int;  (** total bytes appended, all segments *)
+  rotations : unit -> int;
+}
+
+module Writer : sig
+  type t
+
+  val create : ?max_bytes:int -> meta:string -> string -> (t, string) result
+  (** Open (truncate) the active segment at the given path and write
+      its header; stale [PATH.N] segments from an earlier session are
+      removed. With [max_bytes], a record that would push the active
+      segment past the limit rotates first — except that a segment
+      always accepts at least one record, so one oversized record can
+      never rotate forever. [Error] on an unopenable path. *)
+
+  val append : t -> entry -> unit
+  (** Append one record and flush (journals must survive a crash of
+      the next instruction). *)
+
+  val position : t -> int
+  (** Total bytes written across all segments, headers included. *)
+
+  val rotations : t -> int
+
+  val segments : t -> int
+  (** [rotations + 1]: rotated segments plus the active one. *)
+
+  val sink : t -> sink
+
+  val close : t -> unit
+end

@@ -18,6 +18,7 @@ module Error = Pak_guard.Error
 module Budget = Pak_guard.Budget
 module Graded = Pak_guard.Graded
 module Obs = Pak_obs.Obs
+module Journal = Pak_journal.Journal
 module Pool = Pak_par.Pool
 module Q = Pak_rational.Q
 module Tree = Pak_pps.Tree
@@ -388,6 +389,7 @@ type op =
       seed : int option;
     }
   | Op_metrics
+  | Op_status
 
 type request = {
   req_id : int;
@@ -397,6 +399,7 @@ type request = {
   req_limits : Budget.limits;
   want_metrics : bool;
   req_trace : string;
+  req_seq : int;  (* originating payload-frame sequence number *)
 }
 
 (* Request-scoped trace id: a digest of (payload-frame sequence number,
@@ -464,6 +467,7 @@ let parse_request fields =
                 | "eval" -> op := Some `Eval
                 | "belief" -> op := Some `Belief
                 | "metrics" -> op := Some `Metrics
+                | "status" -> op := Some `Status
                 | other -> raise (Bad_request ("unknown op " ^ other)))
             | "system" -> system := Some (text_v ())
             | "formula" -> formula := Some (text_v ())
@@ -507,11 +511,13 @@ let parse_request fields =
               seed = !seed;
             }
       | `Metrics -> Op_metrics
+      | `Status -> Op_status
     in
-    (* A metrics request introspects the server itself; it carries no
-       system or formula. *)
+    (* A metrics or status request introspects the server itself; it
+       carries no system or formula. *)
     let text key r =
-      if op = Op_metrics then Option.value !r ~default:"" else need key r
+      if op = Op_metrics || op = Op_status then Option.value !r ~default:""
+      else need key r
     in
     Ok
       {
@@ -529,6 +535,7 @@ let parse_request fields =
           };
         want_metrics = !metrics;
         req_trace = "";
+        req_seq = 0;
       }
   with Bad_request m ->
     Result.Error ((match !id with Some i -> i | None -> -1), m)
@@ -537,22 +544,22 @@ type item = Item_req of request | Item_bad of int * string * string  (* trace *)
 
 type msg = Msg_items of item list * bool  (* is_batch *) | Msg_ping of int | Msg_shutdown
 
-let item_of_fields ~trace fields =
+let item_of_fields ~seq ~trace fields =
   match parse_request fields with
-  | Ok r -> Item_req { r with req_trace = trace }
+  | Ok r -> Item_req { r with req_trace = trace; req_seq = seq }
   | Error (id, m) -> Item_bad (id, m, trace)
 
 (* [trace ix] yields the trace id for item index [ix] of the frame. *)
-let parse_msg ~trace = function
+let parse_msg ~seq ~trace = function
   | Sexp.List (Sexp.Atom "request" :: fields) ->
-      Msg_items ([ item_of_fields ~trace:(trace 0) fields ], false)
+      Msg_items ([ item_of_fields ~seq ~trace:(trace 0) fields ], false)
   | Sexp.List (Sexp.Atom "batch" :: entries) ->
       let items =
         List.mapi
           (fun ix entry ->
             match entry with
             | Sexp.List (Sexp.Atom "request" :: fields) ->
-                item_of_fields ~trace:(trace ix) fields
+                item_of_fields ~seq ~trace:(trace ix) fields
             | _ -> Item_bad (-1, "batch entries must be (request ...)", trace ix))
           entries
       in
@@ -581,6 +588,7 @@ type config = {
   clock : (unit -> float) option;
   telemetry_every : int;  (* 0 = off: emit a telemetry frame per N requests *)
   telemetry : (string -> unit) option;  (* side-channel sink, one line per frame *)
+  journal : Journal.sink option;  (* flight recorder, None = off *)
 }
 
 let default_config =
@@ -597,6 +605,7 @@ let default_config =
     clock = None;
     telemetry_every = 0;
     telemetry = None;
+    journal = None;
   }
 
 let validate_config cfg =
@@ -663,6 +672,9 @@ type outcome = {
   out_metrics : string;  (* "" or a rendered " (metrics ...)" *)
   out_cacheable : bool;
   out_trace : string;  (* "" = no trace field (junk/protocol outcomes) *)
+  out_code : int;  (* exit-taxonomy code, journaled with the response *)
+  out_disp : string;  (* journal disposition token *)
+  out_seq : int;  (* originating payload-frame sequence number *)
 }
 
 let quoted s =
@@ -670,13 +682,16 @@ let quoted s =
   Sexp.quote b s;
   Buffer.contents b
 
-let ok_outcome id body ~cacheable =
+let ok_outcome ?(disp = "ok") id body ~cacheable =
   {
     out_id = id;
     out_body = body;
     out_metrics = "";
     out_cacheable = cacheable;
     out_trace = "";
+    out_code = 0;
+    out_disp = disp;
+    out_seq = 0;
   }
 
 let error_outcome id (e : Error.t) =
@@ -698,6 +713,9 @@ let error_outcome id (e : Error.t) =
     out_metrics = "";
     out_cacheable = false;
     out_trace = "";
+    out_code = code;
+    out_disp = "error";
+    out_seq = 0;
   }
 
 let internal_outcome id exn =
@@ -710,6 +728,9 @@ let internal_outcome id exn =
     out_metrics = "";
     out_cacheable = false;
     out_trace = "";
+    out_code = 125;
+    out_disp = "internal";
+    out_seq = 0;
   }
 
 let bad_request_outcome id msg =
@@ -722,6 +743,9 @@ let bad_request_outcome id msg =
     out_metrics = "";
     out_cacheable = false;
     out_trace = "";
+    out_code = 2;
+    out_disp = "bad-request";
+    out_seq = 0;
   }
 
 let protocol_outcome msg =
@@ -733,14 +757,21 @@ let protocol_outcome msg =
     out_metrics = "";
     out_cacheable = false;
     out_trace = "";
+    out_code = 3;
+    out_disp = "protocol";
+    out_seq = 0;
   }
 
-let junk_outcome = function
-  | Frame.Garbage n ->
-      protocol_outcome (Printf.sprintf "garbage on stream: skipped %d bytes" n)
-  | Frame.Oversized n ->
-      protocol_outcome (Printf.sprintf "frame of %d bytes exceeds the cap" n)
-  | Frame.Truncated -> protocol_outcome "stream ended inside a frame"
+let junk_outcome j =
+  let o =
+    match j with
+    | Frame.Garbage n ->
+        protocol_outcome (Printf.sprintf "garbage on stream: skipped %d bytes" n)
+    | Frame.Oversized n ->
+        protocol_outcome (Printf.sprintf "frame of %d bytes exceeds the cap" n)
+    | Frame.Truncated -> protocol_outcome "stream ended inside a frame"
+  in
+  { o with out_disp = "junk" }
 
 let overloaded_outcome cfg id =
   {
@@ -751,6 +782,9 @@ let overloaded_outcome cfg id =
     out_metrics = "";
     out_cacheable = false;
     out_trace = "";
+    out_code = 4;
+    out_disp = "shed";
+    out_seq = 0;
   }
 
 let render_metrics ~trace (d : Obs.Snapshot.t) =
@@ -796,12 +830,48 @@ type state = {
   results : (string, string) Hashtbl.t;
   result_order : string Queue.t;
   write_frame : string -> unit;
+  (* (op status) tallies. The mutable ints are touched only on the main
+     domain (enqueue / write_response / cache_put); the atomics are
+     bumped from worker domains mid-drain. A status request is answered
+     at enqueue time, when no drain is in flight, so every field below
+     is settled — a pure function of the input stream so far, hence
+     byte-identical at every --jobs. *)
+  mutable frames : int;  (* payload-frame sequence counter *)
+  mutable n_requests : int;
+  mutable n_responses : int;
+  mutable n_shed : int;
+  mutable n_cache_hits : int;
+  mutable n_cache_misses : int;
+  mutable n_cache_evictions : int;
+  n_degraded : int Atomic.t;
+  n_tree_hits : int Atomic.t;
+  n_tree_misses : int Atomic.t;
+  t0 : float;  (* session start per the injected clock *)
 }
 
 let now st = match st.cfg.clock with Some f -> f () | None -> Sys.time ()
 
+(* Injected-clock timestamp for journal records, in microseconds since
+   the session began. *)
+let ts_us st = int_of_float ((now st -. st.t0) *. 1e6)
+
+let journal_emit st ~kind ~seq ~code ~disp ~trace payload =
+  match st.cfg.journal with
+  | None -> ()
+  | Some sink ->
+      sink.Journal.emit
+        {
+          Journal.e_kind = kind;
+          e_seq = seq;
+          e_code = code;
+          e_disp = disp;
+          e_trace = trace;
+          e_ts_us = ts_us st;
+          e_payload = payload;
+        }
+
 let cache_key cfg req =
-  if cfg.cache_max = 0 || req.op = Op_metrics then None
+  if cfg.cache_max = 0 || req.op = Op_metrics || req.op = Op_status then None
   else begin
     let b = Buffer.create 96 in
     Buffer.add_string b (Digest.to_hex (Digest.string req.system));
@@ -812,7 +882,7 @@ let cache_key cfg req =
         Printf.bprintf b "belief:%d:%d:%d:%d:%d" agent run time
           (Option.value samples ~default:(-1))
           (Option.value seed ~default:(-1))
-    | Op_metrics -> assert false  (* cache_key returns None above *));
+    | Op_metrics | Op_status -> assert false  (* cache_key returns None above *));
     Buffer.add_char b '|';
     (* Formula component: the engine name plus the formula's closure
        digest when it parses — the digest canonicalizes spelling, so
@@ -841,6 +911,7 @@ let cache_put st key body =
     Queue.add key st.result_order;
     while Hashtbl.length st.results > st.cfg.cache_max do
       Obs.incr c_cache_evictions;
+      st.n_cache_evictions <- st.n_cache_evictions + 1;
       Hashtbl.remove st.results (Queue.pop st.result_order)
     done;
     Atomic.set g_cache_entries (Hashtbl.length st.results)
@@ -857,9 +928,11 @@ let tree_of_system st doc =
   match cached with
   | Some t ->
       Obs.incr c_tree_hits;
+      Atomic.incr st.n_tree_hits;
       t
   | None -> (
       Obs.incr c_tree_misses;
+      Atomic.incr st.n_tree_misses;
       match Tree_io.of_string_result doc with
       | Result.Error e -> raise (Error.Error (Error.with_context "system" e))
       | Ok t ->
@@ -884,10 +957,14 @@ let rec perform st req =
       (* Introspection: render the server's cumulative metrics as
          OpenMetrics text. Never cached — the answer changes with every
          request served. *)
-      ok_outcome req.req_id
+      ok_outcome ~disp:"metrics" req.req_id
         (Printf.sprintf "(code 0) (status ok) (result (openmetrics %s))"
            (quoted (Obs.Openmetrics.render (Obs.Snapshot.capture ()))))
         ~cacheable:false
+  | Op_status ->
+      (* Answered at enqueue time on the main domain (status_outcome);
+         it never reaches a worker. *)
+      assert false
   | Op_eval | Op_belief _ -> perform_query st req
 
 and perform_query st req =
@@ -937,12 +1014,13 @@ and perform_query st req =
             ~cacheable:true
       | Graded.Estimated { value; samples } ->
           Obs.incr c_degraded;
-          ok_outcome req.req_id
+          Atomic.incr st.n_degraded;
+          ok_outcome ~disp:"estimated" req.req_id
             (Printf.sprintf
                "(code 0) (status estimated) (result (degree %s) (samples %d))"
                (Q.to_string value) samples)
             ~cacheable:false)
-  | Op_metrics -> assert false  (* handled in [perform] *)
+  | Op_metrics | Op_status -> assert false  (* handled in [perform] *)
 
 (* Per-request fault isolation: a fresh budget scope per request, and
    every failure mode folded into an error outcome. Nothing escapes. *)
@@ -967,7 +1045,17 @@ let execute st ~grace req =
     error_outcome req.req_id
       (Error.make Error.Budget_exceeded "drain grace deadline exceeded")
   else
-    match Budget.with_budget eff (fun () -> perform st req) with
+    (* Per-op latency histograms: the (op status) percentiles read these. *)
+    let op_span =
+      match req.op with
+      | Op_eval -> "serve.op.eval"
+      | Op_belief _ -> "serve.op.belief"
+      | Op_metrics -> "serve.op.metrics"
+      | Op_status -> "serve.op.status"
+    in
+    match
+      Budget.with_budget eff (fun () -> Obs.span op_span (fun () -> perform st req))
+    with
     | Ok o -> o
     | Result.Error e -> error_outcome req.req_id e
     | exception Error.Error e -> error_outcome req.req_id e
@@ -991,7 +1079,63 @@ let process st ~grace req =
     end
     else compute ()
   in
-  { o with out_trace = req.req_trace }
+  { o with out_trace = req.req_trace; out_seq = req.req_seq }
+
+(* ------------------------------------------------------------------ *)
+(* (op status): live introspection (main-domain side)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Answered synchronously at enqueue time: never queued, never shed,
+   never cached. Everything in (result ...) is a pure function of the
+   input stream so far — byte-identical at every --jobs. The trailing
+   (metrics (latencies ...)) group reads wall-clock histograms, which
+   is why it lives under (metrics ...): replay diffs responses modulo
+   that field. [uptime-ticks] is the logical clock — payload frames
+   received — not wall time, for the same determinism reason. *)
+let status_outcome st req =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "(code 0) (status ok) (result (uptime-ticks %d) (pending %d) (requests %d) \
+     (responses %d) (shed %d) (degraded %d)"
+    st.frames st.live st.n_requests st.n_responses st.n_shed
+    (Atomic.get st.n_degraded);
+  Printf.bprintf b
+    " (cache (entries %d) (capacity %d) (hits %d) (misses %d) (evictions %d))"
+    (Hashtbl.length st.results)
+    st.cfg.cache_max st.n_cache_hits st.n_cache_misses st.n_cache_evictions;
+  let tree_entries =
+    Mutex.lock st.tree_mutex;
+    let n = Hashtbl.length st.trees in
+    Mutex.unlock st.tree_mutex;
+    n
+  in
+  Printf.bprintf b
+    " (tree-cache (entries %d) (capacity %d) (hits %d) (misses %d))"
+    tree_entries st.cfg.tree_cache_max
+    (Atomic.get st.n_tree_hits)
+    (Atomic.get st.n_tree_misses);
+  (match st.cfg.journal with
+  | None -> Buffer.add_string b " (journal none)"
+  | Some s ->
+      Printf.bprintf b " (journal (position %d) (rotations %d))"
+        (s.Journal.position ()) (s.Journal.rotations ()));
+  Buffer.add_string b ")";
+  let snap = Obs.Snapshot.capture () in
+  Buffer.add_string b " (metrics (latencies";
+  List.iter
+    (fun (n, counts) ->
+      if String.length n >= 6 && String.sub n 0 6 = "serve." then
+        Printf.bprintf b
+          " (%s (count %d) (p50-ns %.0f) (p90-ns %.0f) (p99-ns %.0f))" n
+          (Obs.total_count counts) (Obs.percentile counts 50.)
+          (Obs.percentile counts 90.) (Obs.percentile counts 99.))
+    snap.Obs.Snapshot.histograms;
+  Buffer.add_string b "))";
+  {
+    (ok_outcome ~disp:"status" req.req_id (Buffer.contents b) ~cacheable:false) with
+    out_trace = req.req_trace;
+    out_seq = req.req_seq;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Queue, drain, shed                                                  *)
@@ -999,30 +1143,44 @@ let process st ~grace req =
 
 let write_response st o =
   Obs.incr c_responses;
-  st.write_frame (render_response o)
+  st.n_responses <- st.n_responses + 1;
+  let text = render_response o in
+  journal_emit st ~kind:Journal.Response ~seq:o.out_seq ~code:o.out_code
+    ~disp:o.out_disp ~trace:o.out_trace text;
+  st.write_frame text
 
-let enqueue st = function
+let enqueue st ~seq = function
   | Item_bad (id, msg, trace) ->
       Queue.add
-        (P_done { (bad_request_outcome id msg) with out_trace = trace })
+        (P_done
+           { (bad_request_outcome id msg) with out_trace = trace; out_seq = seq })
         st.q
-  | Item_req req ->
+  | Item_req req -> (
       Obs.incr c_requests;
-      if st.live >= st.cfg.max_pending then begin
+      st.n_requests <- st.n_requests + 1;
+      if req.op = Op_status then
+        (* Introspection is answered inline: never queued (so it can
+           report pending depth), never shed (so it works under load),
+           never cached. *)
+        Queue.add (P_done (status_outcome st req)) st.q
+      else if st.live >= st.cfg.max_pending then begin
         Obs.incr c_shed;
+        st.n_shed <- st.n_shed + 1;
         Queue.add
           (P_done
              {
                (overloaded_outcome st.cfg req.req_id) with
                out_trace = req.req_trace;
+               out_seq = seq;
              })
           st.q
       end
-      else begin
+      else
         let key = cache_key st.cfg req in
         match key with
         | Some k when Hashtbl.mem st.results k ->
             Obs.incr c_cache_hits;
+            st.n_cache_hits <- st.n_cache_hits + 1;
             Queue.add
               (P_done
                  {
@@ -1031,14 +1189,19 @@ let enqueue st = function
                    out_metrics = "";
                    out_cacheable = false;
                    out_trace = req.req_trace;
+                   out_code = 0;
+                   out_disp = "cache-hit";
+                   out_seq = seq;
                  })
               st.q
         | _ ->
-            if key <> None then Obs.incr c_cache_misses;
+            if key <> None then begin
+              Obs.incr c_cache_misses;
+              st.n_cache_misses <- st.n_cache_misses + 1
+            end;
             st.live <- st.live + 1;
             Atomic.set g_pending st.live;
-            Queue.add (P_live (req, key)) st.q
-      end
+            Queue.add (P_live (req, key)) st.q)
 
 let drain st ~final =
   if not (Queue.is_empty st.q) then begin
@@ -1120,6 +1283,17 @@ let run cfg ~source ~write =
           results = Hashtbl.create 64;
           result_order = Queue.create ();
           write_frame;
+          frames = 0;
+          n_requests = 0;
+          n_responses = 0;
+          n_shed = 0;
+          n_cache_hits = 0;
+          n_cache_misses = 0;
+          n_cache_evictions = 0;
+          n_degraded = Atomic.make 0;
+          n_tree_hits = Atomic.make 0;
+          n_tree_misses = Atomic.make 0;
+          t0 = (match cfg.clock with Some f -> f () | None -> Sys.time ());
         }
       in
       let batch_threshold = if cfg.batch = 0 then cfg.jobs else cfg.batch in
@@ -1180,42 +1354,62 @@ let run cfg ~source ~write =
       let finish reason =
         drain st ~final:true;
         if telemetry_on then emit_telemetry ();
-        write_frame (Printf.sprintf "(bye (reason %s))" reason);
+        let bye = Printf.sprintf "(bye (reason %s))" reason in
+        journal_emit st ~kind:Journal.Response ~seq:st.frames ~code:0
+          ~disp:"bye" ~trace:"" bye;
+        write_frame bye;
         0
       in
-      let frame_seq = ref 0 in
       let rec loop () =
         match Frame.read rd with
         | Frame.Eof -> finish "eof"
         | Frame.Junk j ->
             Obs.incr c_err_protocol;
-            Queue.add (P_done (junk_outcome j)) st.q;
+            (* Junk does not advance the frame sequence (replay drops
+               it and must reproduce the recorded trace ids); the bytes
+               themselves are gone, so journal a description. *)
+            journal_emit st ~kind:Journal.Request ~seq:st.frames ~code:(-1)
+              ~disp:"junk" ~trace:""
+              (match j with
+              | Frame.Garbage n -> Printf.sprintf "garbage %d" n
+              | Frame.Oversized n -> Printf.sprintf "oversized %d" n
+              | Frame.Truncated -> "truncated");
+            Queue.add (P_done { (junk_outcome j) with out_seq = st.frames }) st.q;
             maybe_drain ();
             loop ()
         | Frame.Payload p -> (
             Obs.incr c_frames;
-            incr frame_seq;
-            let seq = !frame_seq in
+            st.frames <- st.frames + 1;
+            let seq = st.frames in
+            journal_emit st ~kind:Journal.Request ~seq ~code:(-1) ~disp:"frame"
+              ~trace:(trace_id ~seq ~ix:0 p) p;
             let trace ix = trace_id ~seq ~ix p in
             match Sexp.parse p with
             | Result.Error m ->
                 Obs.incr c_err_protocol;
                 Queue.add
-                  (P_done (protocol_outcome ("unparsable frame payload: " ^ m)))
+                  (P_done
+                     {
+                       (protocol_outcome ("unparsable frame payload: " ^ m)) with
+                       out_seq = seq;
+                     })
                   st.q;
                 maybe_drain ();
                 loop ()
             | Ok sx -> (
-                match parse_msg ~trace sx with
+                match parse_msg ~seq ~trace sx with
                 | Msg_ping id ->
                     Obs.incr c_pings;
                     drain st ~final:false;
-                    write_frame (Printf.sprintf "(pong (id %d))" id);
+                    let pong = Printf.sprintf "(pong (id %d))" id in
+                    journal_emit st ~kind:Journal.Response ~seq ~code:0
+                      ~disp:"pong" ~trace:"" pong;
+                    write_frame pong;
                     loop ()
                 | Msg_shutdown -> finish "shutdown"
                 | Msg_items (items, is_batch) ->
                     if is_batch then Obs.incr c_batches;
-                    List.iter (enqueue st) items;
+                    List.iter (enqueue st ~seq) items;
                     List.iter
                       (function Item_req _ -> incr tele_reqs | Item_bad _ -> ())
                       items;

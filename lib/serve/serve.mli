@@ -26,6 +26,7 @@
          (agent 0) (run 1) (time 1) (samples 500) (seed 7)
          (max-limbs 1) (timeout-ms 100) (metrics true))
 (request (id 3) (op metrics))
+(request (id 4) (op status))
 (batch (request ...) (request ...) ...)
 (ping (id 9))
 (shutdown)
@@ -38,6 +39,18 @@
     [(op metrics)] needs no system or formula: it answers with the
     server's cumulative metrics rendered as OpenMetrics text,
     [(result (openmetrics "..."))]; it is never cached.
+
+    [(op status)] likewise needs no system or formula. It is answered
+    synchronously on the main domain the moment it is enqueued — never
+    queued (so it can report the pending depth ahead of it), never shed
+    (so it works under load), and never cached. Its
+    [(result ...)] carries [uptime-ticks] (payload frames received — a
+    logical clock, so the field is byte-stable across [--jobs]),
+    [pending], request/response/shed/degraded totals, result-cache and
+    tree-cache occupancy and hit rates, and the journal position; a
+    trailing [(metrics (latencies ...))] group reports count/p50/p90/p99
+    nanoseconds for every [serve.*] histogram (wall-clock data, hence
+    quarantined under [(metrics ...)], which replay ignores).
 
     {2 Responses}
 
@@ -159,6 +172,9 @@ type config = {
   telemetry : (string -> unit) option;
       (** side-channel sink for telemetry frames: called with one JSON
           object (no trailing newline) per frame *)
+  journal : Pak_journal.Journal.sink option;
+      (** flight recorder: every inbound frame and outbound response is
+          appended as a {!Pak_journal.Journal.entry}; [None] = off *)
 }
 
 val default_config : config

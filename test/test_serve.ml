@@ -366,6 +366,112 @@ let test_op_metrics () =
       | other ->
         Alcotest.fail (Printf.sprintf "expected 4 output frames, got %d" (List.length other)))
 
+let test_op_status () =
+  (* (op status) is introspection: answered synchronously at enqueue,
+     never cached, ticking the logical frame clock. *)
+  let status id = Printf.sprintf "(request (id %d) (op status))" id in
+  let eval = request ~id:1 ~op:"eval" ~formula:"a0_g0" () in
+  with_metrics (fun () ->
+      let (out, code), snap =
+        Obs.Snapshot.diff_capture (fun () -> run [ eval; status 2; status 3 ])
+      in
+      check_int "clean drain" 0 code;
+      check_int "status never hits the cache" 0 (delta snap "serve.cache.hits");
+      check_bool "status answers are counted as requests" true
+        (delta snap "serve.requests" >= 3);
+      match collect_frames out with
+      | [ _r1; s1; s2; _bye ] ->
+        check_bool "status response is ok" true
+          (contains (sans_traces s1) "(id 2) (code 0) (status ok)");
+        check_bool "uptime ticks the payload-frame clock" true
+          (contains s1 "(uptime-ticks 2)");
+        check_bool "a later status reports a later tick" true
+          (contains s2 "(uptime-ticks 3)");
+        check_bool "no journal configured reads (journal none)" true
+          (contains s1 "(journal none)");
+        check_bool "cache occupancy reported" true
+          (contains s1 "(cache (entries 1) (capacity 256) (hits 0) (misses 1)");
+        check_bool "latency percentiles quarantined under (metrics ...)" true
+          (contains s1 "(metrics (latencies" && contains s1 "serve.request")
+      | other ->
+        Alcotest.fail (Printf.sprintf "expected 4 output frames, got %d" (List.length other)))
+
+let test_op_status_pending () =
+  (* Status is answered at enqueue, before the batch drains: inside a
+     (batch eval eval status) it must see both evaluations pending. *)
+  let batch =
+    let open Serve.Sexp in
+    let r id f =
+      match parse (request ~id ~op:"eval" ~formula:f ()) with
+      | Ok sx -> sx
+      | Error e -> Alcotest.fail e
+    in
+    to_string
+      (List
+         [ Atom "batch";
+           r 1 "B[0]>=1/1000 a0_g0";
+           r 2 "B[0]>=2/1000 a0_g0";
+           List [ Atom "request"; List [ Atom "id"; Atom "3" ]; List [ Atom "op"; Atom "status" ] ]
+         ])
+  in
+  let out, code = run [ batch ] in
+  check_int "clean drain" 0 code;
+  check_bool "status sees both queued evaluations" true (contains out "(pending 2)");
+  check_bool "and both still get answered" true
+    (let out = sans_traces out in
+     contains out "(id 1) (code 0)" && contains out "(id 2) (code 0)")
+
+let test_op_status_jobs_invariant () =
+  (* With the drain cadence pinned (--batch 1; the default 0 means
+     "batch = jobs") and metrics disabled, the status body — pending
+     depth, response counts, cache occupancy — is a pure function of
+     the input stream, so the whole output is byte-identical at every
+     --jobs, trace ids included. *)
+  let status id = Printf.sprintf "(request (id %d) (op status))" id in
+  let payloads =
+    [ request ~id:1 ~op:"eval" ~formula:"a0_g0" ();
+      request ~id:2 ~op:"eval" ~formula:"K[0] a0_g0" ();
+      status 3;
+      request ~id:4 ~op:"eval" ~formula:"a0_g0" ();
+      status 5
+    ]
+  in
+  let at jobs =
+    run ~config:{ Serve.default_config with Serve.jobs; batch = 1 } payloads
+  in
+  let out1, code1 = at 1 in
+  let out4, code4 = at 4 in
+  check_int "clean drain at jobs 1" 0 code1;
+  check_int "clean drain at jobs 4" 0 code4;
+  check_string "status output is byte-identical across --jobs" out1 out4;
+  check_bool "second status saw the cache hit" true
+    (contains out1 "(hits 1)")
+
+let test_status_journal_position () =
+  (* With a recorder attached, status reports the journal position —
+     and the position it reports is the sink's at the moment the
+     status itself is journaled (the request record is already in). *)
+  let positions = ref [] in
+  let bytes = ref 0 in
+  let sink =
+    { Pak_journal.Journal.emit =
+        (fun e -> bytes := !bytes + String.length (Pak_journal.Journal.encode_entry e));
+      position =
+        (fun () ->
+          positions := !bytes :: !positions;
+          !bytes);
+      rotations = (fun () -> 0)
+    }
+  in
+  let cfg = { Serve.default_config with Serve.journal = Some sink } in
+  let out, code = run ~config:cfg [ "(request (id 1) (op status))" ] in
+  check_int "clean drain" 0 code;
+  check_bool "status reports the live position" true
+    (match !positions with
+     | p :: _ -> contains out (Printf.sprintf "(journal (position %d)" p)
+     | [] -> false);
+  check_bool "rotations reported" true (contains out "(rotations 0)")
+
 let telemetry_run ~jobs ~every payloads =
   let frames = ref [] in
   let cfg =
@@ -530,6 +636,12 @@ let () =
           Alcotest.test_case "cache hit identical" `Quick test_cache_hit_identical;
           Alcotest.test_case "trace ids deterministic" `Quick test_trace_ids_deterministic;
           Alcotest.test_case "op metrics" `Quick test_op_metrics;
+          Alcotest.test_case "op status" `Quick test_op_status;
+          Alcotest.test_case "op status pending" `Quick test_op_status_pending;
+          Alcotest.test_case "op status jobs-invariant" `Quick
+            test_op_status_jobs_invariant;
+          Alcotest.test_case "status journal position" `Quick
+            test_status_journal_position;
           Alcotest.test_case "telemetry frames telescope" `Quick
             test_telemetry_frames_telescope;
           Alcotest.test_case "telemetry jobs-invariant" `Quick

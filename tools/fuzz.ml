@@ -1,4 +1,4 @@
-(* fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics]
+(* fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics|journal]
         [--iters N] [--seed S] [--corpus DIR] [--jobs J] — in-process
    fuzzer for the untrusted-input boundaries.
 
@@ -42,6 +42,18 @@
    become typed error responses, never crashes and never a poisoned
    server.
 
+   --mode journal targets the flight recorder's read side and the
+   replay pipeline behind it with random bytes, mutants of a valid
+   in-memory recording and truncations of it. Two contracts:
+   Journal.read_string must turn ANY byte string into Ok or Error
+   without raising (corrupt tails degrade to r_tail, never an
+   exception); and any journal that reads must also replay —
+   Replay.run re-executes the recorded requests through the live
+   engine under the probe budget and may report divergences or reject
+   a broken meta, but must never raise. A crash in either is exactly
+   the bug a flight recorder cannot afford: the tool you reach for
+   after a failure must not fail on the evidence.
+
    --mode openmetrics targets the exposition writer: any input that
    Obs.Snapshot.of_json_string accepts — including mutants smuggling
    control characters, quotes or UTF-8 junk into metric names — must
@@ -72,14 +84,15 @@ let mode = ref "boundaries"
 
 let usage () =
   prerr_endline
-    "usage: fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
+    "usage: fuzz [--mode boundaries|explain|frame|eval-vec|openmetrics|journal] [--iters N] [--seed S] [--corpus DIR] [--jobs J]";
   exit 2
 
 let rec parse_args = function
   | [] -> ()
   | "--mode" :: v :: rest ->
     (match v with
-    | "boundaries" | "explain" | "frame" | "eval-vec" | "openmetrics" -> mode := v
+    | "boundaries" | "explain" | "frame" | "eval-vec" | "openmetrics" | "journal" ->
+      mode := v
     | _ -> usage ());
     parse_args rest
   | "--iters" :: v :: rest ->
@@ -221,6 +234,32 @@ let openmetrics_boundaries =
           | Error msg ->
             failwith
               (Printf.sprintf "rendered exposition fails the grammar: %s" msg)) )
+  ]
+
+(* --mode journal: the flight-recorder boundary. [journal-read] is
+   pure crash-freedom of the segment decoder; [journal-replay] drives
+   anything that decodes through the full replay pipeline —
+   meta-to-config parsing, stream reconstruction, a live serve session
+   and the response diff. The probe [limits] override neuters
+   whatever budgets a mutated meta declares, so a hostile journal can
+   slow a probe down only as far as the standard probe budget allows.
+   Divergences are the expected outcome on mutants (the recording no
+   longer matches what the engine says), so only an escaped exception
+   counts as a finding. *)
+let journal_boundaries =
+  [ ( "journal-read",
+      fun input ->
+        match Journal.read_string input with
+        | Ok _ -> Accepted
+        | Error msg -> Rejected (Error.make Error.Parse msg) );
+    ( "journal-replay",
+      fun input ->
+        match Journal.read_string input with
+        | Error msg -> Rejected (Error.make Error.Parse msg)
+        | Ok rr -> (
+          match Replay.run ~jobs:1 ~limits:probe_limits rr with
+          | Ok _ -> Accepted
+          | Error msg -> Rejected (Error.make Error.Parse msg)) )
   ]
 
 let frame_boundaries =
@@ -376,6 +415,27 @@ let seed_frame_stream =
     (Lazy.force seed_frame_payloads |> Array.to_list
     |> List.map Serve.Frame.encode |> String.concat "")
 
+(* --mode journal seed: a real recording, made in memory by running a
+   serve session over the frame-mode seed stream with a Buffer-backed
+   sink — so mutants start from a valid header, meta and record set
+   and reach the deep parsing paths instead of dying at the magic. *)
+let seed_journal =
+  lazy
+    (let buf = Buffer.create 4096 in
+     Buffer.add_string buf
+       (Journal.segment_header ~meta:(Replay.meta_of_config frame_config));
+     let sink =
+       { Journal.emit = (fun e -> Buffer.add_string buf (Journal.encode_entry e));
+         position = (fun () -> Buffer.length buf);
+         rotations = (fun () -> 0)
+       }
+     in
+     ignore
+       (Serve.run_string
+          ~config:{ frame_config with Serve.journal = Some sink }
+          (Lazy.force seed_frame_stream));
+     Buffer.contents buf)
+
 (* --mode openmetrics seeds: a real snapshot of this process (after a
    little recorded activity, so counters/histograms/spans are all
    non-empty) and a handcrafted one whose metric names smuggle every
@@ -426,6 +486,7 @@ let () =
     | "frame" -> frame_boundaries
     | "eval-vec" -> eval_vec_boundaries
     | "openmetrics" -> openmetrics_boundaries
+    | "journal" -> journal_boundaries
     | _ -> boundaries
   in
   let replayed = if !corpus = "" then 0 else replay_corpus boundaries !corpus in
@@ -440,6 +501,7 @@ let () =
   let snapshot_json =
     if !mode = "openmetrics" then Lazy.force seed_snapshot_json else ""
   in
+  let journal_seed = if !mode = "journal" then Lazy.force seed_journal else "" in
   let run_iteration i =
     let r = rng_for !seed i in
     let input =
@@ -475,6 +537,14 @@ let () =
          | 0 -> random_bytes r
          | 1 -> mutate r snapshot_json
          | _ -> mutate r nasty_snapshot_json)
+      | "journal" ->
+        (* Truncations are a first-class stream, not just a mutation
+           arm: the tail-recovery contract is about cuts at every
+           byte offset, including mid-header and mid-payload. *)
+        (match i mod 3 with
+         | 0 -> random_bytes r
+         | 1 -> mutate r journal_seed
+         | _ -> String.sub journal_seed 0 (next r mod (String.length journal_seed + 1)))
       | _ ->
         (match i mod 3 with
          | 0 -> random_bytes r

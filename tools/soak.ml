@@ -40,11 +40,14 @@ let inject = ref "all"
 let jobs = ref 2
 let shutdown = ref false
 let emit_stream = ref None
+let journal = ref None
 
 let usage () =
   prerr_endline
     "usage: soak [--requests N] [--inject all|none|bitflip|garbage|oversize|truncate] [--jobs J] [--shutdown]";
   prerr_endline "            [--emit-stream FILE]   write the input stream and exit";
+  prerr_endline
+    "            [--journal FILE]       record the session to a flight-recorder journal";
   exit 2
 
 let rec parse_args = function
@@ -70,6 +73,9 @@ let rec parse_args = function
       parse_args rest
   | "--emit-stream" :: file :: rest ->
       emit_stream := Some file;
+      parse_args rest
+  | "--journal" :: file :: rest ->
+      journal := Some file;
       parse_args rest
   | _ -> usage ()
 
@@ -167,6 +173,7 @@ type check =
   | Exact of string  (* full body must match *)
   | Code_kind of int * string  (* (code C) and (kind K) must match *)
   | Overloaded of int  (* retry-after-ms hint *)
+  | Status_ok  (* (op status): code 0, status ok, uptime-ticks present *)
 
 type expected = X_resp of int * check | X_pong of int | X_bye
 
@@ -264,7 +271,20 @@ let build () =
         counts#bump_pings;
         Buffer.add_string input
           (frame_of (Sexp.List [ Sexp.Atom "ping"; int_f "id" id ]));
-        expect (X_pong id)
+        expect (X_pong id);
+        (* Introspection after a forced drain: the queue is empty, so
+           the status answer is a pure function of the stream prefix —
+           deterministic at every --jobs. *)
+        counts#bump_requests;
+        Buffer.add_string input
+          (frame_of
+             (Sexp.List
+                [
+                  Sexp.Atom "request";
+                  int_f "id" (id + 1);
+                  field "op" (Sexp.Atom "status");
+                ]));
+        expect (X_resp (id + 1, Status_ok))
     | 6 ->
         (* Deadline-doomed fixpoint query: the per-request iteration
            cap kills the C/CB gfp immediately, as a typed budget error. *)
@@ -464,7 +484,23 @@ let check_event i payload x =
                   want_id payload;
               if get_int fields "retry-after-ms" <> Some retry then
                 fail "event %d (id %d): expected retry-after-ms %d in %s" i
-                  want_id retry payload)
+                  want_id retry payload
+          | Status_ok ->
+              if get_int fields "code" <> Some 0 then
+                fail "event %d (id %d): expected code 0 in %s" i want_id payload;
+              if get_atom fields "status" <> Some "ok" then
+                fail "event %d (id %d): expected status ok in %s" i want_id
+                  payload;
+              let contains hay needle =
+                let nh = String.length hay and nn = String.length needle in
+                let rec go k =
+                  k + nn <= nh && (String.sub hay k nn = needle || go (k + 1))
+                in
+                go 0
+              in
+              if not (contains payload "(uptime-ticks ") then
+                fail "event %d (id %d): status without uptime-ticks: %s" i
+                  want_id payload)
       | _ -> fail "event %d: expected a response frame, got %s" i payload)
 
 let counter delta name =
@@ -504,11 +540,29 @@ let () =
       clock = Some Unix.gettimeofday;
     }
   in
+  (* Flight recorder: the journal meta records [cfg] so a later
+     `pak replay` re-executes this session under identical limits. *)
+  let journal_writer =
+    match !journal with
+    | None -> None
+    | Some file -> (
+        match
+          Journal.Writer.create ~meta:(Replay.meta_of_config cfg) file
+        with
+        | Ok w -> Some w
+        | Error msg ->
+            Printf.eprintf "soak: cannot open journal %s: %s\n" file msg;
+            exit 2)
+  in
+  let cfg =
+    { cfg with Serve.journal = Option.map Journal.Writer.sink journal_writer }
+  in
   let t0 = Unix.gettimeofday () in
   let (output, code), delta =
     Obs.Snapshot.diff_capture (fun () -> Serve.run_string ~config:cfg input)
   in
   let dt = Unix.gettimeofday () -. t0 in
+  Option.iter Journal.Writer.close journal_writer;
   if code <> 0 then fail "server exited %d, want 0" code;
   (* Replay the response stream against the expected event list. *)
   let rd = Frame.reader ~max_frame:(1 lsl 24) (Frame.source_of_string output) in
@@ -557,7 +611,9 @@ let () =
     if !writes > 3 then raise (Sys_error "Broken pipe")
   in
   let disconnect_code =
-    Serve.run cfg ~source:(Frame.source_of_string input) ~write:dead_write
+    (* The journal writer is closed: this re-run must not record. *)
+    Serve.run { cfg with Serve.journal = None }
+      ~source:(Frame.source_of_string input) ~write:dead_write
   in
   if disconnect_code <> 0 then
     fail "disconnected-client run exited %d, want 0" disconnect_code;

@@ -133,10 +133,19 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let dir = match !dir with Some d -> d | None -> usage () in
-  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-    Printf.eprintf "trend: %s is not a directory\n" dir;
-    exit 2
-  end;
+  (* All three probes can raise Sys_error (permission, TOCTOU races):
+     a missing or unreadable history directory is a friendly exit 2,
+     never an uncaught exception. *)
+  let listing =
+    match
+      if Sys.file_exists dir && Sys.is_directory dir then Some (Sys.readdir dir)
+      else None
+    with
+    | Some names -> names
+    | None | (exception Sys_error _) ->
+      Printf.eprintf "trend: %s is not a readable directory\n" dir;
+      exit 2
+  in
   let by_series = Hashtbl.create 4 in
   Array.iter
     (fun name ->
@@ -145,7 +154,7 @@ let () =
         let prev = Option.value (Hashtbl.find_opt by_series series) ~default:[] in
         Hashtbl.replace by_series series ((seq, Filename.concat dir name) :: prev)
       | None -> ())
-    (Sys.readdir dir);
+    listing;
   if Hashtbl.length by_series = 0 then begin
     Printf.eprintf "trend: no <series>-NNNN.json snapshots in %s\n" dir;
     exit 2
